@@ -1,0 +1,38 @@
+"""Shared fixtures for the figure-reproduction benchmark harness.
+
+Each ``test_figNN_*`` benchmark (a) times the pipeline stage the figure
+exercises, (b) asserts the paper's qualitative claim quantitatively, and
+(c) writes the rendered figure data to ``benchmarks/results/`` so the
+reproduced rows/series can be inspected and diffed against EXPERIMENTS.md.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import FigureContext, render_figure
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """One shared figure context for the whole benchmark session."""
+    return FigureContext(azure_functions=6000, seed=42)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_figure(results_dir):
+    """Write a figure's rendered data block to the results directory."""
+
+    def _record(name: str, data: dict) -> None:
+        text = render_figure(name, data)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _record

@@ -1,0 +1,158 @@
+"""Ablations for the section-3.3 extensions built in this reproduction.
+
+- extended workload pool (FunctionBench + vSwarm-style suite) vs default;
+- memory-aware mapping vs default (Figure-7 gap);
+- variable-input specs vs fixed-input (per-invocation diversity at equal
+  duration fidelity);
+- baseline shoot-out: one fidelity table across FaaSRail and every
+  prior-work strategy.
+"""
+
+import numpy as np
+
+from repro.baselines import invitro_spec, random_sampling_spec
+from repro.core import ShrinkRay, shrink
+from repro.core.spec_ops import fidelity_report
+from repro.loadgen import generate_request_trace
+from repro.stats import EmpiricalCDF, ks_distance, wasserstein
+from repro.workloads import build_extended_pool
+
+
+def test_ablation_extended_pool(benchmark, ctx, results_dir):
+    ext_pool = benchmark.pedantic(build_extended_pool, rounds=2,
+                                  warmup_rounds=1)
+    azure = ctx.azure
+    spec_base = shrink(azure, ctx.pool, max_rps=10.0, duration_minutes=30,
+                       seed=ctx.seed)
+    spec_ext = shrink(azure, ext_pool, max_rps=10.0, duration_minutes=30,
+                      seed=ctx.seed)
+    rep_base = fidelity_report(spec_base, azure)
+    rep_ext = fidelity_report(spec_ext, azure)
+    fams_ext = {e.family for e in spec_ext.entries}
+    lines = [
+        f"default pool : {len(ctx.pool)} workloads, "
+        f"ks={rep_base['invocation_duration_ks']:.4f}",
+        f"extended pool: {len(ext_pool)} workloads "
+        f"({len(ext_pool.families())} families), "
+        f"ks={rep_ext['invocation_duration_ks']:.4f}",
+        f"new families mapped: "
+        f"{sorted(fams_ext - set(ctx.pool.families()))}",
+    ]
+    (results_dir / "ablation_extended_pool.txt").write_text(
+        "\n".join(lines) + "\n")
+    assert len(ext_pool) > len(ctx.pool)
+    assert rep_ext["invocation_duration_ks"] < 0.08
+    assert fams_ext - set(ctx.pool.families())  # new suites really used
+
+
+def test_ablation_memory_aware(benchmark, ctx, results_dir):
+    azure = ctx.azure
+    target = EmpiricalCDF.from_samples(azure.memory_per_app_array())
+
+    def run_aware():
+        return ShrinkRay(memory_aware=True).run(
+            azure, ctx.pool, max_rps=10.0, duration_minutes=30,
+            seed=ctx.seed)
+
+    aware = benchmark.pedantic(run_aware, rounds=2, warmup_rounds=1)
+    base = shrink(azure, ctx.pool, max_rps=10.0, duration_minutes=30,
+                  seed=ctx.seed)
+
+    def mem_dist(spec):
+        mem = np.array([e.memory_mb for e in spec.entries])
+        return wasserstein(EmpiricalCDF.from_samples(mem), target)
+
+    d_base, d_aware = mem_dist(base), mem_dist(aware)
+    ks_base = fidelity_report(base, azure)["invocation_duration_ks"]
+    ks_aware = fidelity_report(aware, azure)["invocation_duration_ks"]
+    lines = [
+        f"default     : memory W1={d_base:8.1f} MiB  duration ks={ks_base:.4f}",
+        f"memory-aware: memory W1={d_aware:8.1f} MiB  duration ks={ks_aware:.4f}",
+        "note: memory closeness is pool-limited (the pool's footprints sit",
+        "left of Azure's apps, paper sec. 3.3/Fig 7); the tie-break can only",
+        "choose within what the runtime band offers.",
+    ]
+    (results_dir / "ablation_memory_aware.txt").write_text(
+        "\n".join(lines) + "\n")
+    # duration fidelity must be unharmed; memory distance must not regress
+    # beyond noise (the gain is pool-limited, see the note above)
+    assert ks_aware < 0.05
+    assert d_aware <= d_base * 1.15
+
+
+def test_ablation_variable_input(benchmark, ctx, results_dir):
+    azure = ctx.azure
+
+    def run_variable():
+        spec = ShrinkRay(variable_input=True).run(
+            azure, ctx.pool, max_rps=10.0, duration_minutes=30,
+            seed=ctx.seed)
+        return generate_request_trace(spec, seed=ctx.seed)
+
+    var_trace = benchmark.pedantic(run_variable, rounds=2, warmup_rounds=1)
+    fixed_spec = shrink(azure, ctx.pool, max_rps=10.0, duration_minutes=30,
+                        seed=ctx.seed)
+    fixed_trace = generate_request_trace(fixed_spec, seed=ctx.seed)
+
+    counts = azure.invocations_per_function.astype(float)
+    mask = counts > 0
+    target = EmpiricalCDF.from_samples(azure.durations_ms[mask],
+                                       counts[mask])
+    from repro.stats.distance import ks_relative_band
+
+    ks_var = ks_relative_band(var_trace.runtimes_ms,
+                              azure.durations_ms[mask],
+                              y_weights=counts[mask])
+    div_var = np.unique(var_trace.workload_ids).size
+    div_fixed = np.unique(fixed_trace.workload_ids).size
+    lines = [
+        f"fixed input   : {div_fixed} distinct workloads invoked",
+        f"variable input: {div_var} distinct workloads invoked, "
+        f"ks={ks_var:.4f}",
+    ]
+    (results_dir / "ablation_variable_input.txt").write_text(
+        "\n".join(lines) + "\n")
+    assert div_var > div_fixed
+    assert ks_var < 0.12
+    del target
+
+
+def test_baseline_shootout(benchmark, ctx, results_dir):
+    """One table: duration-KS / load-shape / popularity for every strategy."""
+    azure = ctx.azure
+
+    def build_all():
+        faasrail = ctx.spec
+        sampling = random_sampling_spec(
+            azure, 100, faasrail.total_requests, ctx.duration_minutes,
+            seed=ctx.seed)
+        invitro = invitro_spec(
+            azure, 100, faasrail.total_requests, ctx.duration_minutes,
+            seed=ctx.seed)
+        return faasrail, sampling, invitro
+
+    faasrail, sampling, invitro = benchmark.pedantic(
+        build_all, rounds=2, warmup_rounds=1)
+    lines = [f"{'strategy':<18} {'dur ks':>8} {'load corr':>10} "
+             f"{'top10% share':>13}"]
+    reports = {}
+    for label, spec in (("faasrail", faasrail),
+                        ("random-sampling", sampling),
+                        ("invitro", invitro)):
+        rep = fidelity_report(spec, azure)
+        reports[label] = rep
+        lines.append(
+            f"{label:<18} {rep['invocation_duration_ks']:>8.4f} "
+            f"{rep['load_shape_corr']:>10.3f} "
+            f"{rep['popularity_top10pct_spec']:>13.3f}")
+    (results_dir / "baseline_shootout.txt").write_text(
+        "\n".join(lines) + "\n")
+
+    # FaaSRail dominates on duration fidelity and load-shape tracking
+    assert (reports["faasrail"]["invocation_duration_ks"]
+            < reports["random-sampling"]["invocation_duration_ks"])
+    assert (reports["faasrail"]["load_shape_corr"]
+            > reports["random-sampling"]["load_shape_corr"])
+    # In-Vitro's representative sampling beats random sampling on duration
+    assert (reports["invitro"]["invocation_duration_ks"]
+            <= reports["random-sampling"]["invocation_duration_ks"] + 0.05)

@@ -1,0 +1,75 @@
+"""Ablation: cluster schedulers under representative FaaSRail load.
+
+The affinity-vs-balance tension of the paper's cluster-level discussion,
+quantified across all five shipped policies with the platform tracer's
+lifecycle counters.
+"""
+
+from repro.loadgen import generate_request_trace, replay
+from repro.platform import (
+    FaaSCluster,
+    HashAffinityScheduler,
+    LeastLoadedScheduler,
+    LocalityAwareScheduler,
+    PlatformTracer,
+    PowerOfTwoScheduler,
+    RandomScheduler,
+    lifecycle_summary,
+    profiles_from_spec,
+    summarize,
+)
+
+SCHEDULERS = {
+    "random": lambda: RandomScheduler(seed=0),
+    "least-loaded": LeastLoadedScheduler,
+    "power-of-two": lambda: PowerOfTwoScheduler(seed=0),
+    "hash-affinity": HashAffinityScheduler,
+    "locality": LocalityAwareScheduler,
+}
+
+
+def test_ablation_schedulers(benchmark, ctx, results_dir):
+    from repro.core import shrink
+
+    azure = ctx.azure
+    spec = shrink(azure, ctx.pool, max_rps=8.0, duration_minutes=20,
+                  seed=ctx.seed)
+    load = generate_request_trace(spec, seed=ctx.seed)
+    profiles = profiles_from_spec(spec)
+
+    def run(factory):
+        tracer = PlatformTracer()
+        backend = FaaSCluster(
+            profiles, n_nodes=8, node_memory_mb=6_144.0,
+            scheduler=factory(), tracer=tracer,
+        )
+        result = replay(load, backend)
+        return summarize(result.records), lifecycle_summary(tracer)
+
+    benchmark.pedantic(lambda: run(LeastLoadedScheduler), rounds=2,
+                       warmup_rounds=1)
+
+    lines = [f"{'scheduler':<14} {'cold%':>7} {'imbalance':>10} "
+             f"{'reuse':>7} {'evict':>7}"]
+    results = {}
+    for name, factory in SCHEDULERS.items():
+        s, life = run(factory)
+        results[name] = (s, life)
+        lines.append(
+            f"{name:<14} {100 * s['cold_fraction']:>6.2f}% "
+            f"{s['node_imbalance']:>9.2f}x {life['reuse_ratio']:>7.2f} "
+            f"{life['eviction_rate']:>7.2f}")
+    (results_dir / "ablation_schedulers.txt").write_text(
+        "\n".join(lines) + "\n")
+
+    # affinity-style policies convert memory into warm starts...
+    assert (results["locality"][0]["cold_fraction"]
+            <= results["random"][0]["cold_fraction"])
+    assert (results["hash-affinity"][0]["cold_fraction"]
+            <= results["random"][0]["cold_fraction"])
+    # ...while hash affinity concentrates load hardest
+    assert (results["hash-affinity"][0]["node_imbalance"]
+            >= results["least-loaded"][0]["node_imbalance"])
+    # power-of-two lands near least-loaded balance at O(1) probing cost
+    assert (results["power-of-two"][0]["node_imbalance"]
+            <= results["random"][0]["node_imbalance"] * 1.5)

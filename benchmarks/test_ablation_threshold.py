@@ -1,0 +1,49 @@
+"""Ablation: mapping error-threshold sweep.
+
+A tighter threshold tightens runtime fidelity but starves the balance
+selection of candidates; a looser one trades fidelity for balance.  The
+sweep prints the whole trade-off curve.
+"""
+
+import numpy as np
+
+from repro.core import map_functions
+from repro.stats.distance import ks_relative_band
+
+THRESHOLDS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0)
+
+
+def test_ablation_threshold(benchmark, ctx, results_dir):
+    report = ctx.report
+    aggregated = report.aggregated_trace
+    pool = ctx.pool
+    counts = aggregated.invocations_per_function.astype(float)
+
+    benchmark.pedantic(
+        lambda: map_functions(aggregated, pool, error_threshold_pct=10.0),
+        rounds=2, warmup_rounds=1,
+    )
+
+    lines = [f"{'threshold%':>10} {'ks':>8} {'fallbacks':>10} "
+             f"{'families_used':>14} {'max_err':>8}"]
+    results = {}
+    for pct in THRESHOLDS:
+        m = map_functions(aggregated, pool, error_threshold_pct=pct)
+        ks = ks_relative_band(
+            m.mapped_runtime_ms, aggregated.durations_ms,
+            x_weights=counts, y_weights=counts)
+        fams = len(set(
+            pool.workloads[int(k)].family for k in m.workload_indices))
+        results[pct] = (ks, m.n_fallbacks, fams)
+        lines.append(
+            f"{pct:>10.0f} {ks:>8.4f} {m.n_fallbacks:>10} {fams:>14} "
+            f"{float(np.max(m.relative_error)):>8.3f}")
+    (results_dir / "ablation_threshold.txt").write_text(
+        "\n".join(lines) + "\n")
+
+    # tighter thresholds need more fallbacks; looser thresholds fewer
+    assert results[1.0][1] >= results[50.0][1]
+    # fidelity stays tight across the practical range
+    assert results[10.0][0] < 0.12
+    # every threshold keeps the full benchmark diversity available
+    assert results[10.0][2] == 10

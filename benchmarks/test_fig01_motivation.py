@@ -1,0 +1,22 @@
+"""Figure 1: prior-work load generation violates trace statistics.
+
+Regenerates all four panels (function-duration CDFs, invocation-duration
+CDFs, popularity, load over time) for Azure vs the plain-Poisson and
+random-sampling baselines, and asserts the violations the paper calls out.
+"""
+
+
+def test_fig01_motivation(benchmark, ctx, record_figure):
+    data = benchmark.pedantic(
+        ctx.fig1_motivation, rounds=3, warmup_rounds=1
+    )
+    record_figure("fig01_motivation", data)
+    s = data["summary"]
+
+    # 1a/1b: both baselines sit far from Azure's invocation-duration CDF
+    assert s["ks_inv_poisson_vs_azure"] > 0.3
+    assert s["ks_inv_sampling_vs_azure"] > 0.2
+    # 1c: Poisson spreads requests uniformly over 10 workloads
+    assert s["poisson_top10pct_share"] < 0.2
+    # 1d: Poisson load does not fluctuate like the trace does
+    assert s["poisson_load_cv"] < s["azure_load_cv"]

@@ -1,0 +1,22 @@
+"""Figure 4: CDF of popularity changes caused by aggregation.
+
+Aggregating functions by mean execution duration must leave popularity
+essentially untouched (the paper finds only 3 of 12 757 super-Functions
+off by as much as 1%).
+"""
+
+from repro.core import aggregate_functions
+
+
+def test_fig04_popularity_change(benchmark, ctx, record_figure):
+    # time the aggregation itself (the figure's underlying computation)
+    azure = ctx.azure
+    benchmark.pedantic(
+        lambda: aggregate_functions(azure), rounds=3, warmup_rounds=1
+    )
+    data = ctx.fig4_popularity_change()
+    record_figure("fig04_popularity_change", data)
+    s = data["summary"]
+    assert s["frac_changes_below_1pct"] >= 0.99
+    assert s["n_super_functions"] < s["n_original_functions"]
+    assert s["max_change"] < 0.05

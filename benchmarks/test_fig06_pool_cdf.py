@@ -1,0 +1,18 @@
+"""Figure 6: runtime CDFs of Azure, Huawei, vanilla FunctionBench, pool.
+
+The augmented ~2300-workload pool must approximate the trace CDFs far
+better than the 10-point vanilla staircase.
+"""
+
+from repro.workloads import build_default_pool
+
+
+def test_fig06_pool_cdf(benchmark, ctx, record_figure):
+    # the figure's expensive step is pool construction
+    benchmark.pedantic(build_default_pool, rounds=3, warmup_rounds=1)
+    data = ctx.fig6_pool_cdfs()
+    record_figure("fig06_pool_cdf", data)
+    s = data["summary"]
+    assert 1900 <= s["pool_size"] <= 2600
+    assert s["ks_pool_vs_azure"] < s["ks_vanilla_vs_azure"]
+    assert s["ks_pool_vs_azure"] < 0.45

@@ -1,0 +1,27 @@
+"""Figure 8: relative load over time -- Azure day, FaaSRail 2h/20rps,
+plain Poisson.
+
+FaaSRail's thumbnails must follow the day's local minima and maxima; the
+constant-rate Poisson baseline must not.
+"""
+
+from repro.core import ShrinkRay
+
+
+def test_fig08_load_over_time(benchmark, ctx, record_figure):
+    # the figure exercises the full shrink-ray run: time it end to end
+    azure, pool = ctx.azure, ctx.pool
+
+    def run_shrink():
+        return ShrinkRay().run(
+            azure, pool, max_rps=ctx.max_rps,
+            duration_minutes=ctx.duration_minutes, seed=ctx.seed,
+        )
+
+    benchmark.pedantic(run_shrink, rounds=3, warmup_rounds=1)
+    data = ctx.fig8_load_over_time()
+    record_figure("fig08_load_over_time", data)
+    s = data["summary"]
+    assert s["corr_faasrail_vs_azure_thumb"] > 0.95
+    assert s["corr_poisson_vs_azure_thumb"] < 0.5
+    assert s["faasrail_rel_range"] > s["poisson_rel_range"]

@@ -1,0 +1,15 @@
+"""Figure 10: cumulative invocation fraction vs most-popular functions.
+
+FaaSRail's curve is right-shifted (fewer distinct Workloads than Azure
+functions) but shows the same extreme skew and similar slope.
+"""
+
+
+def test_fig10_popularity(benchmark, ctx, record_figure):
+    data = benchmark.pedantic(ctx.fig10_popularity, rounds=3,
+                              warmup_rounds=1)
+    record_figure("fig10_popularity", data)
+    s = data["summary"]
+    assert s["azure_top10pct_share"] > 0.9
+    assert s["faasrail_top10pct_share"] > 0.85
+    assert s["faasrail_top1pct_share"] <= s["azure_top1pct_share"] + 0.05

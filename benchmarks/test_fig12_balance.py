@@ -1,0 +1,21 @@
+"""Figure 12: per-benchmark occurrence balance of generated requests.
+
+Azure-mapped load keeps all ten benchmarks represented (lr_training and
+cnn_serving rare, for the reasons the paper gives); Huawei-mapped load is
+severely imbalanced, with the long-running benchmarks absent.
+"""
+
+
+def test_fig12_balance(benchmark, ctx, record_figure):
+    data = benchmark.pedantic(ctx.fig12_balance, rounds=3, warmup_rounds=1)
+    record_figure("fig12_balance", data)
+    s = data["summary"]
+
+    # 12a: Azure-mapped Spec-mode requests
+    assert s["azure_families_present"] >= 9
+    assert 0.0 < s["azure_lr_training_share"] < 0.15   # long-running, rare
+    assert s["azure_max_share"] < 0.6                  # no collapse
+
+    # 12b: Huawei-mapped Smirnov requests
+    assert s["huawei_families_present"] < 10           # some never appear
+    assert s["huawei_lr_training_share"] == 0.0        # >3s floor

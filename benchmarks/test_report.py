@@ -1,0 +1,18 @@
+"""The full claim table, regenerated and archived per benchmark run.
+
+Runs every figure builder through the claim checker and writes the
+markdown report next to the per-figure results -- the machine-refreshable
+version of EXPERIMENTS.md's verdict column.
+"""
+
+from repro.analysis import generate_report, run_claim_checks
+
+
+def test_report_all_claims(benchmark, ctx, results_dir):
+    checks = benchmark.pedantic(
+        lambda: run_claim_checks(ctx), rounds=1, warmup_rounds=0
+    )
+    (results_dir / "report.md").write_text(generate_report(ctx) + "\n")
+    failing = [c for c in checks if not c.passed]
+    assert len(checks) == 15
+    assert not failing, f"claims failing at bench scale: {failing}"

@@ -1,0 +1,64 @@
+"""Robustness: the headline fidelity numbers hold across seeds and traces.
+
+Every figure bench uses one seed; this bench sweeps the pipeline across
+seeds (substrate + pipeline randomness) and across all three synthetic
+cloud profiles, asserting the claims are not one-seed flukes.
+"""
+
+from repro.analysis import seed_sweep
+from repro.core import shrink
+from repro.core.spec_ops import fidelity_report
+from repro.traces import (
+    synthetic_azure_trace,
+    synthetic_huawei_public_trace,
+    synthetic_huawei_trace,
+)
+
+
+def test_robustness_seed_sweep(benchmark, ctx, results_dir):
+    results = benchmark.pedantic(
+        lambda: seed_sweep(range(5), n_functions=1500, max_rps=8.0,
+                           duration_minutes=20, pool=ctx.pool),
+        rounds=1, warmup_rounds=0,
+    )
+    lines = []
+    for res in results.values():
+        lines.append(f"{res.metric:<28} mean={res.mean:.4f} "
+                     f"std={res.std:.4f} "
+                     f"range=[{res.best:.4f}, {res.worst:.4f}]")
+    (results_dir / "robustness_seeds.txt").write_text(
+        "\n".join(lines) + "\n")
+
+    ks = results["invocation_duration_ks"]
+    assert ks.worst < 0.12
+    assert ks.std < 0.05
+    assert results["load_shape_corr"].best > 0.95
+
+
+def test_robustness_across_traces(benchmark, ctx, results_dir):
+    """The pipeline holds on all three cloud profiles."""
+    traces = {
+        "azure": synthetic_azure_trace(n_functions=1500, seed=71),
+        "huawei-private": synthetic_huawei_trace(seed=71),
+        "huawei-public": synthetic_huawei_public_trace(
+            n_functions=1500, seed=71),
+    }
+
+    def run_all():
+        out = {}
+        for label, trace in traces.items():
+            spec = shrink(trace, ctx.pool, max_rps=8.0,
+                          duration_minutes=20, seed=71)
+            out[label] = fidelity_report(spec, trace)
+        return out
+
+    reports = benchmark.pedantic(run_all, rounds=1, warmup_rounds=0)
+    lines = [f"{'trace':<16} {'dur ks':>8} {'load corr':>10}"]
+    for label, rep in reports.items():
+        lines.append(f"{label:<16} {rep['invocation_duration_ks']:>8.4f} "
+                     f"{rep['load_shape_corr']:>10.3f}")
+    (results_dir / "robustness_traces.txt").write_text(
+        "\n".join(lines) + "\n")
+    for label, rep in reports.items():
+        assert rep["invocation_duration_ks"] < 0.12, label
+        assert rep["load_shape_corr"] > 0.9, label

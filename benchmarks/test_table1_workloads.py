@@ -1,0 +1,51 @@
+"""Table 1: the ten FunctionBench workloads.
+
+Regenerates the table (family, description-bearing module, vanilla
+runtime) and checks the registry is complete and runnable.
+"""
+
+import numpy as np
+
+from repro.workloads import default_registry, vanilla_functionbench
+
+EXPECTED_FAMILIES = [
+    "chameleon", "cnn_serving", "image_processing", "json_serdes",
+    "lr_serving", "lr_training", "matmul", "pyaes", "rnn_serving",
+    "video_processing",
+]
+
+_SMOKE_PARAMS = {
+    "chameleon": {"rows": 20, "cols": 4},
+    "cnn_serving": {"side": 16, "channels": 4},
+    "image_processing": {"side": 32, "ops": 2},
+    "json_serdes": {"n_records": 16, "fields": 4, "roundtrips": 1},
+    "matmul": {"n": 16, "reps": 1},
+    "lr_serving": {"batch": 32, "features": 8},
+    "lr_training": {"n_samples": 64, "features": 8, "iterations": 5},
+    "pyaes": {"length": 64, "rounds": 1},
+    "rnn_serving": {"seq_len": 4, "hidden": 16},
+    "video_processing": {"frames": 2, "side": 16},
+}
+
+
+def test_table1_workloads(benchmark, results_dir):
+    registry = default_registry()
+
+    def run_all_smoke():
+        rng = np.random.default_rng(0)
+        return [registry.get(n).run(rng, **_SMOKE_PARAMS[n])
+                for n in EXPECTED_FAMILIES]
+
+    benchmark.pedantic(run_all_smoke, rounds=3, warmup_rounds=1)
+
+    assert registry.names() == EXPECTED_FAMILIES
+    vanilla = vanilla_functionbench()
+    lines = [f"{'workload':<20}{'module':<46}{'vanilla runtime':>16}"]
+    for w in sorted(vanilla, key=lambda w: w.family):
+        family = registry.get(w.family)
+        lines.append(
+            f"{w.family:<20}{type(family).__module__:<46}"
+            f"{w.runtime_ms:>13.1f} ms"
+        )
+    (results_dir / "table1_workloads.txt").write_text("\n".join(lines) + "\n")
+    assert len(vanilla) == 10

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Sub-minute burstiness: modelled arrivals vs recorded per-second rates.
+
+The paper models within-minute arrivals as Poisson because Azure only
+reports minutes, and flags consuming Huawei's *per-second* rates as future
+work (section 3.3).  This example runs that extension: refine a Huawei-like
+trace to second resolution, then compare the second-scale burstiness of
+
+- Poisson-modelled sub-minute arrivals (the paper's default),
+- uniform and equidistant models, and
+- the "trace-seconds" path that replays the recorded seconds verbatim.
+
+Run:  python examples/huawei_subminute.py
+"""
+
+import numpy as np
+
+from repro.core import SpecEntry
+from repro.loadgen import (
+    generate_from_second_matrix,
+    generate_request_trace,
+)
+from repro.core.spec import ExperimentSpec
+from repro.stats import burstiness_parameter, index_of_dispersion
+from repro.traces import expand_to_seconds, synthetic_huawei_trace
+
+
+def main() -> None:
+    print("building a Huawei-like trace window with per-second rates ...")
+    hw = synthetic_huawei_trace(total_invocations=2_000_000, seed=53)
+    window = hw.minute_range(600, 615)  # 15 busy minutes
+    seconds = expand_to_seconds(window, seed=53, burst_gamma_shape=0.35)
+    print(f"   {window.n_functions} functions, "
+          f"{window.total_invocations:,} invocations over 15 min; "
+          f"busiest recorded second: {seconds.busiest_second_rate:,}\n")
+
+    entries = [
+        SpecEntry(str(f), f"w:{i}", "pyaes", 10.0, 32.0)
+        for i, f in enumerate(window.function_ids)
+    ]
+    spec = ExperimentSpec(
+        name="hw-window", source_trace=hw.name,
+        max_rps=window.busiest_minute_rate / 60.0,
+        entries=entries, per_minute=window.per_minute.astype(np.int64),
+    )
+
+    recorded_iod = index_of_dispersion(seconds.aggregate_per_second)
+    print(f"{'arrival model':<16} {'IoD(sec)':>9} {'burstiness B':>13}")
+    print("-" * 42)
+    print(f"{'recorded trace':<16} {recorded_iod:>9.2f} "
+          f"{'—':>13}")
+    for mode in ("poisson", "uniform", "equidistant"):
+        req = generate_request_trace(spec, seed=53, arrival_mode=mode)
+        per_sec = req.per_second_rate(seconds.n_seconds)[: seconds.n_seconds]
+        iod = index_of_dispersion(per_sec)
+        b = burstiness_parameter(np.diff(req.timestamps_s))
+        print(f"{mode:<16} {iod:>9.2f} {b:>13.3f}")
+    req = generate_from_second_matrix(seconds.per_second, entries, seed=53)
+    per_sec = req.per_second_rate(seconds.n_seconds)[: seconds.n_seconds]
+    b = burstiness_parameter(np.diff(req.timestamps_s))
+    print(f"{'trace-seconds':<16} {index_of_dispersion(per_sec):>9.2f} "
+          f"{b:>13.3f}")
+
+    print(
+        "\nreading: Poisson sub-minute modelling reproduces *some*\n"
+        "burstiness (IoD near 1) but cannot reach the recorded second-\n"
+        "scale spikes; the trace-seconds path preserves them exactly --\n"
+        "which is why the paper flags per-second replay as the natural\n"
+        "next step for burst-sensitive studies."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The real-data path: Azure-schema CSVs -> fit -> regenerate -> shrink.
+
+The build environment has no network, so this example *simulates having
+the real dataset*: it dumps a synthetic day to the exact CSV layout of
+the Azure Functions public release, then treats those files as if they
+were the download --
+
+1. load the CSVs (``load_azure_day``: the same call works on the genuine
+   dataset),
+2. characterise the trace and EM-fit generator parameters from it,
+3. regenerate a *new* consistent synthetic day from the fitted
+   parameters (arbitrarily many days from one observed day),
+4. run the shrink ray on the loaded trace and report fidelity.
+
+Run:  python examples/real_data_pipeline.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import shrink
+from repro.core.spec_ops import fidelity_report
+from repro.stats import EmpiricalCDF, ks_distance
+from repro.traces import (
+    characterize_trace,
+    dump_azure_day,
+    fit_generator_from_trace,
+    load_azure_day,
+    synthetic_azure_trace,
+)
+from repro.traces.synth import sample_duration_mixture
+from repro.workloads import build_default_pool
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="faasrail_csvs_"))
+    print(f"0. writing a synthetic day as Azure-layout CSVs -> {workdir}")
+    dump_azure_day(synthetic_azure_trace(n_functions=2500, seed=73),
+                   workdir)
+
+    print("1. loading the CSVs back (same call works on the real dataset)")
+    trace = load_azure_day(workdir, name="azure-from-csv")
+    info = characterize_trace(trace)
+    print(f"   {info['n_functions']} functions, "
+          f"{info['total_invocations']:,} invocations; "
+          f"{info['duration_ms']['frac_subsecond']:.0%} of functions "
+          f"sub-second, top 8% hold "
+          f"{info['popularity']['top8pct_share']:.1%} of invocations")
+
+    print("2. EM-fitting generator parameters from the observed day ...")
+    fitted = fit_generator_from_trace(trace, seed=73)
+    for comp in fitted["duration_mixture"]:
+        print(f"   component: weight={comp.weight:.2f} "
+              f"median={comp.median_ms:.0f}ms sigma={comp.sigma:.2f}")
+    print(f"   popularity exponent: {fitted['popularity_exponent']:.2f}")
+
+    print("3. regenerating durations from the fit ...")
+    regen = sample_duration_mixture(
+        trace.n_functions, fitted["duration_mixture"],
+        np.random.default_rng(74), lo_ms=1.0, hi_ms=600_000.0)
+    ks = ks_distance(EmpiricalCDF.from_samples(regen),
+                     EmpiricalCDF.from_samples(trace.durations_ms))
+    print(f"   regenerated-vs-observed duration KS = {ks:.4f}")
+
+    print("4. shrinking the loaded trace to 20 min @ 8 rps ...")
+    spec = shrink(trace, build_default_pool(), max_rps=8.0,
+                  duration_minutes=20, seed=73)
+    rep = fidelity_report(spec, trace)
+    print(f"   {rep['total_requests']:,} requests; duration "
+          f"KS={rep['invocation_duration_ks']:.4f}, load-shape "
+          f"corr={rep['load_shape_corr']:.3f}")
+    print("\nthe identical four steps run unchanged on the genuine Azure "
+          "Functions 2019 release.")
+
+
+if __name__ == "__main__":
+    main()

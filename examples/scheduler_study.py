@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Scheduler study: load balancing under skewed, bursty FaaS load.
+
+A cluster-level experiment in the spirit of paper section 2.2
+("Cluster-level policies"): replay the same FaaSRail-generated load
+against three schedulers and observe the affinity-vs-balance tension --
+hash affinity maximises warm starts but concentrates the popular
+functions' load; random spraying balances nodes but multiplies sandboxes.
+
+Run:  python examples/scheduler_study.py
+"""
+
+from repro.core import shrink
+from repro.loadgen import generate_request_trace, replay
+from repro.platform import (
+    FaaSCluster,
+    HashAffinityScheduler,
+    LeastLoadedScheduler,
+    RandomScheduler,
+    profiles_from_spec,
+    summarize,
+)
+from repro.traces import synthetic_azure_trace
+from repro.workloads import build_default_pool
+
+SCHEDULERS = {
+    "random": lambda: RandomScheduler(seed=0),
+    "least-loaded": LeastLoadedScheduler,
+    "hash-affinity": lambda: HashAffinityScheduler(spill_threshold=8),
+}
+
+
+def main() -> None:
+    print("generating FaaSRail load (2500 fns -> 20 min @ 10 rps) ...")
+    azure = synthetic_azure_trace(n_functions=2500, seed=23)
+    pool = build_default_pool()
+    spec = shrink(azure, pool, max_rps=10.0, duration_minutes=20, seed=23)
+    load = generate_request_trace(spec, seed=23)
+    profiles = profiles_from_spec(spec)
+    print(f"   {load.n_requests:,} requests across "
+          f"{len(profiles)} distinct workloads\n")
+
+    header = (f"{'scheduler':<14} {'cold%':>7} {'p50 ms':>9} {'p99 ms':>10} "
+              f"{'queue ms':>9} {'imbalance':>10}")
+    print(header)
+    print("-" * len(header))
+    for name, factory in SCHEDULERS.items():
+        backend = FaaSCluster(
+            profiles, n_nodes=8, node_memory_mb=8_192.0,
+            scheduler=factory(),
+        )
+        s = summarize(replay(load, backend).records)
+        lat = s["latency_ms"]
+        print(f"{name:<14} {100 * s['cold_fraction']:>6.2f}% "
+              f"{lat['p50']:>9.1f} {lat['p99']:>10.1f} "
+              f"{s['queueing_ms_mean']:>9.2f} "
+              f"{s['node_imbalance']:>9.2f}x")
+
+    print(
+        "\nreading: hash affinity wins on cold starts (sandbox reuse) but\n"
+        "its imbalance column shows the popular functions' nodes running\n"
+        "hot -- the exact effect the paper warns gets missed when load\n"
+        "generators drop the trace's popularity skew."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Smirnov Transform mode: distribution-faithful load at arbitrary rates.
+
+Demonstrates paper section 3.2.2 on both traces: draw request samples
+whose execution-duration distribution follows the trace's, compare the
+linear (paper-faithful) and step inverse-CDF flavours, and replay one
+sample at a constant rate with each arrival model.
+
+Run:  python examples/smirnov_sampling.py
+"""
+
+import numpy as np
+
+from repro.core import smirnov_request_sample
+from repro.loadgen import generate_smirnov_trace
+from repro.stats.distance import ks_relative_band
+from repro.traces import synthetic_azure_trace, synthetic_huawei_trace
+from repro.workloads import build_default_pool
+
+
+def describe(label, trace, sample):
+    counts = trace.invocations_per_function.astype(float)
+    mask = counts > 0
+    ks = ks_relative_band(sample.mapped_runtime_ms,
+                          trace.durations_ms[mask],
+                          y_weights=counts[mask])
+    shares = sorted(sample.family_shares().items(), key=lambda kv: -kv[1])
+    top = ", ".join(f"{f}={s:.1%}" for f, s in shares[:3])
+    print(f"  {label:<28} KS={ks:.4f}  top families: {top}")
+
+
+def main() -> None:
+    pool = build_default_pool()
+    azure = synthetic_azure_trace(n_functions=3000, seed=31)
+    huawei = synthetic_huawei_trace(seed=31)
+
+    print("sampling 30,000 requests per trace via the Smirnov Transform:")
+    for trace, name in ((azure, "azure"), (huawei, "huawei")):
+        for method in ("linear", "step"):
+            sample = smirnov_request_sample(
+                trace, pool, 30_000, seed=31, inverse_method=method)
+            describe(f"{name} / {method}-inverse", trace, sample)
+
+    print("\nreplaying the azure sample at a constant 50 rps:")
+    sample = smirnov_request_sample(azure, pool, 30_000, seed=31)
+    for mode in ("poisson", "uniform", "equidistant"):
+        req = generate_smirnov_trace(sample, rate_rps=50.0, seed=31,
+                                     arrival_mode=mode)
+        per_sec = req.per_second_rate().astype(float)
+        iod = per_sec.var() / per_sec.mean()
+        print(f"  {mode:<12} horizon={req.duration_s:7.1f}s  "
+              f"per-second index of dispersion={iod:.3f}")
+
+    print(
+        "\nreading: the linear inverse (the paper's choice) smooths the\n"
+        "Huawei staircase -- its 104 functions leave wide CDF gaps the\n"
+        "interpolation fills; the step inverse reproduces the atoms\n"
+        "exactly.  Poisson arrivals keep second-scale burstiness (IoD~1);\n"
+        "equidistant flattens it."
+    )
+
+
+if __name__ == "__main__":
+    main()

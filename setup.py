@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so `python setup.py develop` works on environments without the `wheel`
+package (PEP 660 editable installs need it); all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

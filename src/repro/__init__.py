@@ -1,0 +1,49 @@
+"""FaaSRail reproduction: representative load generation for serverless research.
+
+This package reimplements the system described in *"FaaSRail: Employing Real
+Workloads to Generate Representative Load for Serverless Research"*
+(Katsakioris et al., HPDC '24): an offline "shrink ray" that fits open-source
+FaaS workloads to production traces, and an online load generator that
+replays the resulting experiment specifications.
+
+Top-level layout
+----------------
+- :mod:`repro.stats` -- weighted ECDFs, Smirnov sampling, KS/Wasserstein, CV.
+- :mod:`repro.traces` -- trace data model, Azure-schema IO, calibrated
+  synthetic Azure / Huawei trace generators.
+- :mod:`repro.workloads` -- runnable FunctionBench-style workloads, input
+  augmentation into a ~2300-strong Workload pool, runtime calibration.
+- :mod:`repro.core` -- the paper's contribution: aggregation, mapping, rate
+  and time scaling, experiment specs, Smirnov Transform mode.
+- :mod:`repro.loadgen` -- arrival processes, request-trace generation, replay.
+- :mod:`repro.platform` -- discrete-event FaaS cluster simulator (backend).
+- :mod:`repro.baselines` -- plain-Poisson / random-sampling / busy-loop
+  strategies the paper compares against.
+- :mod:`repro.analysis` -- one data-series builder per paper figure.
+
+Quickstart
+----------
+>>> from repro import shrink, generate
+>>> from repro.traces import synthetic_azure_trace
+>>> from repro.workloads import build_default_pool
+>>> trace = synthetic_azure_trace(n_functions=2000, seed=1)
+>>> pool = build_default_pool(seed=1)
+>>> spec = shrink(trace, pool, max_rps=20.0, duration_minutes=120, seed=1)
+>>> requests = generate(spec, seed=1)
+"""
+
+from repro._version import __version__
+
+__all__ = ["ExperimentSpec", "ShrinkRay", "__version__", "generate", "shrink"]
+
+_CORE_EXPORTS = {"ExperimentSpec", "ShrinkRay", "generate", "shrink"}
+
+
+def __getattr__(name: str):
+    # Lazy re-exports keep `import repro.stats` usable without pulling the
+    # whole pipeline (and its heavier workload-pool construction) into memory.
+    if name in _CORE_EXPORTS:
+        from repro import core
+
+        return getattr(core, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,21 @@
+"""Figure reproduction: data-series builders and text renderers."""
+
+from repro.analysis.figures import FigureContext
+from repro.analysis.render import render_figure, render_series_table
+from repro.analysis.report import (
+    ClaimCheck,
+    generate_report,
+    run_claim_checks,
+)
+from repro.analysis.sensitivity import SensitivityResult, seed_sweep
+
+__all__ = [
+    "ClaimCheck",
+    "FigureContext",
+    "SensitivityResult",
+    "generate_report",
+    "render_figure",
+    "render_series_table",
+    "run_claim_checks",
+    "seed_sweep",
+]

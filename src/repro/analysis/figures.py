@@ -1,0 +1,398 @@
+"""Data-series builders, one per figure of the paper's evaluation.
+
+Each ``figN_*`` function returns a plain dict with two keys:
+
+- ``"series"``: label -> ``(x, y)`` NumPy array pairs, exactly the curves
+  the paper's figure draws;
+- ``"summary"``: label -> scalar, the quantitative statements of the claim
+  (KS distances, correlations, fractions) that the benchmark harness prints
+  and EXPERIMENTS.md records.
+
+Builders take explicit inputs so benches can choose scale;
+:class:`FigureContext` bundles the shared artifacts (traces, pool, spec,
+samples) and builds each lazily exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines import plain_poisson_trace, random_sampling_spec
+from repro.core import ShrinkRay, smirnov_request_sample, thumbnail_scale
+from repro.stats import (
+    EmpiricalCDF,
+    cv_cdf_series,
+    coefficient_of_variation,
+    ks_distance,
+    popularity_curve,
+)
+from repro.stats.distance import ks_relative_band
+from repro.traces import (
+    relative_load_series,
+    synthetic_azure_multiday,
+    synthetic_azure_trace,
+    synthetic_huawei_trace,
+)
+from repro.workloads import build_default_pool, vanilla_functionbench
+
+__all__ = ["FigureContext"]
+
+
+def _cdf_xy(values, weights=None, n=256):
+    return EmpiricalCDF.from_samples(values, weights).series(n=n)
+
+
+@dataclass
+class FigureContext:
+    """Shared, lazily-built artifacts for the whole figure suite.
+
+    Default sizes are scaled down from the paper (12K-function Azure day
+    instead of 49.7K) so the full suite builds in seconds; every statistic
+    under comparison is scale-free (CDFs, shares, correlations).
+    """
+
+    azure_functions: int = 8_000
+    huawei_seed: int = 7
+    seed: int = 42
+    max_rps: float = 20.0
+    duration_minutes: int = 120
+    smirnov_requests: int = 120_408  # the paper's Figure-11 sample size
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    def _get(self, key, build):
+        if key not in self._cache:
+            self._cache[key] = build()
+        return self._cache[key]
+
+    # ------------------------------------------------------------------
+    # shared artifacts
+    # ------------------------------------------------------------------
+    @property
+    def azure(self):
+        return self._get("azure", lambda: synthetic_azure_trace(
+            n_functions=self.azure_functions, seed=self.seed))
+
+    @property
+    def huawei(self):
+        return self._get("huawei", lambda: synthetic_huawei_trace(
+            seed=self.huawei_seed))
+
+    @property
+    def pool(self):
+        return self._get("pool", build_default_pool)
+
+    @property
+    def vanilla(self):
+        return self._get("vanilla", vanilla_functionbench)
+
+    @property
+    def shrinkray(self):
+        return self._get("shrinkray", ShrinkRay)
+
+    @property
+    def spec(self):
+        def build():
+            return self.shrinkray.run(
+                self.azure, self.pool,
+                max_rps=self.max_rps,
+                duration_minutes=self.duration_minutes,
+                seed=self.seed,
+            )
+        return self._get("spec", build)
+
+    @property
+    def report(self):
+        _ = self.spec  # ensure the run happened
+        return self.shrinkray.last_report
+
+    @property
+    def smirnov_azure(self):
+        return self._get("smirnov_azure", lambda: smirnov_request_sample(
+            self.azure, self.pool, self.smirnov_requests, seed=self.seed))
+
+    @property
+    def smirnov_huawei(self):
+        return self._get("smirnov_huawei", lambda: smirnov_request_sample(
+            self.huawei, self.pool, 35_000, seed=self.seed))
+
+    # ------------------------------------------------------------------
+    # figures
+    # ------------------------------------------------------------------
+    def fig1_motivation(self):
+        """Figure 1: how prior-work strategies violate trace statistics."""
+        azure = self.azure
+        counts = azure.invocations_per_function.astype(float)
+        mask = counts > 0
+        target_total = 144_000
+
+        poisson = plain_poisson_trace(
+            target_total / (self.duration_minutes * 60.0),
+            self.duration_minutes, seed=self.seed)
+        sampling = random_sampling_spec(
+            azure, n_functions=100, total_invocations=target_total,
+            duration_minutes=self.duration_minutes, seed=self.seed)
+
+        # (a) functions' average durations
+        fn_cdfs = {
+            "azure": _cdf_xy(azure.durations_ms),
+            "poisson": _cdf_xy(np.unique(poisson.runtimes_ms)),
+            "sampling": _cdf_xy(np.array(
+                [e.runtime_ms for e in sampling.entries])),
+        }
+        # (b) invocations' durations
+        inv_cdfs = {
+            "azure": _cdf_xy(azure.durations_ms[mask], counts[mask]),
+            "poisson": _cdf_xy(poisson.runtimes_ms),
+            "sampling": _cdf_xy(
+                sampling.runtimes_ms,
+                sampling.requests_per_function.astype(float)),
+        }
+        # (c) popularity
+        pop = {
+            "azure": popularity_curve(counts[mask]),
+            "poisson": popularity_curve(np.bincount(
+                np.unique(poisson.workload_ids, return_inverse=True)[1])),
+            "sampling": popularity_curve(
+                sampling.requests_per_function + 1),
+        }
+        # (d) load over time, normalised to peak
+        load = {
+            "azure": relative_load_series(azure.aggregate_per_minute),
+            "poisson": relative_load_series(
+                poisson.per_minute_rate(self.duration_minutes * 60)),
+            "sampling": relative_load_series(
+                sampling.aggregate_per_minute + 1e-9),
+        }
+        summary = {
+            "ks_inv_poisson_vs_azure": ks_distance(
+                EmpiricalCDF.from_samples(poisson.runtimes_ms),
+                EmpiricalCDF.from_samples(azure.durations_ms[mask],
+                                          counts[mask])),
+            "ks_inv_sampling_vs_azure": ks_distance(
+                EmpiricalCDF.from_samples(
+                    sampling.runtimes_ms,
+                    np.maximum(sampling.requests_per_function, 1e-9)),
+                EmpiricalCDF.from_samples(azure.durations_ms[mask],
+                                          counts[mask])),
+            "poisson_top10pct_share": float(
+                popularity_curve(np.bincount(np.unique(
+                    poisson.workload_ids, return_inverse=True)[1]))[1][0]),
+            "azure_load_cv": float(np.std(load["azure"]) /
+                                   np.mean(load["azure"])),
+            "poisson_load_cv": float(np.std(load["poisson"]) /
+                                     np.mean(load["poisson"])),
+        }
+        return {
+            "series": {
+                **{f"1a/{k}": v for k, v in fn_cdfs.items()},
+                **{f"1b/{k}": v for k, v in inv_cdfs.items()},
+                **{f"1c/{k}": v for k, v in pop.items()},
+                **{f"1d/{k}": (np.arange(v.size, dtype=float), v)
+                   for k, v in load.items()},
+            },
+            "summary": summary,
+        }
+
+    def fig3_cv(self, n_days: int = 14):
+        """Figure 3: day-to-day CVs justify single-day sampling."""
+        md = synthetic_azure_multiday(self.azure, n_days=n_days,
+                                      seed=self.seed)
+        cv_dur = coefficient_of_variation(md.daily_avg_duration_ms)
+        cv_inv = coefficient_of_variation(md.daily_invocations)
+        return {
+            "series": {
+                "execution_time": cv_cdf_series(cv_dur),
+                "invocations": cv_cdf_series(cv_inv),
+            },
+            "summary": {
+                "frac_duration_cv_below_1": float((cv_dur < 1.0).mean()),
+                "frac_invocations_cv_below_1": float((cv_inv < 1.0).mean()),
+            },
+        }
+
+    def fig4_popularity_change(self):
+        """Figure 4: aggregation barely moves function popularity."""
+        audit = self.report.aggregation_audit
+        changes, probs = audit.popularity_change_series()
+        below_1pct = float(probs[np.searchsorted(
+            changes, 0.01, side="right") - 1]) if changes.size else 1.0
+        return {
+            "series": {"popularity_change": (changes, probs)},
+            "summary": {
+                "n_super_functions": audit.n_aggregated,
+                "n_original_functions": audit.n_original,
+                "frac_changes_below_1pct": below_1pct,
+                "max_change": float(changes.max()),
+            },
+        }
+
+    def fig6_pool_cdfs(self):
+        """Figure 6: augmentation vs the traces' runtime distributions."""
+        azure_cdf = EmpiricalCDF.from_samples(self.azure.durations_ms)
+        pool_cdf = EmpiricalCDF.from_samples(self.pool.runtimes_ms)
+        vanilla_cdf = EmpiricalCDF.from_samples(self.vanilla.runtimes_ms)
+        huawei_cdf = EmpiricalCDF.from_samples(self.huawei.durations_ms)
+        return {
+            "series": {
+                f"azure ({self.azure.n_functions})": azure_cdf.series(),
+                f"huawei ({self.huawei.n_functions})": huawei_cdf.series(),
+                "functionbench (10)": vanilla_cdf.series(),
+                f"workload pool ({len(self.pool)})": pool_cdf.series(),
+            },
+            "summary": {
+                "pool_size": len(self.pool),
+                "ks_pool_vs_azure": ks_distance(pool_cdf, azure_cdf),
+                "ks_vanilla_vs_azure": ks_distance(vanilla_cdf, azure_cdf),
+                "ks_pool_vs_huawei": ks_distance(pool_cdf, huawei_cdf),
+            },
+        }
+
+    def fig7_memory(self):
+        """Figure 7: workload memory vs Azure app memory."""
+        azure_mem = self.azure.memory_per_app_array()
+        # distinct workloads referenced by the Spec-mode run
+        used = {e.workload_id: e.memory_mb for e in self.spec.entries}
+        wl_mem = np.fromiter(used.values(), dtype=float)
+        a = EmpiricalCDF.from_samples(azure_mem)
+        b = EmpiricalCDF.from_samples(wl_mem)
+        return {
+            "series": {"azure apps": a.series(), "faasrail workloads":
+                       b.series()},
+            "summary": {
+                "azure_median_mb": float(np.median(azure_mem)),
+                "faasrail_median_mb": float(np.median(wl_mem)),
+                "left_shift": float(np.median(wl_mem)
+                                    < np.median(azure_mem)),
+            },
+        }
+
+    def fig8_load_over_time(self):
+        """Figure 8: FaaSRail tracks the day's shape; plain Poisson is flat."""
+        azure_rel = relative_load_series(self.azure.aggregate_per_minute)
+        spec_rel = relative_load_series(self.spec.aggregate_per_minute)
+        poisson = plain_poisson_trace(self.max_rps, self.duration_minutes,
+                                      seed=self.seed)
+        poisson_rel = relative_load_series(
+            poisson.per_minute_rate(self.duration_minutes * 60))
+        target = thumbnail_scale(
+            self.azure.per_minute, self.duration_minutes).sum(axis=0)
+        corr_faasrail = float(np.corrcoef(
+            spec_rel, target / target.max())[0, 1])
+        corr_poisson = float(np.corrcoef(
+            poisson_rel[: self.duration_minutes],
+            (target / target.max())[: poisson_rel.size])[0, 1])
+        return {
+            "series": {
+                "azure (1440 min)": (np.arange(azure_rel.size, dtype=float),
+                                     azure_rel),
+                "faasrail": (np.arange(spec_rel.size, dtype=float),
+                             spec_rel),
+                "poisson": (np.arange(poisson_rel.size, dtype=float),
+                            poisson_rel),
+            },
+            "summary": {
+                "corr_faasrail_vs_azure_thumb": corr_faasrail,
+                "corr_poisson_vs_azure_thumb": corr_poisson,
+                "faasrail_rel_range": float(spec_rel.max() - spec_rel.min()),
+                "poisson_rel_range": float(
+                    poisson_rel.max() - poisson_rel.min()),
+            },
+        }
+
+    def fig9_spec_cdf(self):
+        """Figure 9: Spec-mode invocation-duration CDF vs Azure."""
+        azure = self.azure
+        counts = azure.invocations_per_function.astype(float)
+        mask = counts > 0
+        req = self.spec.requests_per_function.astype(float)
+        live = req > 0
+        ks = ks_relative_band(
+            self.spec.runtimes_ms[live], azure.durations_ms[mask],
+            x_weights=req[live], y_weights=counts[mask])
+        return {
+            "series": {
+                f"azure ({int(counts.sum())})": _cdf_xy(
+                    azure.durations_ms[mask], counts[mask]),
+                f"faasrail ({self.spec.total_requests})": _cdf_xy(
+                    self.spec.runtimes_ms[live], req[live]),
+            },
+            "summary": {
+                "total_requests": self.spec.total_requests,
+                "ks_relative_band": ks,
+            },
+        }
+
+    def fig10_popularity(self):
+        """Figure 10: cumulative invocation fraction vs popular functions."""
+        azure = self.azure
+        counts = azure.invocations_per_function
+        req = self.spec.requests_per_function
+        az_x, az_y = popularity_curve(counts[counts > 0])
+        fr_x, fr_y = popularity_curve(req[req > 0])
+
+        def top_share(x, y, frac):
+            return float(y[np.searchsorted(x, frac, side="left")])
+
+        return {
+            "series": {"azure": (az_x, az_y), "faasrail": (fr_x, fr_y)},
+            "summary": {
+                "azure_top1pct_share": top_share(az_x, az_y, 0.01),
+                "faasrail_top1pct_share": top_share(fr_x, fr_y, 0.01),
+                "azure_top10pct_share": top_share(az_x, az_y, 0.10),
+                "faasrail_top10pct_share": top_share(fr_x, fr_y, 0.10),
+            },
+        }
+
+    def fig11_smirnov(self):
+        """Figure 11: Smirnov-mode CDFs vs Azure (a) and Huawei (b)."""
+        out_series, summary = {}, {}
+        for label, trace, sample in (
+            ("azure", self.azure, self.smirnov_azure),
+            ("huawei", self.huawei, self.smirnov_huawei),
+        ):
+            counts = trace.invocations_per_function.astype(float)
+            mask = counts > 0
+            out_series[f"{label}/trace"] = _cdf_xy(
+                trace.durations_ms[mask], counts[mask])
+            out_series[f"{label}/faasrail"] = _cdf_xy(
+                sample.mapped_runtime_ms)
+            summary[f"ks_{label}"] = ks_relative_band(
+                sample.mapped_runtime_ms, trace.durations_ms[mask],
+                y_weights=counts[mask])
+        return {"series": out_series, "summary": summary}
+
+    def fig12_balance(self):
+        """Figure 12: per-benchmark occurrence balance of generated load."""
+        azure_shares = self.spec.family_request_shares()
+        huawei_shares = self.smirnov_huawei.family_shares()
+        all_families = sorted(self.pool.families())
+        series = {
+            "azure-spec": (
+                np.arange(len(all_families), dtype=float),
+                np.array([azure_shares.get(f, 0.0) for f in all_families]),
+            ),
+            "huawei-smirnov": (
+                np.arange(len(all_families), dtype=float),
+                np.array([huawei_shares.get(f, 0.0) for f in all_families]),
+            ),
+        }
+        return {
+            "series": series,
+            "families": all_families,
+            "summary": {
+                "azure_families_present": float(
+                    sum(1 for f in all_families
+                        if azure_shares.get(f, 0.0) > 0.001)),
+                "huawei_families_present": float(
+                    sum(1 for f in all_families
+                        if huawei_shares.get(f, 0.0) > 0.001)),
+                "azure_max_share": max(azure_shares.values()),
+                "huawei_max_share": max(huawei_shares.values()),
+                "azure_lr_training_share": azure_shares.get(
+                    "lr_training", 0.0),
+                "huawei_lr_training_share": huawei_shares.get(
+                    "lr_training", 0.0),
+            },
+        }

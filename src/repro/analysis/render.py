@@ -1,0 +1,33 @@
+"""Plain-text rendering of figure data (no plotting stack required)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_figure", "render_series_table"]
+
+
+def render_series_table(series: dict, n_points: int = 9) -> str:
+    """Downsample every series to ``n_points`` aligned columns of text."""
+    lines = []
+    for label, (x, y) in series.items():
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        idx = np.linspace(0, x.size - 1, min(n_points, x.size)).astype(int)
+        pairs = "  ".join(f"({x[i]:.3g}, {y[i]:.3g})" for i in idx)
+        lines.append(f"  {label:<28} {pairs}")
+    return "\n".join(lines)
+
+
+def render_figure(name: str, data: dict) -> str:
+    """One printable block per figure: summary scalars + sampled series."""
+    lines = [f"== {name} =="]
+    for key, value in data.get("summary", {}).items():
+        if isinstance(value, float):
+            lines.append(f"  {key:<36} {value:.4g}")
+        else:
+            lines.append(f"  {key:<36} {value}")
+    if "families" in data:
+        lines.append("  families: " + ", ".join(data["families"]))
+    lines.append(render_series_table(data["series"]))
+    return "\n".join(lines)

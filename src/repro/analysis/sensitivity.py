@@ -1,0 +1,80 @@
+"""Seed-sensitivity harness for the reproduction's key statistics.
+
+Every headline number in EXPERIMENTS.md comes from one seed; this harness
+answers "is that number stable?" by sweeping seeds through the full
+pipeline and reporting mean / std / extremes of the fidelity metrics.
+Used by the robustness benchmark and available from the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import shrink
+from repro.core.spec_ops import fidelity_report
+from repro.traces import synthetic_azure_trace
+from repro.workloads import WorkloadPool, build_default_pool
+
+__all__ = ["SensitivityResult", "seed_sweep"]
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Across-seed distribution of one metric."""
+
+    metric: str
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values))
+
+    @property
+    def worst(self) -> float:
+        return float(np.max(self.values))
+
+    @property
+    def best(self) -> float:
+        return float(np.min(self.values))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{self.metric}: mean={self.mean:.4f} std={self.std:.4f} "
+                f"range=[{self.best:.4f}, {self.worst:.4f}]")
+
+
+def seed_sweep(
+    seeds=range(5),
+    *,
+    n_functions: int = 2_000,
+    max_rps: float = 10.0,
+    duration_minutes: int = 30,
+    pool: WorkloadPool | None = None,
+) -> dict[str, SensitivityResult]:
+    """Run the full pipeline once per seed; collect fidelity metrics.
+
+    Each seed regenerates the synthetic trace *and* the downstream
+    randomness, so the spread covers both substrate and pipeline noise.
+    """
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    pool = pool if pool is not None else build_default_pool()
+    collected: dict[str, list[float]] = {}
+    for seed in seeds:
+        trace = synthetic_azure_trace(n_functions=n_functions, seed=seed)
+        spec = shrink(trace, pool, max_rps=max_rps,
+                      duration_minutes=duration_minutes, seed=seed)
+        report = fidelity_report(spec, trace)
+        for key in ("invocation_duration_ks", "load_shape_corr",
+                    "popularity_top10pct_spec"):
+            collected.setdefault(key, []).append(float(report[key]))
+    return {
+        key: SensitivityResult(metric=key, values=tuple(vals))
+        for key, vals in collected.items()
+    }

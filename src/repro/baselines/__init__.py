@@ -1,0 +1,14 @@
+"""Prior-work load-generation strategies FaaSRail is evaluated against."""
+
+from repro.baselines.busyloop import BusyLoop, busyloop_pool_from_trace
+from repro.baselines.invitro import invitro_spec
+from repro.baselines.plain_poisson import plain_poisson_trace
+from repro.baselines.random_sampling import random_sampling_spec
+
+__all__ = [
+    "BusyLoop",
+    "busyloop_pool_from_trace",
+    "invitro_spec",
+    "plain_poisson_trace",
+    "random_sampling_spec",
+]

@@ -1,0 +1,87 @@
+"""Busy-loop synthetic workloads (paper section 2.3.1, "Busy loops").
+
+Prior work fabricates spin-for-X functions to follow trace runtime
+distributions exactly.  FaaSRail argues against them (no real memory/I/O
+behaviour), but the reproduction ships the strategy as a comparison
+baseline: a family whose body spins the CPU for a target duration, plus a
+builder that clones a trace's runtime distribution into such a pool.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.traces.model import Trace
+from repro.workloads.base import Workload, WorkloadFamily
+from repro.workloads.pool import WorkloadPool
+
+__all__ = ["BusyLoop", "busyloop_pool_from_trace"]
+
+
+class BusyLoop(WorkloadFamily):
+    """Spin until ``target_ms`` of wall-clock time has elapsed."""
+
+    name = "busyloop"
+    overhead_ms = 0.005
+    ms_per_unit = 1.0  # by definition: one unit == one millisecond
+    base_memory_mb = 20.0
+
+    _TARGETS_MS = (1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0)
+
+    def input_grid(self):
+        for target_ms in self._TARGETS_MS:
+            yield {"target_ms": target_ms}
+
+    def work_units(self, *, target_ms: float) -> float:
+        return float(target_ms)
+
+    def prepare(self, rng, *, target_ms: float):
+        del rng
+        if target_ms <= 0:
+            raise ValueError("target_ms must be positive")
+        return target_ms
+
+    def execute(self, payload):
+        target_s = payload / 1e3
+        t0 = time.perf_counter()
+        spins = 0
+        while time.perf_counter() - t0 < target_s:
+            spins += 1
+        return spins
+
+
+def busyloop_pool_from_trace(
+    trace: Trace,
+    n_workloads: int,
+    seed: int | np.random.Generator = 0,
+) -> WorkloadPool:
+    """A synthetic pool whose runtime CDF clones the trace's.
+
+    Workload runtimes are the trace duration distribution's quantiles at
+    ``n_workloads`` evenly spread probabilities (jittered so repeated
+    builds differ), each realised as a busy-loop variant.  This is the
+    strategy's whole appeal -- perfect runtime fidelity -- and its whole
+    weakness: every workload is the same spin loop.
+    """
+    if n_workloads <= 0:
+        raise ValueError("n_workloads must be positive")
+    rng = np.random.default_rng(seed)
+    from repro.stats.ecdf import EmpiricalCDF
+
+    cdf = EmpiricalCDF.from_samples(trace.durations_ms)
+    probs = (np.arange(n_workloads) + rng.random(n_workloads)) / n_workloads
+    runtimes = np.maximum(np.asarray(cdf.quantile(np.sort(probs))), 0.001)
+    family = BusyLoop()
+    workloads = [
+        Workload(
+            workload_id=f"busyloop:{i}",
+            family="busyloop",
+            params={"target_ms": float(rt)},
+            runtime_ms=float(rt) + family.overhead_ms,
+            memory_mb=family.base_memory_mb,
+        )
+        for i, rt in enumerate(runtimes)
+    ]
+    return WorkloadPool(workloads)

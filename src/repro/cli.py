@@ -1,0 +1,424 @@
+"""Command-line interface: ``repro <subcommand>``.
+
+Subcommands mirror the paper's workflow:
+
+- ``shrinkray`` -- run the offline pipeline, write an experiment spec;
+- ``generate``  -- realise a spec into a timestamped request CSV;
+- ``replay``    -- drive generated load through the cluster simulator;
+- ``figures``   -- rebuild any evaluation figure's data and print it;
+- ``calibrate`` -- re-fit a workload family's cost model on this host.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_trace(source: str, n_functions: int, seed: int):
+    from repro.traces import (
+        load_azure_day,
+        synthetic_azure_trace,
+        synthetic_huawei_public_trace,
+        synthetic_huawei_trace,
+    )
+
+    if source == "azure":
+        return synthetic_azure_trace(n_functions=n_functions, seed=seed)
+    if source == "huawei":
+        return synthetic_huawei_trace(seed=seed)
+    if source == "huawei-public":
+        return synthetic_huawei_public_trace(n_functions=n_functions,
+                                             seed=seed)
+    path = Path(source)
+    if path.is_dir():
+        return load_azure_day(path)
+    raise SystemExit(
+        f"unknown trace source {source!r}: expected 'azure', 'huawei', "
+        "'huawei-public', or a directory of Azure-layout CSVs"
+    )
+
+
+def _cmd_shrinkray(args) -> int:
+    from repro.core import ShrinkRay
+    from repro.workloads import build_default_pool
+
+    trace = _load_trace(args.trace, args.functions, args.seed)
+    pool = build_default_pool()
+    spec = ShrinkRay(
+        error_threshold_pct=args.threshold,
+        time_mode=args.time_mode,
+        range_start_minute=args.range_start,
+    ).run(
+        trace, pool,
+        max_rps=args.max_rps,
+        duration_minutes=args.duration,
+        seed=args.seed,
+    )
+    spec.save(args.out)
+    print(
+        f"wrote {args.out}: {spec.n_functions} functions, "
+        f"{spec.total_requests} requests over {spec.duration_minutes} min "
+        f"(busiest minute {spec.busiest_minute_rate}/min)"
+    )
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.core import ExperimentSpec
+    from repro.loadgen import (
+        generate_request_trace,
+        save_request_trace_csv,
+        save_request_trace_npz,
+    )
+
+    spec = ExperimentSpec.load(args.spec)
+    trace = generate_request_trace(
+        spec, seed=args.seed, arrival_mode=args.arrival_mode
+    )
+    if str(args.out).endswith(".npz"):
+        save_request_trace_npz(trace, args.out)
+    else:
+        save_request_trace_csv(trace, args.out)
+    print(f"wrote {args.out}: {trace.n_requests} requests, "
+          f"{trace.duration_s:.0f}s horizon")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from repro.core import ExperimentSpec
+    from repro.loadgen import generate_request_trace, replay
+    from repro.platform import (
+        FaaSCluster,
+        FixedKeepAlive,
+        HashAffinityScheduler,
+        HistogramKeepAlive,
+        LeastLoadedScheduler,
+        NoKeepAlive,
+        RandomScheduler,
+        profiles_from_spec,
+        summarize,
+    )
+
+    spec = ExperimentSpec.load(args.spec)
+    trace = generate_request_trace(spec, seed=args.seed,
+                                   arrival_mode=args.arrival_mode)
+    scheduler = {
+        "least-loaded": LeastLoadedScheduler(),
+        "random": RandomScheduler(args.seed),
+        "hash": HashAffinityScheduler(),
+    }[args.scheduler]
+    keepalive = {
+        "none": NoKeepAlive(),
+        "fixed": FixedKeepAlive(args.keepalive_ttl),
+        "histogram": HistogramKeepAlive(),
+    }[args.keepalive]
+    backend = FaaSCluster(
+        profiles_from_spec(spec),
+        n_nodes=args.nodes,
+        node_memory_mb=args.node_memory,
+        scheduler=scheduler,
+        keepalive=keepalive,
+    )
+    result = replay(trace, backend)
+    summary = summarize(result.records)
+    print(f"replayed {summary['n_invocations']} invocations on "
+          f"{args.nodes} nodes ({args.scheduler} / {args.keepalive})")
+    print(f"  cold-start fraction : {summary['cold_fraction']:.4f}")
+    lat = summary["latency_ms"]
+    print(f"  latency p50/p90/p99 : {lat['p50']:.1f} / {lat['p90']:.1f} / "
+          f"{lat['p99']:.1f} ms")
+    print(f"  mean queueing       : {summary['queueing_ms_mean']:.2f} ms")
+    print(f"  node imbalance      : {summary['node_imbalance']:.2f}x")
+    return 0
+
+
+_FIGURES = {
+    "fig1": "fig1_motivation",
+    "fig3": "fig3_cv",
+    "fig4": "fig4_popularity_change",
+    "fig6": "fig6_pool_cdfs",
+    "fig7": "fig7_memory",
+    "fig8": "fig8_load_over_time",
+    "fig9": "fig9_spec_cdf",
+    "fig10": "fig10_popularity",
+    "fig11": "fig11_smirnov",
+    "fig12": "fig12_balance",
+}
+
+
+def _cmd_figures(args) -> int:
+    from repro.analysis import FigureContext, render_figure
+
+    ctx = FigureContext(azure_functions=args.functions, seed=args.seed)
+    which = list(_FIGURES) if args.which == ["all"] else args.which
+    for name in which:
+        if name not in _FIGURES:
+            raise SystemExit(
+                f"unknown figure {name!r}; choose from "
+                f"{', '.join(_FIGURES)} or 'all'"
+            )
+        data = getattr(ctx, _FIGURES[name])()
+        print(render_figure(name, data))
+        print()
+    return 0
+
+
+def _cmd_smirnov(args) -> int:
+    from repro.core import smirnov_request_sample
+    from repro.loadgen import generate_smirnov_trace
+    from repro.workloads import build_default_pool
+
+    trace = _load_trace(args.trace, args.functions, args.seed)
+    pool = build_default_pool()
+    sample = smirnov_request_sample(
+        trace, pool, args.requests, seed=args.seed,
+        inverse_method=args.inverse,
+    )
+    req = generate_smirnov_trace(sample, rate_rps=args.rate,
+                                 seed=args.seed,
+                                 arrival_mode=args.arrival_mode)
+    shares = sorted(sample.family_shares().items(), key=lambda kv: -kv[1])
+    print(f"sampled {sample.n_requests} requests from {trace.name} "
+          f"({args.inverse} inverse); horizon {req.duration_s:.0f}s "
+          f"at {args.rate:g} rps")
+    for fam, share in shares:
+        print(f"  {fam:<20} {share:7.2%}")
+    if args.out:
+        import csv
+
+        with open(args.out, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["timestamp_s", "workload_id", "runtime_ms",
+                             "family"])
+            for i in range(req.n_requests):
+                writer.writerow([
+                    f"{req.timestamps_s[i]:.6f}", req.workload_ids[i],
+                    f"{req.runtimes_ms[i]:.3f}", req.families[i],
+                ])
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_spec_info(args) -> int:
+    from repro.core import ExperimentSpec
+
+    spec = ExperimentSpec.load(args.spec)
+    print(f"spec        : {spec.name}")
+    print(f"source trace: {spec.source_trace}")
+    print(f"functions   : {spec.n_functions}")
+    print(f"duration    : {spec.duration_minutes} min")
+    print(f"requests    : {spec.total_requests:,} "
+          f"(busiest minute {spec.busiest_minute_rate})")
+    print(f"target rate : {spec.max_rps:g} rps")
+    print("family shares:")
+    for fam, share in sorted(spec.family_request_shares().items(),
+                             key=lambda kv: -kv[1]):
+        print(f"  {fam:<20} {share:7.2%}")
+    if spec.metadata:
+        print("metadata    :")
+        for k, v in spec.metadata.items():
+            if k == "variants":
+                print(f"  variants: table for {len(v)} functions")
+            else:
+                print(f"  {k}: {v}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis import FigureContext, generate_report
+
+    ctx = FigureContext(azure_functions=args.functions, seed=args.seed)
+    text = generate_report(ctx)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_trace_info(args) -> int:
+    from repro.traces import characterize_trace, fit_generator_from_trace
+
+    trace = _load_trace(args.trace, args.functions, args.seed)
+    info = characterize_trace(trace)
+    print(f"trace       : {info['name']}")
+    print(f"functions   : {info['n_functions']}, minutes: "
+          f"{info['n_minutes']}")
+    print(f"invocations : {info['total_invocations']:,} "
+          f"(busiest minute {info['busiest_minute']:,})")
+    d = info["duration_ms"]
+    print(f"durations   : median {d['median']:.1f} ms, "
+          f"{d['frac_subsecond']:.0%} sub-second, "
+          f"range {d['min']:.1f}..{d['max']:.0f} ms")
+    print(f"weighted med: {info['weighted_median_duration_ms']:.1f} ms")
+    p = info["popularity"]
+    print(f"popularity  : top 8% of functions hold "
+          f"{p['top8pct_share']:.1%} of invocations; "
+          f"{p['frac_low_rate']:.0%} fire <= once/minute")
+    if args.fit:
+        fitted = fit_generator_from_trace(trace, seed=args.seed)
+        print(f"fitted popularity exponent: "
+              f"{fitted['popularity_exponent']:.3f}")
+        print("fitted duration mixture:")
+        for comp in fitted["duration_mixture"]:
+            print(f"  weight={comp.weight:.3f} "
+                  f"median={comp.median_ms:.1f}ms sigma={comp.sigma:.3f}")
+    return 0
+
+
+def _cmd_sensitivity(args) -> int:
+    from repro.analysis import seed_sweep
+
+    results = seed_sweep(
+        range(args.seeds),
+        n_functions=args.functions,
+        max_rps=args.max_rps,
+        duration_minutes=args.duration,
+    )
+    print(f"fidelity across {args.seeds} seeds "
+          f"({args.functions} functions, {args.duration} min @ "
+          f"{args.max_rps:g} rps):")
+    for res in results.values():
+        print(f"  {res.metric:<28} mean={res.mean:.4f} std={res.std:.4f} "
+              f"range=[{res.best:.4f}, {res.worst:.4f}]")
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from repro.workloads import calibrate_family, default_registry
+
+    registry = default_registry()
+    names = registry.names() if args.family == "all" else [args.family]
+    for name in names:
+        family = registry.get(name)
+        grid = list(family.input_grid())
+        # a small spread across the grid: first, middle two, near-largest
+        picks = sorted({0, len(grid) // 3, 2 * len(grid) // 3,
+                        max(len(grid) - 2, 0)})
+        samples = [grid[i] for i in picks]
+        result = calibrate_family(family, samples, repeats=args.repeats)
+        print(f"{name:<18} overhead={result.overhead_ms:.4f}ms "
+              f"ms_per_unit={result.ms_per_unit:.4g} "
+              f"r2={result.r_squared:.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FaaSRail reproduction: representative FaaS load "
+                    "generation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("shrinkray", help="build an experiment spec")
+    p.add_argument("--trace", default="azure",
+                   help="'azure', 'huawei', or a directory of Azure CSVs")
+    p.add_argument("--functions", type=int, default=8000,
+                   help="synthetic trace size")
+    p.add_argument("--max-rps", type=float, required=True)
+    p.add_argument("--duration", type=int, required=True,
+                   help="experiment minutes")
+    p.add_argument("--threshold", type=float, default=10.0,
+                   help="mapping error threshold (%%)")
+    p.add_argument("--time-mode", choices=["thumbnails", "minute-range"],
+                   default="thumbnails")
+    p.add_argument("--range-start", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="spec.json")
+    p.set_defaults(func=_cmd_shrinkray)
+
+    p = sub.add_parser("generate", help="spec -> request CSV")
+    p.add_argument("--spec", required=True)
+    p.add_argument("--arrival-mode", default="poisson",
+                   choices=["poisson", "uniform", "equidistant"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="requests.csv")
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("replay", help="drive a spec through the simulator")
+    p.add_argument("--spec", required=True)
+    p.add_argument("--nodes", type=int, default=8)
+    p.add_argument("--node-memory", type=float, default=16_384.0)
+    p.add_argument("--scheduler", default="least-loaded",
+                   choices=["least-loaded", "random", "hash"])
+    p.add_argument("--keepalive", default="fixed",
+                   choices=["none", "fixed", "histogram"])
+    p.add_argument("--keepalive-ttl", type=float, default=600.0)
+    p.add_argument("--arrival-mode", default="poisson",
+                   choices=["poisson", "uniform", "equidistant"])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_replay)
+
+    p = sub.add_parser("figures", help="rebuild evaluation figures")
+    p.add_argument("which", nargs="+",
+                   help=f"figure names ({', '.join(_FIGURES)}) or 'all'")
+    p.add_argument("--functions", type=int, default=8000)
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser("smirnov",
+                       help="Smirnov-Transform-mode sampling + replay plan")
+    p.add_argument("--trace", default="azure")
+    p.add_argument("--functions", type=int, default=4000)
+    p.add_argument("--requests", type=int, default=30_000)
+    p.add_argument("--rate", type=float, default=50.0,
+                   help="constant replay rate (rps)")
+    p.add_argument("--inverse", choices=["linear", "step"],
+                   default="linear")
+    p.add_argument("--arrival-mode", default="poisson",
+                   choices=["poisson", "uniform", "equidistant"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, help="optional request CSV")
+    p.set_defaults(func=_cmd_smirnov)
+
+    p = sub.add_parser("spec-info", help="inspect a saved experiment spec")
+    p.add_argument("--spec", required=True)
+    p.set_defaults(func=_cmd_spec_info)
+
+    p = sub.add_parser("report",
+                       help="regenerate the paper-vs-measured claim table")
+    p.add_argument("--functions", type=int, default=6000)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--out", default=None)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("trace-info",
+                       help="characterise a trace; optionally fit "
+                            "generator parameters")
+    p.add_argument("--trace", default="azure")
+    p.add_argument("--functions", type=int, default=4000)
+    p.add_argument("--fit", action="store_true",
+                   help="EM-fit the duration mixture + popularity "
+                        "exponent")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_trace_info)
+
+    p = sub.add_parser("sensitivity",
+                       help="fidelity stability across seeds")
+    p.add_argument("--seeds", type=int, default=5)
+    p.add_argument("--functions", type=int, default=2000)
+    p.add_argument("--max-rps", type=float, default=10.0)
+    p.add_argument("--duration", type=int, default=30)
+    p.set_defaults(func=_cmd_sensitivity)
+
+    p = sub.add_parser("calibrate", help="re-fit cost models on this host")
+    p.add_argument("--family", default="all")
+    p.add_argument("--repeats", type=int, default=3)
+    p.set_defaults(func=_cmd_calibrate)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""FaaSRail's core: the offline shrink ray and the Smirnov Transform mode.
+
+The :func:`shrink` / :class:`ShrinkRay` entry points implement paper
+section 3 end to end; :func:`generate` forwards to the online load
+generator so the two-step "spec then replay" flow is one import away.
+"""
+
+from repro.core.aggregation import AggregationAudit, aggregate_functions
+from repro.core.mapping import FunctionMapping, map_functions
+from repro.core.rate_scaling import scale_request_rate
+from repro.core.shrinkray import ShrinkRay, ShrinkReport, shrink
+from repro.core.smirnov import SmirnovSample, smirnov_request_sample
+from repro.core.spec import ExperimentSpec, SpecEntry
+from repro.core.spec_ops import (
+    fidelity_report,
+    filter_spec,
+    merge_specs,
+    rescale_spec,
+)
+from repro.core.time_scaling import minute_range_scale, thumbnail_scale
+from repro.core.variable_input import build_variant_table, sample_variants
+
+__all__ = [
+    "AggregationAudit",
+    "ExperimentSpec",
+    "FunctionMapping",
+    "ShrinkRay",
+    "ShrinkReport",
+    "SmirnovSample",
+    "SpecEntry",
+    "aggregate_functions",
+    "build_variant_table",
+    "fidelity_report",
+    "filter_spec",
+    "generate",
+    "map_functions",
+    "merge_specs",
+    "rescale_spec",
+    "sample_variants",
+    "minute_range_scale",
+    "scale_request_rate",
+    "shrink",
+    "smirnov_request_sample",
+    "thumbnail_scale",
+]
+
+
+def generate(spec, seed=0, **kwargs):
+    """Generate a request trace from a spec (see
+    :func:`repro.loadgen.generate_request_trace`)."""
+    from repro.loadgen import generate_request_trace
+
+    return generate_request_trace(spec, seed=seed, **kwargs)

@@ -1,0 +1,176 @@
+"""Function-to-Workload mapping (paper section 3.1.3).
+
+Given the aggregated trace Functions and the augmented Workload pool:
+
+1. every Function is associated with the set of Workloads whose average
+   runtime lies within a configurable percentage error threshold of its
+   reported average;
+2. Functions with an empty candidate set fall back to the single closest
+   Workload (the paper's relaxation for long-running outliers);
+3. from each candidate set, one Workload is selected so that the different
+   benchmarks stay *balanced* across Functions while the execution-time
+   distribution still converges to the trace's.
+
+The selection pass processes Functions in descending popularity and greedily
+picks, among the candidates, the family with the fewest Functions assigned
+so far (runtime-closest Workload within that family).  The most popular
+Functions therefore resolve while all counters are low -- ties break toward
+the runtime-closest candidate, keeping the weighted duration CDF tight --
+while the long tail of unpopular Functions does the balancing work that
+keeps Figure 12a's occurrence distribution from collapsing onto one
+benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traces.model import Trace
+from repro.workloads.pool import WorkloadPool
+
+__all__ = ["FunctionMapping", "map_functions"]
+
+
+@dataclass
+class FunctionMapping:
+    """Result of the mapping stage, aligned with the trace's functions."""
+
+    #: Pool index chosen for each Function.
+    workload_indices: np.ndarray
+    #: Workload id per Function (denormalised for convenience).
+    workload_ids: list[str]
+    #: Mapped Workload runtime per Function (ms).
+    mapped_runtime_ms: np.ndarray
+    #: Relative error |mapped - reported| / reported, per Function.
+    relative_error: np.ndarray
+    #: Functions that needed the closest-workload fallback.
+    fallback_mask: np.ndarray
+    #: The threshold the mapping was computed with.
+    error_threshold_pct: float
+
+    @property
+    def n_functions(self) -> int:
+        return int(self.workload_indices.size)
+
+    @property
+    def n_fallbacks(self) -> int:
+        return int(self.fallback_mask.sum())
+
+    def family_assignment_counts(self, pool: WorkloadPool) -> dict[str, int]:
+        """Functions mapped per family (unweighted)."""
+        out: dict[str, int] = {}
+        for idx in self.workload_indices:
+            fam = pool.workloads[int(idx)].family
+            out[fam] = out.get(fam, 0) + 1
+        return out
+
+
+def map_functions(
+    trace: Trace,
+    pool: WorkloadPool,
+    *,
+    error_threshold_pct: float = 10.0,
+    balance: bool = True,
+    memory_targets: np.ndarray | None = None,
+    memory_weight: float = 2.0,
+    memory_protect_top: int = 64,
+) -> FunctionMapping:
+    """Map every Function of ``trace`` to one Workload of ``pool``.
+
+    Parameters
+    ----------
+    trace:
+        (Typically aggregated) trace whose ``durations_ms`` are the mapping
+        targets.
+    pool:
+        Augmented workload pool.
+    error_threshold_pct:
+        Maximum allowed divergence between a Function's reported average
+        runtime and its mapped Workload's (paper's configurable threshold).
+    balance:
+        Disable to always take the runtime-closest candidate -- the naive
+        strategy the balance-aware selection improves on (ablation knob).
+    memory_targets:
+        Optional per-Function target memory (MiB).  When given, selection
+        first narrows the candidates to a *near-closest runtime band*
+        (within ``memory_weight`` percentage points of the best available
+        runtime error) and only then minimises memory distance -- the
+        paper's section-3.3 memory-fidelity extension.  Bounding the band
+        keeps the weighted duration CDF tight even for the head Functions
+        that dominate it.
+    memory_weight:
+        Width of the near-closest runtime band, in percentage points of
+        relative runtime error (default 2.0: a candidate may be chosen
+        for its memory only if its runtime error exceeds the best
+        candidate's by at most 0.02).
+    memory_protect_top:
+        The N most popular Functions are exempt from the memory tie-break
+        and always take the runtime-closest candidate: they carry most of
+        the weighted duration CDF, while the memory comparison (paper
+        Figure 7) is over *distinct* workloads, where N functions are
+        negligible.
+    """
+    if error_threshold_pct < 0:
+        raise ValueError("error_threshold_pct must be non-negative")
+
+    durations = trace.durations_ms
+    popularity = trace.invocations_per_function.astype(np.float64)
+    n = durations.size
+    runtimes = pool.runtimes_ms
+    families = np.array([w.family for w in pool.workloads])
+    family_names, family_of = np.unique(families, return_inverse=True)
+    memories = np.array([w.memory_mb for w in pool.workloads])
+    if memory_targets is not None:
+        memory_targets = np.asarray(memory_targets, dtype=np.float64)
+        if memory_targets.shape != (n,):
+            raise ValueError("memory_targets must align with the trace")
+        if np.any(memory_targets <= 0):
+            raise ValueError("memory targets must be positive")
+        if memory_weight < 0:
+            raise ValueError("memory_weight must be non-negative")
+
+    def _best(cand_idx, i, rank):
+        """Best candidate: runtime-closest, memory breaking near-ties."""
+        rt_err = np.abs(runtimes[cand_idx] - durations[i]) / durations[i]
+        if memory_targets is None or rank < memory_protect_top:
+            return int(cand_idx[np.argmin(rt_err)])
+        band = rt_err <= rt_err.min() + memory_weight / 100.0
+        in_band = cand_idx[band]
+        mem_err = np.abs(memories[in_band] - memory_targets[i]) / \
+            memory_targets[i]
+        return int(in_band[np.argmin(mem_err)])
+
+    chosen = np.empty(n, dtype=np.int64)
+    fallback = np.zeros(n, dtype=bool)
+    # Functions already assigned to each family; the balancing signal.
+    family_count = np.zeros(family_names.size, dtype=np.int64)
+
+    order = np.argsort(popularity)[::-1]  # most popular Functions first
+    for rank, i in enumerate(order):
+        target = durations[i]
+        cand = pool.within_threshold(target, error_threshold_pct)
+        if cand.size == 0:
+            k = pool.nearest(target)
+            fallback[i] = True
+        elif cand.size == 1 or not balance:
+            k = _best(cand, i, rank)
+        else:
+            cand_fams = family_of[cand]
+            counts = family_count[cand_fams]
+            lightest = cand[counts == counts.min()]
+            k = _best(lightest, i, rank)
+        chosen[i] = k
+        family_count[family_of[k]] += 1
+
+    mapped_rt = runtimes[chosen]
+    rel_err = np.abs(mapped_rt - durations) / durations
+    return FunctionMapping(
+        workload_indices=chosen,
+        workload_ids=[pool.workloads[int(k)].workload_id for k in chosen],
+        mapped_runtime_ms=mapped_rt,
+        relative_error=rel_err,
+        fallback_mask=fallback,
+        error_threshold_pct=error_threshold_pct,
+    )

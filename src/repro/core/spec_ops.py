@@ -1,0 +1,140 @@
+"""Operations over experiment specs.
+
+Specs are the shareable artifact of FaaSRail's "consistent evaluation"
+goal; these helpers cover the lifecycle around them: re-targeting the
+rate of an existing spec, merging specs (multi-trace experiments),
+filtering to a subset of Functions, and producing a fidelity report
+against the source trace without re-running the pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.rate_scaling import scale_request_rate
+from repro.core.spec import ExperimentSpec
+from repro.stats.distance import ks_relative_band
+from repro.traces.model import Trace
+
+__all__ = [
+    "fidelity_report",
+    "filter_spec",
+    "merge_specs",
+    "rescale_spec",
+]
+
+
+def rescale_spec(
+    spec: ExperimentSpec,
+    new_max_rps: float,
+    seed: int | np.random.Generator = 0,
+) -> ExperimentSpec:
+    """Re-target an existing spec's maximum request rate (downscale only).
+
+    Avoids re-running aggregation/mapping when only the load volume
+    changes between experiments.
+    """
+    rng = np.random.default_rng(seed)
+    matrix = scale_request_rate(spec.per_minute, new_max_rps, rng)
+    return ExperimentSpec(
+        name=f"{spec.name}->rescaled@{new_max_rps:g}rps",
+        source_trace=spec.source_trace,
+        max_rps=new_max_rps,
+        entries=list(spec.entries),
+        per_minute=matrix,
+        metadata={**spec.metadata, "rescaled_from_rps": spec.max_rps},
+    )
+
+
+def merge_specs(a: ExperimentSpec, b: ExperimentSpec) -> ExperimentSpec:
+    """Union of two specs' Functions (multi-trace / multi-tenant load).
+
+    Both specs must share the experiment duration; function ids must be
+    disjoint (prefix them before merging if they collide).  The merged
+    ``max_rps`` is the realised busiest minute, not the sum of the inputs'
+    targets.
+    """
+    if a.duration_minutes != b.duration_minutes:
+        raise ValueError(
+            f"durations differ: {a.duration_minutes} vs "
+            f"{b.duration_minutes} minutes"
+        )
+    ids_a = {e.function_id for e in a.entries}
+    clash = ids_a & {e.function_id for e in b.entries}
+    if clash:
+        raise ValueError(
+            f"function ids collide across specs (e.g. {sorted(clash)[:3]}); "
+            "prefix them before merging"
+        )
+    matrix = np.vstack([a.per_minute, b.per_minute])
+    busiest = int(matrix.sum(axis=0, dtype=np.int64).max())
+    return ExperimentSpec(
+        name=f"merge({a.name}, {b.name})",
+        source_trace=f"{a.source_trace}+{b.source_trace}",
+        max_rps=max(busiest / 60.0, 1e-9),
+        entries=list(a.entries) + list(b.entries),
+        per_minute=matrix,
+        metadata={"merged_from": [a.name, b.name]},
+    )
+
+
+def filter_spec(spec: ExperimentSpec, predicate) -> ExperimentSpec:
+    """Spec restricted to the entries where ``predicate(entry)`` holds."""
+    keep = [i for i, e in enumerate(spec.entries) if predicate(e)]
+    if not keep:
+        raise ValueError("predicate removed every entry")
+    entries = [spec.entries[i] for i in keep]
+    matrix = spec.per_minute[keep]
+    busiest = int(matrix.sum(axis=0, dtype=np.int64).max())
+    return ExperimentSpec(
+        name=f"{spec.name}/filtered",
+        source_trace=spec.source_trace,
+        max_rps=max(busiest / 60.0, 1e-9),
+        entries=entries,
+        per_minute=matrix,
+        metadata={**spec.metadata, "filtered_from": spec.name},
+    )
+
+
+def fidelity_report(spec: ExperimentSpec, trace: Trace) -> dict:
+    """How faithfully a spec downscales its source trace.
+
+    Returns the three statistics the paper's evaluation revolves around:
+    invocation-duration band-KS (tolerant to sub-threshold relative shifts),
+    aggregate-load-shape correlation against the trace's thumbnail, and
+    the top-decile popularity share gap.
+    """
+    from repro.core.time_scaling import thumbnail_scale
+    from repro.stats.popularity import popularity_curve
+
+    counts = trace.invocations_per_function.astype(float)
+    mask = counts > 0
+    if not mask.any():
+        raise ValueError("trace has no invocations")
+    req = spec.requests_per_function.astype(float)
+    live = req > 0
+    if not live.any():
+        raise ValueError("spec carries no requests")
+
+    ks = ks_relative_band(
+        spec.runtimes_ms[live], trace.durations_ms[mask],
+        x_weights=req[live], y_weights=counts[mask],
+    )
+    target = thumbnail_scale(
+        trace.per_minute, spec.duration_minutes
+    ).sum(axis=0).astype(float)
+    corr = float(np.corrcoef(
+        spec.aggregate_per_minute.astype(float), target)[0, 1])
+
+    def top_decile(vals):
+        x, y = popularity_curve(vals)
+        return float(y[np.searchsorted(x, 0.10, side="left")])
+
+    return {
+        "invocation_duration_ks": float(ks),
+        "load_shape_corr": corr,
+        "popularity_top10pct_trace": top_decile(counts[mask]),
+        "popularity_top10pct_spec": top_decile(req[live]),
+        "total_requests": spec.total_requests,
+        "busiest_minute": spec.busiest_minute_rate,
+    }

@@ -1,0 +1,122 @@
+"""Variable input per Function (paper section 3.3, future work).
+
+In its published form FaaSRail maps each Function to a *single*
+(function, input) Workload, so every invocation of that Function runs the
+same input and the expected execution time never varies.  The paper lists
+varying the input across invocations as a next step; this module
+implements it:
+
+- :func:`build_variant_table` associates each Function with up to
+  ``max_variants`` pool Workloads inside the error threshold (weights
+  favouring the runtime-closest candidates), falling back to the single
+  nearest Workload exactly like the base mapping;
+- the table serialises into ``ExperimentSpec.metadata["variants"]`` so
+  variable-input specs stay ordinary JSON;
+- :func:`sample_variants` draws a concrete Workload per request at
+  generation time.
+
+Because every variant's runtime is inside the threshold band, the
+invocation-duration CDF stays within the same fidelity envelope as the
+fixed-input mapping -- now with genuine per-invocation input diversity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.model import Trace
+from repro.workloads.pool import WorkloadPool
+
+__all__ = ["build_variant_table", "sample_variants"]
+
+
+def build_variant_table(
+    trace: Trace,
+    pool: WorkloadPool,
+    *,
+    error_threshold_pct: float = 10.0,
+    max_variants: int = 4,
+) -> list[list[dict]]:
+    """Per-Function candidate Workloads with sampling weights.
+
+    Returns a JSON-able table aligned with ``trace``'s functions: each row
+    is a list of ``{workload_id, family, runtime_ms, memory_mb, weight}``
+    dicts whose weights sum to 1.  Weights are inverse-distance in
+    relative-runtime space, so the closest input is the most likely but
+    the rest of the threshold band genuinely occurs.
+    """
+    if max_variants <= 0:
+        raise ValueError("max_variants must be positive")
+    if error_threshold_pct < 0:
+        raise ValueError("error_threshold_pct must be non-negative")
+    runtimes = pool.runtimes_ms
+    table: list[list[dict]] = []
+    for target in trace.durations_ms:
+        cand = pool.within_threshold(float(target), error_threshold_pct)
+        if cand.size == 0:
+            cand = np.array([pool.nearest(float(target))])
+        rel_err = np.abs(runtimes[cand] - target) / target
+        order = np.argsort(rel_err)[:max_variants]
+        chosen = cand[order]
+        weights = 1.0 / (1.0 + rel_err[order] / max(error_threshold_pct, 1e-9) * 100.0)
+        weights = weights / weights.sum()
+        table.append([
+            {
+                "workload_id": pool.workloads[int(k)].workload_id,
+                "family": pool.workloads[int(k)].family,
+                "runtime_ms": float(pool.workloads[int(k)].runtime_ms),
+                "memory_mb": float(pool.workloads[int(k)].memory_mb),
+                "weight": float(w),
+            }
+            for k, w in zip(chosen, weights)
+        ])
+    return table
+
+
+def sample_variants(
+    table: list[list[dict]],
+    fn_idx: np.ndarray,
+    rng: np.random.Generator,
+):
+    """Draw one variant per request.
+
+    Parameters
+    ----------
+    table:
+        Output of :func:`build_variant_table` (or the deserialised
+        ``metadata["variants"]``).
+    fn_idx:
+        Per-request Function index into ``table``.
+
+    Returns
+    -------
+    (workload_ids, runtimes_ms, families):
+        Per-request arrays, variant-resolved.
+    """
+    fn_idx = np.asarray(fn_idx)
+    if fn_idx.size == 0:
+        raise ValueError("no requests to sample variants for")
+    if fn_idx.min() < 0 or fn_idx.max() >= len(table):
+        raise ValueError("function index outside the variant table")
+
+    # Flatten the ragged table into parallel arrays + per-function offsets.
+    counts = np.array([len(row) for row in table])
+    if np.any(counts == 0):
+        raise ValueError("every Function needs at least one variant")
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    flat_ids = np.array([v["workload_id"] for row in table for v in row])
+    flat_rt = np.array([v["runtime_ms"] for row in table for v in row])
+    flat_fam = np.array([v["family"] for row in table for v in row])
+    flat_w = np.array([v["weight"] for row in table for v in row])
+    # Per-function cumulative weights for vectorised inverse sampling.
+    cumw = np.cumsum(flat_w)
+    row_tot = cumw[offsets[1:] - 1]
+    row_base = np.concatenate(([0.0], cumw[offsets[1:-1] - 1]))
+
+    u = rng.random(fn_idx.size)
+    targets = row_base[fn_idx] + u * (row_tot[fn_idx] - row_base[fn_idx])
+    picks = np.searchsorted(cumw, targets, side="right")
+    # Clamp inside each function's own slice (guards the u ~ 1.0 edge).
+    picks = np.minimum(picks, offsets[fn_idx + 1] - 1)
+    picks = np.maximum(picks, offsets[fn_idx])
+    return flat_ids[picks], flat_rt[picks], flat_fam[picks]

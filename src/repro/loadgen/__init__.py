@@ -1,0 +1,33 @@
+"""Online load generator: arrivals, request traces, replay engine."""
+
+from repro.loadgen.arrivals import ARRIVAL_MODES, cell_counts, minute_offsets
+from repro.loadgen.generator import (
+    generate_from_second_matrix,
+    generate_request_trace,
+    generate_smirnov_trace,
+)
+from repro.loadgen.io import (
+    load_request_trace_csv,
+    load_request_trace_npz,
+    save_request_trace_csv,
+    save_request_trace_npz,
+)
+from repro.loadgen.replay import Backend, ReplayResult, replay
+from repro.loadgen.requests import RequestTrace
+
+__all__ = [
+    "ARRIVAL_MODES",
+    "Backend",
+    "ReplayResult",
+    "RequestTrace",
+    "cell_counts",
+    "generate_from_second_matrix",
+    "generate_request_trace",
+    "generate_smirnov_trace",
+    "load_request_trace_csv",
+    "load_request_trace_npz",
+    "minute_offsets",
+    "replay",
+    "save_request_trace_csv",
+    "save_request_trace_npz",
+]

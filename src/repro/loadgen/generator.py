@@ -1,0 +1,189 @@
+"""Online request-trace generation.
+
+Turns an :class:`~repro.core.spec.ExperimentSpec` (Spec mode) or a
+:class:`~repro.core.smirnov.SmirnovSample` (Smirnov Transform mode) into a
+time-ordered :class:`~repro.loadgen.requests.RequestTrace`.
+
+Everything is array work: realised per-cell counts, within-minute offsets,
+one global ordering -- no per-request Python loop, which is what lets the
+generator emit millions of requests per second of CPU (measured by the
+``test_perf_loadgen`` benchmark).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.smirnov import SmirnovSample
+from repro.core.spec import ExperimentSpec
+from repro.loadgen.arrivals import cell_counts, minute_offsets
+from repro.loadgen.requests import RequestTrace
+
+__all__ = [
+    "generate_from_second_matrix",
+    "generate_request_trace",
+    "generate_smirnov_trace",
+]
+
+
+def generate_request_trace(
+    spec: ExperimentSpec,
+    seed: int | np.random.Generator = 0,
+    *,
+    arrival_mode: str = "poisson",
+    variable_input: str | bool = "auto",
+) -> RequestTrace:
+    """Realise a spec into concrete, timestamped requests (Spec mode).
+
+    ``variable_input`` controls the per-invocation input-variation
+    extension: ``"auto"`` (default) uses the spec's variant table when one
+    was attached by ``ShrinkRay(variable_input=True)``; ``True`` requires
+    one; ``False`` ignores it and replays each Function's fixed input.
+    """
+    if variable_input not in ("auto", True, False):
+        raise ValueError("variable_input must be 'auto', True, or False")
+    variants = spec.metadata.get("variants")
+    if variable_input is True and variants is None:
+        raise ValueError(
+            "spec carries no variant table; build it with "
+            "ShrinkRay(variable_input=True)"
+        )
+    use_variants = variants is not None and variable_input in ("auto", True)
+    rng = np.random.default_rng(seed)
+    matrix = spec.per_minute  # (n_functions, n_minutes)
+    n_functions, n_minutes = matrix.shape
+
+    realised = cell_counts(matrix, arrival_mode, rng)  # (n, m)
+    flat = realised.ravel()  # cell-major: function-major then minute
+    total = int(flat.sum())
+    if total == 0:
+        raise ValueError("spec realised zero requests; raise max_rps")
+
+    offsets = minute_offsets(flat, arrival_mode, rng)
+    cell_idx = np.repeat(np.arange(flat.size), flat)
+    fn_idx = cell_idx // n_minutes
+    minute_idx = cell_idx % n_minutes
+    times = minute_idx * 60.0 + offsets
+
+    order = np.argsort(times, kind="stable")
+    times = times[order]
+    fn_idx = fn_idx[order]
+
+    function_ids = np.array([e.function_id for e in spec.entries])
+    if use_variants:
+        from repro.core.variable_input import sample_variants
+
+        req_wids, req_rt, req_fam = sample_variants(variants, fn_idx, rng)
+    else:
+        workload_ids = np.array([e.workload_id for e in spec.entries])
+        runtimes = np.array([e.runtime_ms for e in spec.entries])
+        families = np.array([e.family for e in spec.entries])
+        req_wids = workload_ids[fn_idx]
+        req_rt = runtimes[fn_idx]
+        req_fam = families[fn_idx]
+    return RequestTrace(
+        timestamps_s=times,
+        workload_ids=req_wids,
+        function_ids=function_ids[fn_idx],
+        runtimes_ms=req_rt,
+        families=req_fam,
+    )
+
+
+def generate_from_second_matrix(
+    per_second: np.ndarray,
+    entries,
+    seed: int | np.random.Generator = 0,
+) -> RequestTrace:
+    """Replay recorded per-second counts verbatim ("trace-seconds" mode).
+
+    The future-work path of paper section 3.3: when the input trace
+    reports per-second rates (Huawei) there is nothing to model below the
+    minute -- each (function, second) cell's count is emitted inside its
+    second at uniformly random sub-second offsets.
+
+    Parameters
+    ----------
+    per_second:
+        ``(n_entries, n_seconds)`` integer counts (e.g. a
+        :meth:`~repro.traces.seconds.SecondTrace.second_window`).
+    entries:
+        Spec entries aligned with the matrix rows (workload metadata).
+    """
+    per_second = np.asarray(per_second)
+    if per_second.ndim != 2:
+        raise ValueError("per_second must be 2-D")
+    if per_second.shape[0] != len(entries):
+        raise ValueError(
+            f"matrix rows ({per_second.shape[0]}) must match entries "
+            f"({len(entries)})"
+        )
+    if np.any(per_second < 0):
+        raise ValueError("counts must be non-negative")
+    rng = np.random.default_rng(seed)
+    n_entries, n_seconds = per_second.shape
+    flat = per_second.astype(np.int64).ravel()
+    total = int(flat.sum())
+    if total == 0:
+        raise ValueError("second matrix carries no requests")
+
+    cell_idx = np.repeat(np.arange(flat.size), flat)
+    fn_idx = cell_idx // n_seconds
+    second_idx = cell_idx % n_seconds
+    times = second_idx + rng.random(total)
+
+    order = np.argsort(times, kind="stable")
+    times = times[order]
+    fn_idx = fn_idx[order]
+    workload_ids = np.array([e.workload_id for e in entries])
+    function_ids = np.array([e.function_id for e in entries])
+    runtimes = np.array([e.runtime_ms for e in entries])
+    families = np.array([e.family for e in entries])
+    return RequestTrace(
+        timestamps_s=times,
+        workload_ids=workload_ids[fn_idx],
+        function_ids=function_ids[fn_idx],
+        runtimes_ms=runtimes[fn_idx],
+        families=families[fn_idx],
+    )
+
+
+def generate_smirnov_trace(
+    sample: SmirnovSample,
+    rate_rps: float,
+    seed: int | np.random.Generator = 0,
+    *,
+    arrival_mode: str = "poisson",
+) -> RequestTrace:
+    """Replay a Smirnov request sample at a constant target rate.
+
+    The sample fixes *what* is invoked; this fixes *when*: requests are
+    spread over ``n / rate_rps`` seconds with the chosen inter-arrival
+    distribution (exponential / uniform / equidistant gaps at constant
+    rate), matching the paper's description of the mode's replay step.
+    """
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    rng = np.random.default_rng(seed)
+    n = sample.n_requests
+    horizon = n / rate_rps
+
+    if arrival_mode == "poisson":
+        gaps = rng.exponential(1.0 / rate_rps, size=n)
+        times = np.cumsum(gaps) - gaps[0]
+    elif arrival_mode == "uniform":
+        times = np.sort(rng.random(n)) * horizon
+    elif arrival_mode == "equidistant":
+        times = np.arange(n) / rate_rps
+    else:
+        raise ValueError(f"unknown arrival mode {arrival_mode!r}")
+
+    # Requests are already in (random) generation order; keep that pairing
+    # between times and sampled workloads.
+    return RequestTrace(
+        timestamps_s=times,
+        workload_ids=sample.workload_ids,
+        function_ids=np.full(n, "", dtype=object),
+        runtimes_ms=sample.mapped_runtime_ms,
+        families=sample.families,
+    )

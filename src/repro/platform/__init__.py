@@ -1,0 +1,77 @@
+"""FaaS backend substrate: discrete-event cluster simulator + live executor.
+
+Helpers here turn a FaaSRail experiment spec into the simulator's workload
+profiles, so replaying generated load against a configurable cluster is a
+three-line affair (see ``examples/coldstart_study.py``).
+"""
+
+from repro.platform.autoscaler import ReactiveAutoscaler
+from repro.platform.keepalive import (
+    FixedKeepAlive,
+    HistogramKeepAlive,
+    NoKeepAlive,
+)
+from repro.platform.live import LiveBackend
+from repro.platform.metrics import (
+    InvocationRecord,
+    memory_utilization,
+    per_workload_cold_rates,
+    summarize,
+)
+from repro.platform.schedulers import (
+    HashAffinityScheduler,
+    LeastLoadedScheduler,
+    LocalityAwareScheduler,
+    PowerOfTwoScheduler,
+    RandomScheduler,
+)
+from repro.platform.tracing import (
+    PlatformEvent,
+    PlatformTracer,
+    lifecycle_summary,
+)
+from repro.platform.simulator import (
+    FaaSCluster,
+    Node,
+    WorkloadProfile,
+    default_cold_start_s,
+)
+
+__all__ = [
+    "FaaSCluster",
+    "FixedKeepAlive",
+    "HashAffinityScheduler",
+    "HistogramKeepAlive",
+    "InvocationRecord",
+    "LeastLoadedScheduler",
+    "LiveBackend",
+    "LocalityAwareScheduler",
+    "NoKeepAlive",
+    "Node",
+    "PlatformEvent",
+    "PlatformTracer",
+    "PowerOfTwoScheduler",
+    "lifecycle_summary",
+    "memory_utilization",
+    "per_workload_cold_rates",
+    "RandomScheduler",
+    "ReactiveAutoscaler",
+    "WorkloadProfile",
+    "default_cold_start_s",
+    "profiles_from_spec",
+    "summarize",
+]
+
+
+def profiles_from_spec(spec) -> dict[str, WorkloadProfile]:
+    """Workload profiles for every distinct workload a spec references."""
+    profiles: dict[str, WorkloadProfile] = {}
+    for entry in spec.entries:
+        existing = profiles.get(entry.workload_id)
+        if existing is None:
+            profiles[entry.workload_id] = WorkloadProfile(
+                workload_id=entry.workload_id,
+                runtime_ms=entry.runtime_ms,
+                memory_mb=entry.memory_mb,
+            )
+    return profiles

@@ -1,0 +1,97 @@
+"""Reactive cluster autoscaling.
+
+FaaS providers "transparently auto-scale the compute and memory resources
+to meet request load" (paper section 1); under FaaSRail's diurnal load the
+interesting behaviour is precisely the scale-up on the morning ramp and
+the scale-down through the trough.  :class:`ReactiveAutoscaler` implements
+the standard target-utilisation controller:
+
+- every ``evaluate_every_s`` of virtual time, compare mean busy sandboxes
+  per node against a target band;
+- above the band: add nodes (one per evaluation, classic conservative
+  step);
+- below the band for ``scale_down_grace_s``: retire an empty node.
+
+The :class:`~repro.platform.simulator.FaaSCluster` consults the policy on
+every request arrival; scaling events are recorded for analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ReactiveAutoscaler"]
+
+
+@dataclass
+class ReactiveAutoscaler:
+    """Target-utilisation node autoscaler.
+
+    Parameters
+    ----------
+    min_nodes / max_nodes:
+        Topology bounds.
+    target_busy_per_node:
+        Desired mean in-flight invocations per node.
+    high_watermark / low_watermark:
+        Scale up above ``target * high``; consider scaling down below
+        ``target * low``.
+    evaluate_every_s:
+        Virtual-time spacing of controller decisions.
+    scale_down_grace_s:
+        How long utilisation must stay below the low watermark before a
+        node is retired (guards against flapping on bursty load).
+    """
+
+    min_nodes: int = 1
+    max_nodes: int = 64
+    target_busy_per_node: float = 4.0
+    high_watermark: float = 1.25
+    low_watermark: float = 0.5
+    evaluate_every_s: float = 30.0
+    scale_down_grace_s: float = 120.0
+    _last_eval_s: float = field(default=float("-inf"), init=False)
+    _below_since_s: float | None = field(default=None, init=False)
+    #: (virtual time, new node count) decisions, newest last.
+    events: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_nodes <= self.max_nodes:
+            raise ValueError("need 0 < min_nodes <= max_nodes")
+        if self.target_busy_per_node <= 0:
+            raise ValueError("target_busy_per_node must be positive")
+        if not 0 < self.low_watermark < self.high_watermark:
+            raise ValueError("need 0 < low_watermark < high_watermark")
+        if self.evaluate_every_s <= 0 or self.scale_down_grace_s < 0:
+            raise ValueError("invalid controller timing")
+
+    def decide(self, now_s: float, nodes) -> int:
+        """Return the desired node count given the current topology.
+
+        Called by the cluster on request arrivals; rate-limited internally
+        to one decision per ``evaluate_every_s``.
+        """
+        n = len(nodes)
+        if now_s - self._last_eval_s < self.evaluate_every_s:
+            return n
+        self._last_eval_s = now_s
+
+        busy = sum(node.busy_count for node in nodes)
+        per_node = busy / n
+        target = self.target_busy_per_node
+
+        if per_node > target * self.high_watermark and n < self.max_nodes:
+            self._below_since_s = None
+            self.events.append((now_s, n + 1))
+            return n + 1
+
+        if per_node < target * self.low_watermark and n > self.min_nodes:
+            if self._below_since_s is None:
+                self._below_since_s = now_s
+            elif now_s - self._below_since_s >= self.scale_down_grace_s:
+                self._below_since_s = now_s
+                self.events.append((now_s, n - 1))
+                return n - 1
+        else:
+            self._below_since_s = None
+        return n

@@ -1,0 +1,96 @@
+"""Sandbox keep-alive policies.
+
+After an invocation completes, the platform keeps the sandbox warm for some
+time before reclaiming its memory -- the classic cold-start / memory-waste
+trade-off the paper's motivation discusses.  Three policies:
+
+- :class:`NoKeepAlive` -- reclaim immediately (every invocation but
+  back-to-back ones is cold);
+- :class:`FixedKeepAlive` -- a constant TTL (Azure's classic 10/20-minute
+  policy);
+- :class:`HistogramKeepAlive` -- a per-workload policy in the spirit of the
+  Azure trace paper's hybrid histogram: the TTL is a percentile of the
+  workload's observed idle times, clamped to a range.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+__all__ = ["NoKeepAlive", "FixedKeepAlive", "HistogramKeepAlive"]
+
+
+class NoKeepAlive:
+    """Tear sandboxes down as soon as they go idle."""
+
+    def ttl_s(self, workload_id: str) -> float:
+        del workload_id
+        return 0.0
+
+    def observe_idle_gap(self, workload_id: str, gap_s: float) -> None:
+        """No state to learn."""
+
+
+class FixedKeepAlive:
+    """Constant keep-alive TTL for every workload."""
+
+    def __init__(self, ttl_s: float = 600.0):
+        if ttl_s < 0:
+            raise ValueError("ttl must be non-negative")
+        self._ttl = float(ttl_s)
+
+    def ttl_s(self, workload_id: str) -> float:
+        del workload_id
+        return self._ttl
+
+    def observe_idle_gap(self, workload_id: str, gap_s: float) -> None:
+        """Fixed policy learns nothing."""
+
+
+class HistogramKeepAlive:
+    """Adaptive per-workload TTL from observed inter-invocation gaps.
+
+    Keeps a bounded window of each workload's recent idle gaps and sets the
+    TTL to the requested percentile of that window -- enough to cover the
+    typical gap without holding memory through the long tail.  Falls back
+    to ``default_ttl_s`` until enough observations accumulate.
+    """
+
+    def __init__(
+        self,
+        percentile: float = 90.0,
+        *,
+        default_ttl_s: float = 600.0,
+        min_ttl_s: float = 10.0,
+        max_ttl_s: float = 3600.0,
+        window: int = 64,
+        min_observations: int = 4,
+    ):
+        if not 0 < percentile <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        if min_ttl_s < 0 or max_ttl_s < min_ttl_s:
+            raise ValueError("need 0 <= min_ttl <= max_ttl")
+        if window <= 0 or min_observations <= 0:
+            raise ValueError("window and min_observations must be positive")
+        self._pct = percentile
+        self._default = default_ttl_s
+        self._min = min_ttl_s
+        self._max = max_ttl_s
+        self._min_obs = min_observations
+        self._gaps: dict[str, deque] = defaultdict(
+            lambda: deque(maxlen=window)
+        )
+
+    def observe_idle_gap(self, workload_id: str, gap_s: float) -> None:
+        if gap_s >= 0:
+            self._gaps[workload_id].append(gap_s)
+
+    def ttl_s(self, workload_id: str) -> float:
+        gaps = self._gaps.get(workload_id)
+        if not gaps or len(gaps) < self._min_obs:
+            return self._default
+        ordered = sorted(gaps)
+        k = min(
+            int(len(ordered) * self._pct / 100.0), len(ordered) - 1
+        )
+        return float(min(max(ordered[k], self._min), self._max))

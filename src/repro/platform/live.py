@@ -1,0 +1,73 @@
+"""In-process live executor: actually runs the workload bodies.
+
+A single-node "platform" that satisfies the replayer's Backend protocol by
+executing the mapped workloads' real Python/NumPy code.  The first
+invocation of a workload pays payload preparation (the live analogue of a
+cold start); later invocations reuse the cached payload (warm).  Useful for
+small demonstrations and for validating that the pool's cost models track
+reality end to end -- not meant to sustain trace-scale request rates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.platform.metrics import InvocationRecord
+from repro.workloads.base import FamilyRegistry
+from repro.workloads.functionbench import default_registry
+from repro.workloads.pool import WorkloadPool
+
+__all__ = ["LiveBackend"]
+
+
+@dataclass
+class _CacheEntry:
+    payload: object
+    family_name: str
+
+
+class LiveBackend:
+    """Synchronously executes real workload bodies on this process."""
+
+    def __init__(
+        self,
+        pool: WorkloadPool,
+        registry: FamilyRegistry | None = None,
+        *,
+        seed: int = 0,
+    ):
+        self.pool = pool
+        self.registry = registry if registry is not None else default_registry()
+        self._rng = np.random.default_rng(seed)
+        self._cache: dict[str, _CacheEntry] = {}
+        self.records: list[InvocationRecord] = []
+
+    def invoke(self, timestamp_s: float, workload_id: str) -> None:
+        workload = self.pool[workload_id]
+        family = self.registry.get(workload.family)
+        entry = self._cache.get(workload_id)
+        cold = entry is None
+        t0 = time.perf_counter()
+        if cold:
+            payload = family.prepare(self._rng, **workload.params)
+            entry = _CacheEntry(payload=payload, family_name=workload.family)
+            self._cache[workload_id] = entry
+        family.execute(entry.payload)
+        elapsed = time.perf_counter() - t0
+        # Live runs are sequential: service begins at submission.
+        self.records.append(
+            InvocationRecord(
+                workload_id=workload_id,
+                node=0,
+                arrival_s=timestamp_s,
+                start_s=timestamp_s,
+                end_s=timestamp_s + elapsed,
+                cold=cold,
+            )
+        )
+
+    def drain(self) -> list[InvocationRecord]:
+        return self.records

@@ -1,0 +1,127 @@
+"""Per-invocation records and aggregate metrics for the FaaS simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "InvocationRecord",
+    "memory_utilization",
+    "per_workload_cold_rates",
+    "summarize",
+]
+
+
+@dataclass(frozen=True)
+class InvocationRecord:
+    """One completed invocation, as observed by the backend."""
+
+    workload_id: str
+    node: int
+    arrival_s: float
+    start_s: float
+    end_s: float
+    cold: bool
+
+    def __post_init__(self) -> None:
+        if not self.arrival_s <= self.start_s <= self.end_s:
+            raise ValueError(
+                f"invalid invocation timeline: arrival={self.arrival_s}, "
+                f"start={self.start_s}, end={self.end_s}"
+            )
+
+    @property
+    def latency_ms(self) -> float:
+        """End-to-end latency: queueing + cold start + execution."""
+        return (self.end_s - self.arrival_s) * 1e3
+
+    @property
+    def queueing_ms(self) -> float:
+        return (self.start_s - self.arrival_s) * 1e3
+
+    @property
+    def service_ms(self) -> float:
+        return (self.end_s - self.start_s) * 1e3
+
+
+def summarize(records: list[InvocationRecord]) -> dict:
+    """Aggregate a run's records into the usual serving metrics."""
+    if not records:
+        raise ValueError("no records to summarise")
+    lat = np.array([r.latency_ms for r in records])
+    queue = np.array([r.queueing_ms for r in records])
+    cold = np.array([r.cold for r in records])
+    nodes = np.array([r.node for r in records])
+    node_ids, node_counts = np.unique(nodes, return_counts=True)
+    return {
+        "n_invocations": len(records),
+        "cold_fraction": float(cold.mean()),
+        "latency_ms": {
+            "p50": float(np.percentile(lat, 50)),
+            "p90": float(np.percentile(lat, 90)),
+            "p99": float(np.percentile(lat, 99)),
+            "mean": float(lat.mean()),
+        },
+        "queueing_ms_mean": float(queue.mean()),
+        "per_node_invocations": dict(
+            zip(node_ids.tolist(), node_counts.tolist())
+        ),
+        "node_imbalance": float(node_counts.max() / node_counts.mean()),
+    }
+
+
+def per_workload_cold_rates(
+    records: list[InvocationRecord],
+    min_invocations: int = 1,
+) -> dict[str, float]:
+    """Cold-start fraction per workload (the cold-start-research view)."""
+    if not records:
+        raise ValueError("no records")
+    totals: dict[str, int] = {}
+    colds: dict[str, int] = {}
+    for r in records:
+        totals[r.workload_id] = totals.get(r.workload_id, 0) + 1
+        if r.cold:
+            colds[r.workload_id] = colds.get(r.workload_id, 0) + 1
+    return {
+        wid: colds.get(wid, 0) / n
+        for wid, n in totals.items()
+        if n >= min_invocations
+    }
+
+
+def memory_utilization(
+    memory_samples: list[tuple[float, int, float]],
+    node_capacity_mb: float,
+) -> dict:
+    """Time-weighted memory utilisation from a cluster's memory samples.
+
+    ``memory_samples`` is the ``(time, node, used_mb)`` stream a
+    :class:`~repro.platform.simulator.FaaSCluster` records under
+    ``track_memory=True``.  Utilisation is averaged over time per node
+    (piecewise-constant between samples) and across nodes.
+    """
+    if node_capacity_mb <= 0:
+        raise ValueError("node capacity must be positive")
+    if not memory_samples:
+        raise ValueError("no memory samples (enable track_memory)")
+    by_node: dict[int, list[tuple[float, float]]] = {}
+    for t, node, used in memory_samples:
+        by_node.setdefault(node, []).append((t, used))
+    per_node = {}
+    for node, series in by_node.items():
+        times = np.array([t for t, _ in series])
+        used = np.array([u for _, u in series])
+        if times.size == 1 or times[-1] == times[0]:
+            avg = float(used.mean())
+        else:
+            widths = np.diff(times)
+            avg = float((used[:-1] @ widths) / widths.sum())
+        per_node[node] = avg / node_capacity_mb
+    return {
+        "per_node": per_node,
+        "mean": float(np.mean(list(per_node.values()))),
+        "peak_mb": float(max(u for _, _, u in memory_samples)),
+    }

@@ -1,0 +1,104 @@
+"""Cluster-level request schedulers.
+
+The pluggable "which node serves this request" policies the scheduling
+examples exercise under FaaSRail load:
+
+- :class:`RandomScheduler` -- uniform random spraying;
+- :class:`LeastLoadedScheduler` -- fewest in-flight invocations;
+- :class:`HashAffinityScheduler` -- workload-sticky placement (maximises
+  warm-sandbox reuse, risks imbalance under skewed popularity -- exactly
+  the tension the paper's cluster-level discussion highlights).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "HashAffinityScheduler",
+    "LeastLoadedScheduler",
+    "LocalityAwareScheduler",
+    "PowerOfTwoScheduler",
+    "RandomScheduler",
+]
+
+
+class RandomScheduler:
+    """Uniformly random node choice."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+
+    def pick(self, nodes, workload_id: str) -> int:
+        del workload_id
+        return int(self._rng.integers(0, len(nodes)))
+
+
+class LeastLoadedScheduler:
+    """Node with the fewest busy sandboxes (ties to the lowest index)."""
+
+    def pick(self, nodes, workload_id: str) -> int:
+        del workload_id
+        loads = [n.busy_count for n in nodes]
+        return int(np.argmin(loads))
+
+
+class PowerOfTwoScheduler:
+    """Power-of-two-choices: probe two random nodes, take the less busy.
+
+    The classic randomized load-balancing result: two random probes give
+    near-least-loaded balance at O(1) cost, without the full-cluster scan
+    ``LeastLoadedScheduler`` implies (which is what makes it attractive to
+    the cluster-scheduler literature the paper's section 2.2 surveys).
+    """
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+
+    def pick(self, nodes, workload_id: str) -> int:
+        del workload_id
+        n = len(nodes)
+        if n == 1:
+            return 0
+        a, b = self._rng.choice(n, size=2, replace=False)
+        return int(a if nodes[a].busy_count <= nodes[b].busy_count else b)
+
+
+class LocalityAwareScheduler:
+    """Prefer nodes already holding a warm sandbox for the workload.
+
+    A Palette-style locality hint (paper's cluster-level references):
+    route to the least-busy node with a warm sandbox for this workload;
+    when none exists, fall back to the globally least-busy node.  Warm
+    reuse rises without hash affinity's hot-node pathology -- at the cost
+    of inspecting per-node sandbox state.
+    """
+
+    def pick(self, nodes, workload_id: str) -> int:
+        warm = [k for k, n in enumerate(nodes)
+                if workload_id in n.idle]
+        candidates = warm if warm else range(len(nodes))
+        return int(min(candidates, key=lambda k: nodes[k].busy_count))
+
+
+class HashAffinityScheduler:
+    """Deterministic workload-to-node stickiness with bounded spill.
+
+    The home node is a hash of the workload id; if the home node is heavily
+    loaded the request spills to the next node in hash order (bounded
+    linear probing), trading some affinity for load spreading.
+    """
+
+    def __init__(self, spill_threshold: int = 8):
+        if spill_threshold <= 0:
+            raise ValueError("spill_threshold must be positive")
+        self._spill = spill_threshold
+
+    def pick(self, nodes, workload_id: str) -> int:
+        n = len(nodes)
+        home = hash(workload_id) % n
+        for probe in range(n):
+            k = (home + probe) % n
+            if nodes[k].busy_count < self._spill:
+                return k
+        return home

@@ -1,0 +1,393 @@
+"""Discrete-event FaaS cluster simulator.
+
+The backend the replayer drives when no physical cluster is available (see
+DESIGN.md's substitution table).  It models the parts of a FaaS platform
+that FaaSRail-generated load exercises:
+
+- per-node memory capacity and sandbox lifecycle (cold start, busy, idle,
+  keep-alive expiry, LRU eviction under memory pressure);
+- one in-flight invocation per sandbox, horizontal scale-out per workload;
+- pluggable cluster scheduler and keep-alive policy;
+- FIFO queueing when a node can neither reuse nor admit a sandbox.
+
+Requests must arrive in non-decreasing timestamp order (the replayer
+guarantees this); the simulator advances its virtual clock through an event
+heap of completions and expiries.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.platform.keepalive import FixedKeepAlive
+from repro.platform.metrics import InvocationRecord
+from repro.platform.schedulers import LeastLoadedScheduler
+
+__all__ = ["WorkloadProfile", "Node", "FaaSCluster", "default_cold_start_s"]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """What the platform needs to know to run one workload."""
+
+    workload_id: str
+    runtime_ms: float
+    memory_mb: float
+
+    def __post_init__(self) -> None:
+        if self.runtime_ms <= 0 or self.memory_mb <= 0:
+            raise ValueError(
+                f"{self.workload_id}: runtime and memory must be positive"
+            )
+
+
+def default_cold_start_s(profile: WorkloadProfile) -> float:
+    """Cold-start cost model: fixed sandbox boot + memory-proportional
+    image/runtime initialisation (~150 ms + 0.8 ms/MiB)."""
+    return 0.150 + 0.0008 * profile.memory_mb
+
+
+@dataclass
+class _Sandbox:
+    sandbox_id: int
+    workload_id: str
+    memory_mb: float
+    idle_since: float = 0.0
+    expire_generation: int = 0
+
+
+@dataclass
+class Node:
+    """One worker node: memory-bounded sandbox pool plus a FIFO backlog."""
+
+    node_id: int
+    memory_capacity_mb: float
+    used_memory_mb: float = 0.0
+    busy_count: int = 0
+    idle: dict = field(default_factory=dict)    # wid -> list[_Sandbox]
+    pending: list = field(default_factory=list)  # FIFO of (arrival, wid)
+
+    def pop_idle(self, workload_id: str) -> _Sandbox | None:
+        stack = self.idle.get(workload_id)
+        if not stack:
+            return None
+        sandbox = stack.pop()
+        if not stack:
+            del self.idle[workload_id]
+        return sandbox
+
+    def lru_idle(self) -> _Sandbox | None:
+        best = None
+        for stack in self.idle.values():
+            for sb in stack:
+                if best is None or sb.idle_since < best.idle_since:
+                    best = sb
+        return best
+
+    def remove_idle(self, sandbox: _Sandbox) -> None:
+        stack = self.idle[sandbox.workload_id]
+        stack.remove(sandbox)
+        if not stack:
+            del self.idle[sandbox.workload_id]
+        self.used_memory_mb -= sandbox.memory_mb
+
+    @property
+    def idle_count(self) -> int:
+        return sum(len(s) for s in self.idle.values())
+
+
+class FaaSCluster:
+    """Simulated cluster satisfying the replayer's Backend protocol."""
+
+    def __init__(
+        self,
+        profiles: dict[str, WorkloadProfile],
+        *,
+        n_nodes: int = 4,
+        node_memory_mb: float = 8192.0,
+        scheduler=None,
+        keepalive=None,
+        cold_start_model=default_cold_start_s,
+        service_time_cv: float = 0.0,
+        cores_per_node: int | None = None,
+        track_memory: bool = False,
+        queue_timeout_s: float | None = None,
+        autoscaler=None,
+        tracer=None,
+        seed: int = 0,
+    ):
+        """See class docstring; the optional realism knobs:
+
+        service_time_cv:
+            Coefficient of variation of per-invocation service time
+            (mean-preserving lognormal noise on the profile runtime);
+            0 keeps service deterministic.
+        cores_per_node:
+            When set, an invocation starting while more than this many
+            sandboxes are busy on its node runs slowed by the
+            oversubscription factor -- a first-order CPU-contention model
+            (the slowdown is fixed at start; no re-scheduling mid-flight).
+        track_memory:
+            Record ``(time, node, used_memory_mb)`` samples at every
+            sandbox admission/reclaim, exposed as ``memory_samples``.
+        queue_timeout_s:
+            When set, requests that wait in a node backlog longer than
+            this are dropped instead of served (recorded in ``dropped``);
+            when unset, backlogs are unbounded and a drain that cannot
+            place everything raises.
+        autoscaler:
+            Optional :class:`~repro.platform.autoscaler.ReactiveAutoscaler`
+            (or anything with its ``decide(now_s, nodes) -> int``
+            signature) consulted on request arrivals; ``n_nodes`` becomes
+            the initial topology.
+        tracer:
+            Optional :class:`~repro.platform.tracing.PlatformTracer`
+            receiving one event per sandbox lifecycle transition.
+        """
+        if n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        if node_memory_mb <= 0:
+            raise ValueError("node_memory_mb must be positive")
+        if not profiles:
+            raise ValueError("cluster needs at least one workload profile")
+        if service_time_cv < 0:
+            raise ValueError("service_time_cv must be non-negative")
+        if cores_per_node is not None and cores_per_node <= 0:
+            raise ValueError("cores_per_node must be positive")
+        if queue_timeout_s is not None and queue_timeout_s <= 0:
+            raise ValueError("queue_timeout_s must be positive")
+        biggest = max(p.memory_mb for p in profiles.values())
+        if biggest > node_memory_mb:
+            raise ValueError(
+                f"largest workload ({biggest} MiB) exceeds node memory "
+                f"({node_memory_mb} MiB); no placement can ever succeed"
+            )
+        self.profiles = dict(profiles)
+        self.nodes = [Node(i, node_memory_mb) for i in range(n_nodes)]
+        self.scheduler = scheduler or LeastLoadedScheduler()
+        self.keepalive = keepalive or FixedKeepAlive(600.0)
+        self.cold_start_model = cold_start_model
+        self.queue_timeout_s = queue_timeout_s
+        self.autoscaler = autoscaler
+        self.tracer = tracer
+        #: (arrival_s, workload_id) of requests dropped on queue timeout.
+        self.dropped: list[tuple[float, str]] = []
+        self._node_memory_mb = node_memory_mb
+        self._next_node_id = n_nodes
+        self.service_time_cv = service_time_cv
+        self.cores_per_node = cores_per_node
+        self.track_memory = track_memory
+        self.memory_samples: list[tuple[float, int, float]] = []
+        self._rng = np.random.default_rng(seed)
+        if service_time_cv > 0:
+            sigma = float(np.sqrt(np.log1p(service_time_cv**2)))
+            self._lognorm = (sigma, -0.5 * sigma * sigma)
+        else:
+            self._lognorm = None
+        self.records: list[InvocationRecord] = []
+        self._clock = 0.0
+        self._heap: list = []
+        self._seq = itertools.count()
+        self._sandbox_ids = itertools.count()
+        self._dropped = 0
+
+    # ------------------------------------------------------------------
+    # Backend protocol
+    # ------------------------------------------------------------------
+    def invoke(self, timestamp_s: float, workload_id: str) -> None:
+        if workload_id not in self.profiles:
+            raise KeyError(f"no profile for workload {workload_id!r}")
+        if timestamp_s < self._clock:
+            raise ValueError(
+                f"request at t={timestamp_s} is in the simulator's past "
+                f"(clock={self._clock}); submit in timestamp order"
+            )
+        self._advance(timestamp_s)
+        if self.autoscaler is not None:
+            self._apply_autoscaling(timestamp_s)
+        node = self.nodes[self.scheduler.pick(self.nodes, workload_id)]
+        if not self._try_start(node, timestamp_s, workload_id):
+            self._trace("request_queued", node.node_id, workload_id)
+            node.pending.append((timestamp_s, workload_id))
+
+    def drain(self) -> list[InvocationRecord]:
+        while self._heap:
+            self._advance(self._heap[0][0])
+        stuck = sum(len(n.pending) for n in self.nodes)
+        if stuck:
+            if self.queue_timeout_s is not None:
+                # every still-queued request has outlived its deadline by
+                # now (all service events have fired)
+                for node in self.nodes:
+                    for arrival_s, wid in node.pending:
+                        self.dropped.append((arrival_s, wid))
+                        self._trace("request_dropped", node.node_id, wid)
+                    node.pending.clear()
+            else:
+                raise RuntimeError(
+                    f"{stuck} requests remain queued after drain; the "
+                    "cluster deadlocked on memory (raise node_memory_mb "
+                    "or n_nodes, or set queue_timeout_s)"
+                )
+        return self.records
+
+    # ------------------------------------------------------------------
+    # elasticity
+    # ------------------------------------------------------------------
+    def _apply_autoscaling(self, now_s: float) -> None:
+        desired = self.autoscaler.decide(now_s, self.nodes)
+        while desired > len(self.nodes):
+            self.nodes.append(
+                Node(self._next_node_id, self._node_memory_mb)
+            )
+            self._next_node_id += 1
+        while desired < len(self.nodes) and len(self.nodes) > 1:
+            victim = min(self.nodes, key=lambda n: n.busy_count)
+            if victim.busy_count > 0:
+                break  # nothing retirable right now; try next evaluation
+            # reclaim idle sandboxes and hand any backlog to a survivor
+            for stack in list(victim.idle.values()):
+                for sandbox in list(stack):
+                    sandbox.expire_generation += 1
+                    victim.remove_idle(sandbox)
+                    self._trace("sandbox_evicted", victim.node_id,
+                                sandbox.workload_id)
+            self.nodes.remove(victim)
+            if victim.pending:
+                self.nodes[0].pending.extend(victim.pending)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @property
+    def clock_s(self) -> float:
+        return self._clock
+
+    def _trace(self, kind: str, node_id: int, workload_id: str) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(self._clock, kind, node_id, workload_id)
+
+    def _push(self, when: float, kind: str, payload) -> None:
+        heapq.heappush(self._heap, (when, next(self._seq), kind, payload))
+
+    def _advance(self, until: float) -> None:
+        while self._heap and self._heap[0][0] <= until:
+            when, _, kind, payload = heapq.heappop(self._heap)
+            self._clock = when
+            if kind == "end":
+                self._on_completion(when, *payload)
+            else:  # "expire"
+                self._on_expiry(when, *payload)
+        self._clock = max(self._clock, until)
+
+    def _try_start(self, node: Node, arrival_s: float,
+                   workload_id: str) -> bool:
+        """Start an invocation now if a sandbox can be had; else False."""
+        now = self._clock
+        profile = self.profiles[workload_id]
+        sandbox = node.pop_idle(workload_id)
+        if sandbox is not None:
+            self.keepalive.observe_idle_gap(
+                workload_id, now - sandbox.idle_since
+            )
+            sandbox.expire_generation += 1  # cancels the queued expiry
+            self._trace("sandbox_reused", node.node_id, workload_id)
+            start = now
+            cold = False
+        else:
+            # Make room, evicting the least recently used idle sandboxes.
+            while (
+                node.used_memory_mb + profile.memory_mb
+                > node.memory_capacity_mb
+            ):
+                victim = node.lru_idle()
+                if victim is None:
+                    return False
+                victim.expire_generation += 1
+                node.remove_idle(victim)
+                self._trace("sandbox_evicted", node.node_id,
+                            victim.workload_id)
+            node.used_memory_mb += profile.memory_mb
+            if self.track_memory:
+                self.memory_samples.append(
+                    (now, node.node_id, node.used_memory_mb)
+                )
+            sandbox = _Sandbox(
+                sandbox_id=next(self._sandbox_ids),
+                workload_id=workload_id,
+                memory_mb=profile.memory_mb,
+            )
+            self._trace("sandbox_created", node.node_id, workload_id)
+            start = now + self.cold_start_model(profile)
+            cold = True
+
+        service_s = profile.runtime_ms / 1e3
+        if self._lognorm is not None:
+            sigma, mu = self._lognorm
+            service_s *= float(self._rng.lognormal(mu, sigma))
+        if self.cores_per_node is not None:
+            # oversubscription slowdown, fixed at admission time
+            concurrent = node.busy_count + 1
+            if concurrent > self.cores_per_node:
+                service_s *= concurrent / self.cores_per_node
+        end = start + service_s
+        node.busy_count += 1
+        self.records.append(
+            InvocationRecord(
+                workload_id=workload_id,
+                node=node.node_id,
+                arrival_s=arrival_s,
+                start_s=start,
+                end_s=end,
+                cold=cold,
+            )
+        )
+        # Events carry the Node object itself: under autoscaling the
+        # nodes list mutates, so positional ids are not stable handles.
+        self._push(end, "end", (node, sandbox))
+        return True
+
+    def _on_completion(self, now: float, node: Node,
+                       sandbox: _Sandbox) -> None:
+        node.busy_count -= 1
+        sandbox.idle_since = now
+        sandbox.expire_generation += 1
+        node.idle.setdefault(sandbox.workload_id, []).append(sandbox)
+        ttl = self.keepalive.ttl_s(sandbox.workload_id)
+        if ttl <= 0:
+            node.remove_idle(sandbox)
+        else:
+            self._push(now + ttl, "expire",
+                       (node, sandbox, sandbox.expire_generation))
+        self._serve_pending(node)
+
+    def _on_expiry(self, now: float, node: Node, sandbox: _Sandbox,
+                   generation: int) -> None:
+        del now
+        if sandbox.expire_generation != generation:
+            return  # sandbox was reused or evicted in the meantime
+        node.remove_idle(sandbox)
+        self._trace("sandbox_expired", node.node_id, sandbox.workload_id)
+        if self.track_memory:
+            self.memory_samples.append(
+                (self._clock, node.node_id, node.used_memory_mb)
+            )
+        self._serve_pending(node)
+
+    def _serve_pending(self, node: Node) -> None:
+        while node.pending:
+            arrival_s, workload_id = node.pending[0]
+            if (
+                self.queue_timeout_s is not None
+                and self._clock - arrival_s > self.queue_timeout_s
+            ):
+                self.dropped.append(node.pending.pop(0))
+                self._trace("request_dropped", node.node_id, workload_id)
+                continue
+            if not self._try_start(node, arrival_s, workload_id):
+                return
+            node.pending.pop(0)

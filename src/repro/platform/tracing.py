@@ -1,0 +1,87 @@
+"""Structured platform event log.
+
+Cold-start and keep-alive research needs to see *why* an invocation was
+cold -- was the sandbox never created, expired, or evicted under memory
+pressure?  With ``PlatformTracer`` attached, the simulator emits one
+record per sandbox lifecycle transition; the analysis helpers aggregate
+them into the diagnostic counters those studies report.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+__all__ = ["PlatformEvent", "PlatformTracer", "lifecycle_summary"]
+
+#: Event kinds, in lifecycle order.
+EVENT_KINDS = (
+    "sandbox_created",
+    "sandbox_reused",
+    "sandbox_expired",
+    "sandbox_evicted",
+    "request_queued",
+    "request_dropped",
+)
+
+
+@dataclass(frozen=True)
+class PlatformEvent:
+    """One lifecycle transition observed by the tracer."""
+
+    time_s: float
+    kind: str
+    node: int
+    workload_id: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown event kind {self.kind!r}; expected one of "
+                f"{EVENT_KINDS}"
+            )
+
+
+class PlatformTracer:
+    """Collects :class:`PlatformEvent` records from a cluster run."""
+
+    def __init__(self):
+        self.events: list[PlatformEvent] = []
+
+    def emit(self, time_s: float, kind: str, node: int,
+             workload_id: str) -> None:
+        self.events.append(PlatformEvent(time_s, kind, node, workload_id))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> list[PlatformEvent]:
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        return [e for e in self.events if e.kind == kind]
+
+
+def lifecycle_summary(tracer: PlatformTracer) -> dict:
+    """Aggregate counters a keep-alive study reports.
+
+    ``eviction_rate`` is evictions per created sandbox (memory-pressure
+    indicator); ``reuse_ratio`` is warm reuses per creation (how well the
+    keep-alive policy converts held memory into warm starts).
+    """
+    kinds = Counter(e.kind for e in tracer.events)
+    created = kinds.get("sandbox_created", 0)
+    out = {kind: kinds.get(kind, 0) for kind in EVENT_KINDS}
+    out["reuse_ratio"] = (
+        kinds.get("sandbox_reused", 0) / created if created else 0.0
+    )
+    out["eviction_rate"] = (
+        kinds.get("sandbox_evicted", 0) / created if created else 0.0
+    )
+    per_workload_evictions = Counter(
+        e.workload_id for e in tracer.events if e.kind == "sandbox_evicted"
+    )
+    out["most_evicted"] = (
+        per_workload_evictions.most_common(1)[0]
+        if per_workload_evictions else None
+    )
+    return out

@@ -1,0 +1,63 @@
+"""Statistics toolkit underpinning the FaaSRail reproduction.
+
+This subpackage provides the numerical primitives the paper's methodology is
+built on:
+
+- :class:`~repro.stats.ecdf.EmpiricalCDF` -- weighted empirical CDFs with an
+  interpolated inverse, the backbone of the Smirnov Transform mode (paper
+  section 3.2.2).
+- :func:`~repro.stats.sampling.smirnov_sample` -- inverse-transform sampling.
+- :func:`~repro.stats.cv.coefficient_of_variation` -- per-function day-to-day
+  variability analysis (paper Figure 3).
+- :mod:`~repro.stats.popularity` -- skewed-popularity curves (Figures 1c, 10).
+- :mod:`~repro.stats.distance` -- KS and Wasserstein distances used to
+  quantify how closely generated load tracks a trace.
+
+All routines are vectorised over NumPy arrays and deterministic given a
+seeded :class:`numpy.random.Generator`.
+"""
+
+from repro.stats.burstiness import (
+    burstiness_parameter,
+    index_of_dispersion,
+    peak_to_mean,
+    rate_autocorrelation,
+)
+from repro.stats.cv import coefficient_of_variation, cv_cdf_series
+from repro.stats.distance import (
+    dkw_band,
+    ks_distance,
+    ks_statistic_samples,
+    wasserstein,
+)
+from repro.stats.ecdf import EmpiricalCDF
+from repro.stats.fitting import MixtureFit, fit_lognormal_mixture
+from repro.stats.histograms import cdf_series, log_bins
+from repro.stats.popularity import (
+    popularity_change_cdf,
+    popularity_curve,
+    popularity_shares,
+)
+from repro.stats.sampling import smirnov_sample
+
+__all__ = [
+    "EmpiricalCDF",
+    "MixtureFit",
+    "burstiness_parameter",
+    "fit_lognormal_mixture",
+    "cdf_series",
+    "index_of_dispersion",
+    "peak_to_mean",
+    "rate_autocorrelation",
+    "coefficient_of_variation",
+    "cv_cdf_series",
+    "dkw_band",
+    "ks_distance",
+    "ks_statistic_samples",
+    "log_bins",
+    "popularity_change_cdf",
+    "popularity_curve",
+    "popularity_shares",
+    "smirnov_sample",
+    "wasserstein",
+]

@@ -1,0 +1,201 @@
+"""Weighted empirical cumulative distribution functions.
+
+The empirical weighted CDF of invocation execution durations is the central
+statistical object of FaaSRail: the Spec mode is evaluated against it
+(Figures 9, 11) and the Smirnov Transform mode samples directly from its
+interpolated inverse (paper section 3.2.2).
+
+The implementation keeps the CDF as two parallel ascending arrays
+(``support``, ``probs``) so that both evaluation and inversion are single
+``searchsorted`` / ``interp`` calls -- no Python-level loops, per the
+vectorisation guidance for numerical hot paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["EmpiricalCDF"]
+
+
+def _as_1d_float(a, name: str) -> np.ndarray:
+    arr = np.asarray(a, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    return arr
+
+
+@dataclass(frozen=True)
+class EmpiricalCDF:
+    """A (possibly weighted) empirical CDF over scalar samples.
+
+    Attributes
+    ----------
+    support:
+        Strictly increasing sample values (duplicates merged, weights summed).
+    probs:
+        Cumulative probabilities aligned with ``support``; ``probs[-1] == 1``.
+
+    Use :meth:`from_samples` to construct one; the raw constructor expects
+    already-consolidated arrays.
+    """
+
+    support: np.ndarray
+    probs: np.ndarray
+    _inverse_knots: tuple[np.ndarray, np.ndarray] = field(
+        init=False, repr=False, compare=False, default=None
+    )
+
+    def __post_init__(self) -> None:
+        support = _as_1d_float(self.support, "support")
+        probs = _as_1d_float(self.probs, "probs")
+        if support.shape != probs.shape:
+            raise ValueError(
+                f"support and probs must align: {support.shape} vs {probs.shape}"
+            )
+        if support.size > 1 and not np.all(np.diff(support) > 0):
+            raise ValueError("support must be strictly increasing")
+        if np.any(np.diff(probs) < 0):
+            raise ValueError("probs must be non-decreasing")
+        if not np.isclose(probs[-1], 1.0, atol=1e-9):
+            raise ValueError(f"probs must end at 1.0, got {probs[-1]!r}")
+        # Re-store normalised copies (frozen dataclass => object.__setattr__).
+        object.__setattr__(self, "support", support)
+        object.__setattr__(self, "probs", np.minimum(probs, 1.0))
+        object.__setattr__(self, "_inverse_knots", self._build_inverse_knots())
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_samples(cls, values, weights=None) -> "EmpiricalCDF":
+        """Build a weighted ECDF from raw samples.
+
+        Parameters
+        ----------
+        values:
+            Sample values; any shape, flattened.
+        weights:
+            Optional non-negative weights, same length as ``values``. FaaSRail
+            weights each function's average execution time by its invocation
+            count to obtain the *invocations'* duration CDF.
+        """
+        vals = np.asarray(values, dtype=np.float64).ravel()
+        if vals.size == 0:
+            raise ValueError("values must be non-empty")
+        if weights is None:
+            w = np.ones_like(vals)
+        else:
+            w = np.asarray(weights, dtype=np.float64).ravel()
+            if w.shape != vals.shape:
+                raise ValueError(
+                    f"weights must match values: {w.shape} vs {vals.shape}"
+                )
+            if np.any(w < 0):
+                raise ValueError("weights must be non-negative")
+        total = w.sum()
+        if total <= 0:
+            raise ValueError("total weight must be positive")
+
+        order = np.argsort(vals, kind="stable")
+        vals = vals[order]
+        w = w[order]
+        # Merge duplicate support points: segment-sum the weights.
+        uniq, inverse = np.unique(vals, return_inverse=True)
+        merged = np.zeros(uniq.size, dtype=np.float64)
+        np.add.at(merged, inverse, w)
+        probs = np.cumsum(merged) / total
+        probs[-1] = 1.0
+        return cls(support=uniq, probs=probs)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def __call__(self, x) -> np.ndarray:
+        """Evaluate ``F(x) = P[X <= x]`` (right-continuous step function)."""
+        x = np.asarray(x, dtype=np.float64)
+        idx = np.searchsorted(self.support, x, side="right")
+        out = np.where(idx == 0, 0.0, self.probs[np.maximum(idx - 1, 0)])
+        return out if out.ndim else float(out)
+
+    def sf(self, x) -> np.ndarray:
+        """Survival function ``P[X > x]``."""
+        return 1.0 - self.__call__(x)
+
+    def _build_inverse_knots(self) -> tuple[np.ndarray, np.ndarray]:
+        # Interpolated inverse a la statsmodels' ``monotone_fn_inverter``:
+        # linear interpolation through the knots (F(x_i), x_i), anchored at
+        # probability 0 on the smallest observation so quantile(0) is finite.
+        probs = self.probs
+        xs = self.support
+        if probs[0] > 0.0:
+            probs = np.concatenate(([0.0], probs))
+            xs = np.concatenate(([xs[0]], xs))
+        return probs, xs
+
+    def quantile(self, q, *, method: str = "linear") -> np.ndarray:
+        """Inverse CDF, ``F^{-1}(q)`` for ``q`` in [0, 1].
+
+        ``method="linear"`` interpolates between the empirical knots -- the
+        approximation of the inverse CDF the paper adopts for the Smirnov
+        Transform (it smooths point masses across the gap to the previous
+        support point, visible on sparse-support traces like Huawei's).
+        ``method="step"`` is the exact generalised inverse
+        ``inf{x : F(x) >= q}``; sampling through it reproduces atoms
+        exactly.
+        """
+        q = np.asarray(q, dtype=np.float64)
+        if np.any((q < 0.0) | (q > 1.0)):
+            raise ValueError("quantile probabilities must lie in [0, 1]")
+        if method == "linear":
+            knots_p, knots_x = self._inverse_knots
+            out = np.interp(q, knots_p, knots_x)
+        elif method == "step":
+            idx = np.searchsorted(self.probs, q, side="left")
+            out = self.support[np.minimum(idx, self.support.size - 1)]
+        else:
+            raise ValueError(
+                f"unknown quantile method {method!r}; expected 'linear' "
+                "or 'step'"
+            )
+        return out if out.ndim else float(out)
+
+    # ------------------------------------------------------------------
+    # summaries
+    # ------------------------------------------------------------------
+    @property
+    def n_points(self) -> int:
+        """Number of distinct support points."""
+        return int(self.support.size)
+
+    def mean(self) -> float:
+        """Weighted mean of the underlying samples."""
+        pmf = np.diff(self.probs, prepend=0.0)
+        return float(self.support @ pmf)
+
+    def median(self) -> float:
+        """Interpolated median."""
+        return float(self.quantile(0.5))
+
+    def series(self, n: int = 256, log_space: bool = True):
+        """Return ``(x, F(x))`` arrays suitable for plotting/printing.
+
+        Parameters
+        ----------
+        n:
+            Number of evaluation points.
+        log_space:
+            Sample x log-uniformly (execution times span orders of magnitude,
+            so the paper draws all CDFs on log axes).
+        """
+        lo = self.support[0]
+        hi = self.support[-1]
+        if log_space and lo > 0 and hi > lo:
+            xs = np.geomspace(lo, hi, n)
+        else:
+            xs = np.linspace(lo, hi, n)
+        return xs, self.__call__(xs)

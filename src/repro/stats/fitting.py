@@ -1,0 +1,157 @@
+"""Lognormal-mixture fitting (EM) for trace calibration.
+
+The synthetic trace generators ship with hand-calibrated duration
+mixtures; when the *real* Azure/Huawei CSVs are available, this module
+closes the loop: fit a lognormal mixture to the observed durations with
+expectation-maximisation and feed the components straight back into
+:mod:`repro.traces.synth`.  Used by
+:func:`repro.traces.fit.fit_generator_from_trace` and the ``repro
+trace-info`` CLI.
+
+The EM runs in log space (a lognormal mixture over x is a Gaussian
+mixture over log x), fully vectorised: the E-step is one
+``(n, k)`` responsibility matrix, the M-step three weighted reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MixtureFit", "fit_lognormal_mixture"]
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+@dataclass(frozen=True)
+class MixtureFit:
+    """A fitted lognormal mixture.
+
+    ``weights[j]``, ``medians[j]`` (= exp of the log-space mean) and
+    ``sigmas[j]`` (log-space std) describe component ``j``; components are
+    sorted by median.  ``log_likelihood`` is the final per-sample average.
+    """
+
+    weights: np.ndarray
+    medians: np.ndarray
+    sigmas: np.ndarray
+    log_likelihood: float
+    n_iterations: int
+    converged: bool
+
+    @property
+    def n_components(self) -> int:
+        return int(self.weights.size)
+
+    def to_components(self):
+        """Convert into :class:`repro.traces.synth.LognormalComponent` s."""
+        from repro.traces.synth import LognormalComponent
+
+        return tuple(
+            LognormalComponent(weight=float(w), median_ms=float(m),
+                               sigma=float(s))
+            for w, m, s in zip(self.weights, self.medians, self.sigmas)
+        )
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` values from the fitted mixture."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        which = rng.choice(self.n_components, size=n, p=self.weights)
+        mu = np.log(self.medians)[which]
+        return rng.lognormal(mean=mu, sigma=self.sigmas[which])
+
+
+def _log_gaussian(y: np.ndarray, mu: np.ndarray,
+                  sigma: np.ndarray) -> np.ndarray:
+    """Log density of each sample under each Gaussian: (n, k)."""
+    z = (y[:, None] - mu[None, :]) / sigma[None, :]
+    return -0.5 * (z * z + _LOG_2PI) - np.log(sigma)[None, :]
+
+
+def fit_lognormal_mixture(
+    samples,
+    n_components: int = 3,
+    *,
+    weights=None,
+    max_iter: int = 200,
+    tol: float = 1e-6,
+    seed: int | np.random.Generator = 0,
+    min_sigma: float = 1e-3,
+) -> MixtureFit:
+    """Fit a ``n_components``-lognormal mixture by (weighted) EM.
+
+    Parameters
+    ----------
+    samples:
+        Positive observations (e.g. per-function average durations).
+    weights:
+        Optional per-sample weights (e.g. invocation counts, to fit the
+        invocation-weighted distribution).
+    max_iter / tol:
+        EM stops when the average log-likelihood improves by less than
+        ``tol`` or after ``max_iter`` iterations.
+    min_sigma:
+        Variance floor preventing component collapse onto point masses.
+    """
+    x = np.asarray(samples, dtype=np.float64).ravel()
+    if x.size < n_components:
+        raise ValueError(
+            f"need at least {n_components} samples, got {x.size}"
+        )
+    if np.any(x <= 0):
+        raise ValueError("samples must be positive (lognormal support)")
+    if n_components <= 0:
+        raise ValueError("n_components must be positive")
+    if weights is None:
+        w = np.ones_like(x)
+    else:
+        w = np.asarray(weights, dtype=np.float64).ravel()
+        if w.shape != x.shape:
+            raise ValueError("weights must match samples")
+        if np.any(w < 0) or w.sum() <= 0:
+            raise ValueError("weights must be non-negative, not all zero")
+    rng = np.random.default_rng(seed)
+    y = np.log(x)
+    w = w / w.sum()
+
+    # Init: means at spread quantiles, shared sigma, uniform weights.
+    qs = (np.arange(n_components) + 0.5) / n_components
+    mu = np.quantile(y, qs) + 1e-3 * rng.standard_normal(n_components)
+    sigma = np.full(n_components, max(y.std(), min_sigma))
+    pi = np.full(n_components, 1.0 / n_components)
+
+    prev_ll = -np.inf
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iter + 1):
+        # E-step: responsibilities via the log-sum-exp trick.
+        log_p = _log_gaussian(y, mu, sigma) + np.log(pi)[None, :]
+        log_norm = np.logaddexp.reduce(log_p, axis=1)
+        resp = np.exp(log_p - log_norm[:, None])
+        ll = float(w @ log_norm)
+
+        # M-step: weighted by sample weight * responsibility.
+        r = resp * w[:, None]
+        mass = r.sum(axis=0)
+        mass = np.maximum(mass, 1e-300)
+        pi = mass / mass.sum()
+        mu = (r * y[:, None]).sum(axis=0) / mass
+        var = (r * (y[:, None] - mu[None, :]) ** 2).sum(axis=0) / mass
+        sigma = np.sqrt(np.maximum(var, min_sigma**2))
+
+        if ll - prev_ll < tol and iteration > 1:
+            converged = True
+            break
+        prev_ll = ll
+
+    order = np.argsort(mu)
+    return MixtureFit(
+        weights=pi[order],
+        medians=np.exp(mu[order]),
+        sigmas=sigma[order],
+        log_likelihood=ll,
+        n_iterations=iteration,
+        converged=converged,
+    )

@@ -1,0 +1,49 @@
+"""Small helpers for rendering distribution series.
+
+The benchmark harness prints CDF rows (x, F(x)) the way the paper's figures
+draw them: log-spaced x for execution times and memory (both span orders of
+magnitude).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.ecdf import EmpiricalCDF
+
+__all__ = ["log_bins", "cdf_series", "format_cdf_table"]
+
+
+def log_bins(lo: float, hi: float, n: int = 64) -> np.ndarray:
+    """Log-spaced bin edges covering ``[lo, hi]``."""
+    if lo <= 0 or hi <= lo:
+        raise ValueError(f"need 0 < lo < hi, got lo={lo}, hi={hi}")
+    return np.geomspace(lo, hi, n + 1)
+
+
+def cdf_series(values, weights=None, n: int = 128, log_space: bool = True):
+    """Convenience: samples -> plot-ready ``(x, F(x))`` series."""
+    return EmpiricalCDF.from_samples(values, weights).series(n=n, log_space=log_space)
+
+
+def format_cdf_table(
+    series_by_label: dict[str, tuple[np.ndarray, np.ndarray]],
+    quantiles=(0.10, 0.25, 0.50, 0.75, 0.90, 0.99),
+    unit: str = "ms",
+) -> str:
+    """Render several CDFs as an aligned quantile table (one row per label).
+
+    The figure benchmarks print this so a human can compare the reproduced
+    curves against the paper's plots without a plotting stack.
+    """
+    header = f"{'series':<28}" + "".join(f"p{int(q * 100):<9}" for q in quantiles)
+    lines = [header, "-" * len(header)]
+    for label, (xs, fs) in series_by_label.items():
+        # Invert the sampled series: first x where F(x) >= q.
+        cells = []
+        for q in quantiles:
+            idx = np.searchsorted(fs, q, side="left")
+            val = xs[min(idx, xs.size - 1)]
+            cells.append(f"{val:<10.3g}")
+        lines.append(f"{label:<28}" + "".join(cells) + f" [{unit}]")
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Function-popularity curves.
+
+The paper defines a function's popularity as its share of the day's total
+invocations (section 3.1.2) and evaluates generated load against the trace
+by plotting the cumulative fraction of invocations attributed to the most
+popular functions (Figures 1c and 10, following the Azure trace paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["popularity_shares", "popularity_curve", "popularity_change_cdf"]
+
+
+def popularity_shares(invocations: np.ndarray) -> np.ndarray:
+    """Per-function share of total invocations.
+
+    Parameters
+    ----------
+    invocations:
+        Per-function invocation counts (any non-negative numbers).
+
+    Returns
+    -------
+    numpy.ndarray
+        Shares summing to 1, same order as the input.
+    """
+    inv = np.asarray(invocations, dtype=np.float64).ravel()
+    if inv.size == 0:
+        raise ValueError("invocations must be non-empty")
+    if np.any(inv < 0):
+        raise ValueError("invocation counts must be non-negative")
+    total = inv.sum()
+    if total <= 0:
+        raise ValueError("total invocations must be positive")
+    return inv / total
+
+
+def popularity_curve(invocations: np.ndarray):
+    """Cumulative-fraction-of-invocations vs fraction-of-most-popular-functions.
+
+    Returns
+    -------
+    (x, y):
+        ``x[i]`` is the fraction of functions considered (most popular first,
+        in (0, 1]); ``y[i]`` the cumulative fraction of all invocations they
+        account for.  Plotting ``y`` against ``x`` on a log-x axis reproduces
+        Figure 10's axes ("Percentage of Most Popular Functions").
+    """
+    shares = popularity_shares(invocations)
+    order = np.argsort(shares)[::-1]
+    y = np.cumsum(shares[order])
+    y[-1] = 1.0
+    x = np.arange(1, shares.size + 1, dtype=np.float64) / shares.size
+    return x, y
+
+
+def popularity_change_cdf(
+    original_shares: np.ndarray,
+    original_keys: np.ndarray,
+    aggregated_shares: np.ndarray,
+    aggregated_keys: np.ndarray,
+):
+    """CDF of popularity changes caused by aggregation (Figure 4).
+
+    For each aggregated Function (grouped by average execution duration), the
+    paper compares its popularity against the *maximum* popularity among the
+    original trace functions sharing that duration key, and plots the CDF of
+    the absolute differences.
+
+    Parameters
+    ----------
+    original_shares / original_keys:
+        Per original-function popularity share and its aggregation key
+        (e.g. rounded mean duration).
+    aggregated_shares / aggregated_keys:
+        Per super-Function share and key.  Keys must be a subset relation:
+        every aggregated key appears among the original keys.
+
+    Returns
+    -------
+    (changes, probs):
+        Sorted absolute popularity changes and cumulative probabilities.
+    """
+    orig_shares = np.asarray(original_shares, dtype=np.float64).ravel()
+    orig_keys = np.asarray(original_keys).ravel()
+    agg_shares = np.asarray(aggregated_shares, dtype=np.float64).ravel()
+    agg_keys = np.asarray(aggregated_keys).ravel()
+    if orig_shares.shape != orig_keys.shape:
+        raise ValueError("original shares/keys must align")
+    if agg_shares.shape != agg_keys.shape:
+        raise ValueError("aggregated shares/keys must align")
+
+    # Max original share per key, via sort + segment reduction.
+    uniq_keys, inverse = np.unique(orig_keys, return_inverse=True)
+    max_share = np.full(uniq_keys.size, -np.inf)
+    np.maximum.at(max_share, inverse, orig_shares)
+
+    pos = np.searchsorted(uniq_keys, agg_keys)
+    if np.any(pos >= uniq_keys.size) or np.any(uniq_keys[pos] != agg_keys):
+        raise ValueError("every aggregated key must exist among original keys")
+    changes = np.abs(agg_shares - max_share[pos])
+    changes.sort()
+    probs = np.arange(1, changes.size + 1, dtype=np.float64) / changes.size
+    return changes, probs

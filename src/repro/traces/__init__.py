@@ -1,0 +1,78 @@
+"""Trace substrate: data model, Azure-schema IO, calibrated synthetic traces.
+
+The real Azure / Huawei datasets are unavailable offline; the synthetic
+generators in :mod:`repro.traces.azure` and :mod:`repro.traces.huawei`
+reproduce the statistical marginals FaaSRail consumes (see DESIGN.md).  A
+directory containing the genuine Azure CSVs loads through
+:func:`load_azure_day` without code changes.
+"""
+
+from repro.traces.azure import (
+    AZURE_FULL_FUNCTIONS,
+    AZURE_FULL_INVOCATIONS,
+    synthetic_azure_multiday,
+    synthetic_azure_trace,
+)
+from repro.traces.huawei import (
+    HUAWEI_FULL_FUNCTIONS,
+    HUAWEI_FULL_INVOCATIONS,
+    synthetic_huawei_public_trace,
+    synthetic_huawei_trace,
+)
+from repro.traces.fit import (
+    characterize_trace,
+    fit_generator_from_trace,
+    fit_popularity_exponent,
+)
+from repro.traces.io import dump_azure_day, load_azure_day
+from repro.traces.model import MINUTES_PER_DAY, MultiDaySummary, Trace
+from repro.traces.multiday import (
+    pick_representative_day,
+    summarize_days,
+    synthetic_azure_week,
+)
+from repro.traces.seconds import SecondTrace, expand_to_seconds
+from repro.traces.windows import (
+    find_burstiest_window,
+    find_busiest_window,
+    find_quietest_window,
+    window_stats,
+)
+from repro.traces.ops import (
+    function_duration_cdf,
+    invocation_duration_cdf,
+    relative_load_series,
+    sample_functions,
+)
+
+__all__ = [
+    "AZURE_FULL_FUNCTIONS",
+    "AZURE_FULL_INVOCATIONS",
+    "HUAWEI_FULL_FUNCTIONS",
+    "HUAWEI_FULL_INVOCATIONS",
+    "MINUTES_PER_DAY",
+    "MultiDaySummary",
+    "SecondTrace",
+    "Trace",
+    "characterize_trace",
+    "dump_azure_day",
+    "expand_to_seconds",
+    "find_burstiest_window",
+    "find_busiest_window",
+    "find_quietest_window",
+    "fit_generator_from_trace",
+    "fit_popularity_exponent",
+    "function_duration_cdf",
+    "invocation_duration_cdf",
+    "load_azure_day",
+    "pick_representative_day",
+    "relative_load_series",
+    "sample_functions",
+    "summarize_days",
+    "synthetic_azure_multiday",
+    "synthetic_azure_trace",
+    "synthetic_azure_week",
+    "synthetic_huawei_public_trace",
+    "synthetic_huawei_trace",
+    "window_stats",
+]

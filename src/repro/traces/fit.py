@@ -1,0 +1,118 @@
+"""Calibrating the synthetic generators from an observed trace.
+
+When the real Azure CSVs (or any trace in that schema) are loaded via
+:func:`repro.traces.io.load_azure_day`, these helpers extract the
+statistical parameters the synthetic generators take -- closing the loop
+between "drop in real data" and "regenerate arbitrarily many consistent
+synthetic days from it":
+
+- the duration mixture, via EM (:mod:`repro.stats.fitting`);
+- the popularity tail exponent, via a log-log rank-frequency regression
+  over the head of the distribution;
+- summary statistics for reporting (``repro trace-info``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.fitting import MixtureFit, fit_lognormal_mixture
+from repro.traces.model import Trace
+
+__all__ = [
+    "characterize_trace",
+    "fit_generator_from_trace",
+    "fit_popularity_exponent",
+]
+
+
+def fit_popularity_exponent(
+    invocations: np.ndarray,
+    *,
+    head_fraction: float = 0.2,
+) -> float:
+    """Zipf exponent of the popularity head via log-log regression.
+
+    Fits ``log count ~ -s * log rank`` over the most popular
+    ``head_fraction`` of functions (the tail is floor-dominated and
+    would bias the slope).
+    """
+    counts = np.sort(np.asarray(invocations, dtype=np.float64))[::-1]
+    counts = counts[counts > 0]
+    if counts.size < 10:
+        raise ValueError("need at least 10 invoked functions")
+    if not 0 < head_fraction <= 1:
+        raise ValueError("head_fraction must be in (0, 1]")
+    head = max(int(counts.size * head_fraction), 10)
+    head = min(head, counts.size)
+    ranks = np.arange(1, head + 1, dtype=np.float64)
+    slope, _ = np.polyfit(np.log(ranks), np.log(counts[:head]), 1)
+    return float(max(-slope, 0.0))
+
+
+def fit_generator_from_trace(
+    trace: Trace,
+    n_components: int = 3,
+    *,
+    seed: int | np.random.Generator = 0,
+) -> dict:
+    """Generator parameters fitted from an observed trace day.
+
+    Returns a dict with ``duration_mixture`` (LognormalComponents),
+    ``popularity_exponent``, and the fitted :class:`MixtureFit` -- ready
+    to feed :func:`repro.traces.azure.synthetic_azure_trace`'s knobs or a
+    custom call into :mod:`repro.traces.synth`.
+    """
+    fit: MixtureFit = fit_lognormal_mixture(
+        trace.durations_ms, n_components=n_components, seed=seed
+    )
+    exponent = fit_popularity_exponent(trace.invocations_per_function)
+    return {
+        "duration_mixture": fit.to_components(),
+        "popularity_exponent": exponent,
+        "mixture_fit": fit,
+    }
+
+
+def characterize_trace(trace: Trace) -> dict:
+    """One-stop statistical summary of a trace (``repro trace-info``)."""
+    durations = trace.durations_ms
+    counts = trace.invocations_per_function.astype(np.float64)
+    mask = counts > 0
+    total = counts.sum()
+    sorted_counts = np.sort(counts)[::-1]
+    top8 = sorted_counts[: max(int(0.08 * counts.size), 1)].sum()
+    agg = trace.aggregate_per_minute.astype(np.float64)
+    if mask.any():
+        order = np.argsort(durations[mask])
+        sorted_dur = durations[mask][order]
+        cum = np.cumsum(counts[mask][order]) / counts[mask].sum()
+        weighted_median = float(np.interp(0.5, cum, sorted_dur))
+    else:
+        weighted_median = float("nan")
+    return {
+        "name": trace.name,
+        "n_functions": trace.n_functions,
+        "n_minutes": trace.n_minutes,
+        "total_invocations": int(total),
+        "busiest_minute": trace.busiest_minute_rate,
+        "duration_ms": {
+            "min": float(durations.min()),
+            "median": float(np.median(durations)),
+            "mean": float(durations.mean()),
+            "max": float(durations.max()),
+            "frac_subsecond": float((durations < 1000.0).mean()),
+        },
+        "weighted_median_duration_ms": weighted_median,
+        "popularity": {
+            "top8pct_share": float(top8 / total) if total else 0.0,
+            "frac_low_rate": float((counts <= trace.n_minutes).mean()),
+        },
+        "load": {
+            "per_minute_cv": float(agg.std() / agg.mean())
+            if agg.mean() > 0 else float("nan"),
+            "peak_to_mean": float(agg.max() / agg.mean())
+            if agg.mean() > 0 else float("nan"),
+        },
+        "reports_memory": bool(trace.app_memory_mb),
+    }

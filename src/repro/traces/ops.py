@@ -1,0 +1,75 @@
+"""Derived statistics over traces.
+
+Thin, vectorised helpers shared by the shrink ray and the analysis layer:
+invocation-weighted duration CDFs, relative load series, random-sampling
+utilities (used by the random-sampling *baseline*, not by FaaSRail itself).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.ecdf import EmpiricalCDF
+from repro.traces.model import Trace
+
+__all__ = [
+    "function_duration_cdf",
+    "invocation_duration_cdf",
+    "relative_load_series",
+    "sample_functions",
+]
+
+
+def function_duration_cdf(trace: Trace) -> EmpiricalCDF:
+    """CDF of distinct functions' average execution durations (Fig 1a, 6)."""
+    return EmpiricalCDF.from_samples(trace.durations_ms)
+
+
+def invocation_duration_cdf(trace: Trace) -> EmpiricalCDF:
+    """Invocation-weighted duration CDF (Fig 1b, 9, 11).
+
+    Each function's average duration enters weighted by its invocation
+    count, exactly how the paper builds the "execution durations of all
+    invocations" distribution from per-function averages.
+    """
+    counts = trace.invocations_per_function
+    mask = counts > 0
+    if not mask.any():
+        raise ValueError("trace has no invocations")
+    return EmpiricalCDF.from_samples(
+        trace.durations_ms[mask], counts[mask].astype(np.float64)
+    )
+
+
+def relative_load_series(per_minute_aggregate: np.ndarray) -> np.ndarray:
+    """Per-minute aggregate load normalised to its peak (Fig 1d, 8)."""
+    agg = np.asarray(per_minute_aggregate, dtype=np.float64)
+    peak = agg.max()
+    if peak <= 0:
+        raise ValueError("aggregate load is identically zero")
+    return agg / peak
+
+
+def sample_functions(
+    trace: Trace,
+    n: int,
+    rng: np.random.Generator,
+    *,
+    weighted: bool = False,
+) -> Trace:
+    """Random sub-sample of ``n`` functions (the literature's sampling step).
+
+    ``weighted=True`` biases the draw by invocation count; the plain uniform
+    draw is what the paper's Section 2 critique targets.
+    """
+    if not 0 < n <= trace.n_functions:
+        raise ValueError(
+            f"cannot sample {n} of {trace.n_functions} functions"
+        )
+    if weighted:
+        counts = trace.invocations_per_function.astype(np.float64)
+        p = counts / counts.sum()
+        idx = rng.choice(trace.n_functions, size=n, replace=False, p=p)
+    else:
+        idx = rng.choice(trace.n_functions, size=n, replace=False)
+    return trace.select(np.sort(idx))

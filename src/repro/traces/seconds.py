@@ -1,0 +1,130 @@
+"""Second-resolution trace refinement (paper section 3.3, future work).
+
+Azure reports per-minute invocation counts only, but Huawei's private
+trace also reports *per-second* rates, and its key takeaway is that
+burstiness persists at seconds granularity.  The paper leaves consuming
+that statistic to future work; this module implements it:
+
+- :class:`SecondTrace` pairs a minute-resolution :class:`~repro.traces.
+  model.Trace` with a consistent ``(n_functions, n_minutes * 60)``
+  per-second matrix;
+- :func:`expand_to_seconds` synthesises such a refinement from a
+  minute trace (bursty within-minute structure via the same gamma-noise
+  multinomial machinery the generators use);
+- the load generator's ``trace-seconds`` path
+  (:func:`repro.loadgen.generator.generate_from_second_matrix`) then
+  replays the recorded second counts verbatim instead of modelling the
+  sub-minute distribution.
+
+A real per-second dataset drops in by constructing :class:`SecondTrace`
+directly from its matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traces.model import Trace
+
+__all__ = ["SecondTrace", "expand_to_seconds"]
+
+#: Guard against accidentally materialising a 50K-function second matrix
+#: (Azure-sized traces would need ~17 GiB; per-second data only exists for
+#: small-cardinality traces like Huawei's anyway).
+_MAX_CELLS = 200_000_000
+
+
+@dataclass
+class SecondTrace:
+    """A trace whose invocations are known at one-second resolution."""
+
+    trace: Trace
+    per_second: np.ndarray  # (n_functions, n_minutes * 60) int32
+
+    def __post_init__(self) -> None:
+        self.per_second = np.asarray(self.per_second)
+        n, m = self.trace.n_functions, self.trace.n_minutes
+        if self.per_second.shape != (n, m * 60):
+            raise ValueError(
+                f"per_second must be ({n}, {m * 60}), got "
+                f"{self.per_second.shape}"
+            )
+        if not np.issubdtype(self.per_second.dtype, np.integer):
+            raise ValueError("per_second must be an integer array")
+        if np.any(self.per_second < 0):
+            raise ValueError("per-second counts must be non-negative")
+        # Consistency: second counts must refine the minute counts exactly.
+        folded = self.per_second.reshape(n, m, 60).sum(
+            axis=2, dtype=np.int64
+        )
+        if not np.array_equal(folded, self.trace.per_minute.astype(np.int64)):
+            raise ValueError(
+                "per-second matrix does not fold back to the trace's "
+                "per-minute counts"
+            )
+
+    @property
+    def n_seconds(self) -> int:
+        return int(self.per_second.shape[1])
+
+    @property
+    def aggregate_per_second(self) -> np.ndarray:
+        return self.per_second.sum(axis=0, dtype=np.int64)
+
+    @property
+    def busiest_second_rate(self) -> int:
+        return int(self.aggregate_per_second.max())
+
+    def second_window(self, start_minute: int, duration_minutes: int):
+        """Per-second slice covering the given minute window."""
+        if duration_minutes <= 0:
+            raise ValueError("duration_minutes must be positive")
+        lo, hi = start_minute * 60, (start_minute + duration_minutes) * 60
+        if not 0 <= lo < hi <= self.n_seconds:
+            raise ValueError(
+                f"window [{start_minute}, "
+                f"{start_minute + duration_minutes}) min is outside the "
+                f"{self.n_seconds // 60}-minute trace"
+            )
+        return self.per_second[:, lo:hi]
+
+
+def expand_to_seconds(
+    trace: Trace,
+    seed: int | np.random.Generator = 0,
+    *,
+    burst_gamma_shape: float = 0.5,
+    chunk_rows: int = 64,
+) -> SecondTrace:
+    """Synthesise a second-resolution refinement of a minute trace.
+
+    Each (function, minute) count is distributed over the minute's 60
+    seconds with gamma-modulated multinomial draws: small
+    ``burst_gamma_shape`` concentrates a minute's requests on few seconds
+    (Huawei-style second-scale bursts), large values spread them evenly.
+    Row sums fold back to the input exactly.
+    """
+    if burst_gamma_shape <= 0:
+        raise ValueError("burst_gamma_shape must be positive")
+    n, m = trace.n_functions, trace.n_minutes
+    if n * m * 60 > _MAX_CELLS:
+        raise ValueError(
+            f"second matrix would need {n * m * 60:,} cells; per-second "
+            "refinement is intended for small-cardinality traces "
+            "(use a sub-trace via Trace.select / minute_range first)"
+        )
+    rng = np.random.default_rng(seed)
+    out = np.zeros((n, m * 60), dtype=np.int32)
+    for lo in range(0, n, chunk_rows):
+        hi = min(lo + chunk_rows, n)
+        counts = trace.per_minute[lo:hi].astype(np.int64).ravel()
+        rows = hi - lo
+        # One multinomial per (function, minute) cell over its 60 seconds.
+        k = burst_gamma_shape
+        pvals = rng.gamma(k, 1.0 / k, (rows * m, 60))
+        pvals /= pvals.sum(axis=1, keepdims=True)
+        draws = rng.multinomial(counts, pvals)
+        out[lo:hi] = draws.reshape(rows, m * 60)
+    return SecondTrace(trace=trace, per_second=out)

@@ -1,0 +1,317 @@
+"""Shared machinery for synthesising production-like FaaS traces.
+
+The public Azure / Huawei datasets cannot be downloaded in this environment,
+so the reproduction generates *calibrated* synthetic traces instead: the
+statistical marginals FaaSRail consumes (duration CDF, popularity skew,
+per-minute rate structure, day-to-day variability, app memory) are matched to
+what the traces' papers report.  See DESIGN.md section 1 for the full
+substitution argument.  Everything here is deterministic under a seed and
+vectorised; the only per-function loop is the chunked multinomial draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.traces.model import MINUTES_PER_DAY, MultiDaySummary
+
+__all__ = [
+    "LognormalComponent",
+    "sample_duration_mixture",
+    "zipf_invocation_counts",
+    "correlate_popularity_with_duration",
+    "diurnal_profile",
+    "spread_over_minutes",
+    "synth_multiday_summary",
+    "synth_app_memory",
+]
+
+
+@dataclass(frozen=True)
+class LognormalComponent:
+    """One component of a lognormal mixture over execution durations.
+
+    ``median_ms`` is the component median (``exp(mu)`` of the underlying
+    normal); ``sigma`` its log-space standard deviation; ``weight`` its
+    mixture weight (weights are normalised by the sampler).
+    """
+
+    weight: float
+    median_ms: float
+    sigma: float
+
+
+def sample_duration_mixture(
+    n: int,
+    components: Sequence[LognormalComponent],
+    rng: np.random.Generator,
+    *,
+    lo_ms: float = 1.0,
+    hi_ms: float = 600_000.0,
+) -> np.ndarray:
+    """Draw ``n`` durations (ms) from a clipped lognormal mixture.
+
+    Production traces show execution times spanning 2-4 orders of magnitude
+    with a roughly lognormal body; a small mixture captures the short /
+    medium / long-running populations without fitting machinery.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not components:
+        raise ValueError("need at least one mixture component")
+    weights = np.array([c.weight for c in components], dtype=np.float64)
+    if np.any(weights <= 0):
+        raise ValueError("component weights must be positive")
+    weights /= weights.sum()
+    which = rng.choice(len(components), size=n, p=weights)
+    mu = np.log([c.median_ms for c in components])
+    sigma = np.array([c.sigma for c in components])
+    draws = rng.lognormal(mean=mu[which], sigma=sigma[which])
+    return np.clip(draws, lo_ms, hi_ms)
+
+
+def zipf_invocation_counts(
+    n: int,
+    total: int,
+    rng: np.random.Generator,
+    *,
+    exponent: float = 1.3,
+    jitter_sigma: float = 0.6,
+    min_invocations: int = 1,
+) -> np.ndarray:
+    """Heavy-tailed per-function daily invocation counts summing to ``total``.
+
+    Counts are proportional to ``rank**-exponent`` with multiplicative
+    lognormal jitter, then rescaled.  With the default exponent the top few
+    percent of functions receive the overwhelming majority of invocations,
+    matching the Azure observation that 8% of functions account for 99% of
+    invocations while ~90% of functions are invoked about once a minute or
+    less.
+
+    Returns counts in *descending* order (rank 1 first); callers typically
+    permute them onto functions afterwards.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if total < n * min_invocations:
+        raise ValueError(
+            f"total={total} cannot give each of {n} functions "
+            f">= {min_invocations} invocations"
+        )
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    base = ranks**-exponent
+    base *= rng.lognormal(0.0, jitter_sigma, size=n)
+    base[::-1].sort()  # descending in place
+    scale = (total - n * min_invocations) / base.sum()
+    counts = np.floor(base * scale).astype(np.int64) + min_invocations
+    # Distribute the rounding remainder over the head so the sum is exact.
+    deficit = total - counts.sum()
+    if deficit > 0:
+        counts[: int(deficit)] += 1
+    return counts
+
+
+def correlate_popularity_with_duration(
+    durations_ms: np.ndarray,
+    sorted_counts: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    beta: float = 0.3,
+    sigma: float = 2.5,
+) -> np.ndarray:
+    """Assign descending counts to functions, favouring short durations.
+
+    Azure reports that its most popular functions are short-running, which is
+    what shifts the invocation-weighted duration CDF left of the per-function
+    CDF (80% of invocations vs 50% of functions under 1 s).  Each function
+    gets a popularity *propensity* ``-beta * log(duration) + sigma * Z``;
+    counts are assigned by descending propensity.  ``beta`` controls how hard
+    popularity prefers short functions, ``sigma`` how much genuine mixing
+    remains (so some medium/long functions are still popular and the weighted
+    CDF stays smooth rather than collapsing onto the shortest functions).
+    """
+    if beta < 0:
+        raise ValueError(f"beta must be non-negative, got {beta}")
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    n = durations_ms.size
+    if sorted_counts.shape != (n,):
+        raise ValueError("counts must align with durations")
+    propensity = -beta * np.log(durations_ms) + sigma * rng.standard_normal(n)
+    order = np.argsort(propensity)[::-1]  # highest propensity first
+    counts = np.empty(n, dtype=np.int64)
+    counts[order] = sorted_counts
+    return counts
+
+
+def diurnal_profile(
+    n_minutes: int = MINUTES_PER_DAY,
+    *,
+    amplitude: float = 0.35,
+    secondary: float = 0.12,
+    phase_minutes: float = 540.0,
+) -> np.ndarray:
+    """Smooth daily load shape, normalised to mean 1.
+
+    A fundamental plus one harmonic reproduce the mid-day peak / night trough
+    pattern visible in Figure 8's Azure day; the default phase puts the peak
+    in the afternoon.
+    """
+    t = np.arange(n_minutes, dtype=np.float64)
+    w = 2.0 * np.pi / n_minutes
+    shape = (
+        1.0
+        + amplitude * np.sin(w * (t - phase_minutes))
+        + secondary * np.sin(2.0 * w * (t - 0.35 * phase_minutes))
+    )
+    shape = np.maximum(shape, 0.05)
+    return shape / shape.mean()
+
+
+def spread_over_minutes(
+    counts: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    n_minutes: int = MINUTES_PER_DAY,
+    profile: np.ndarray | None = None,
+    burst_gamma_shape: float | np.ndarray = 0.6,
+    sparse_threshold: int | None = None,
+    chunk: int = 2048,
+) -> np.ndarray:
+    """Distribute each function's daily count over minutes.
+
+    Popular functions follow the diurnal ``profile`` modulated by per-minute
+    gamma noise (bursty but trend-following).  Functions with few invocations
+    ("sparse", below ``sparse_threshold``) instead get probability mass
+    concentrated on a small random set of active minutes -- sudden spikes
+    followed by idle time, the burst pattern the Azure paper highlights.
+
+    ``burst_gamma_shape`` may be a scalar or a per-function array: a large
+    shape (>~4) makes that function's series hug the diurnal trend, a small
+    shape (<1) makes it spiky.  Callers typically give the few head functions
+    a large shape so the *aggregate* series stays legible (paper Figure 8)
+    while the long tail stays bursty.
+
+    Returns an ``(n, n_minutes)`` int32 matrix whose row sums equal ``counts``.
+    Work proceeds in chunks to bound the transient ``(chunk, n_minutes)``
+    float64 probability buffer.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    n = counts.size
+    if np.any(counts < 0):
+        raise ValueError("counts must be non-negative")
+    if profile is None:
+        profile = diurnal_profile(n_minutes)
+    if profile.shape != (n_minutes,):
+        raise ValueError("profile length must equal n_minutes")
+    if sparse_threshold is None:
+        sparse_threshold = n_minutes  # ~once a minute or less
+    gamma_shape = np.broadcast_to(
+        np.asarray(burst_gamma_shape, dtype=np.float64), (n,)
+    )
+    if np.any(gamma_shape <= 0):
+        raise ValueError("burst_gamma_shape must be positive")
+    out = np.zeros((n, n_minutes), dtype=np.int32)
+    base_p = profile / profile.sum()
+
+    for lo in range(0, n, chunk):
+        hi = min(lo + chunk, n)
+        m = hi - lo
+        c = counts[lo:hi]
+        pvals = np.broadcast_to(base_p, (m, n_minutes)).copy()
+        # Multiplicative gamma noise: shape < 1 gives heavy bursts.
+        k = gamma_shape[lo:hi, None]
+        pvals *= rng.gamma(k, 1.0 / k, (m, n_minutes))
+
+        sparse = c < sparse_threshold
+        if sparse.any():
+            # Concentrate sparse functions on a handful of active minutes.
+            n_sparse = int(sparse.sum())
+            # 1..32 active minutes, never more than the day has
+            active = rng.integers(1, min(33, n_minutes + 1), size=n_sparse)
+            rows = np.flatnonzero(sparse)
+            mask = rng.random((n_sparse, n_minutes))
+            # Keep the `active[i]` minutes with the largest random keys:
+            # threshold each row at its own quantile.
+            cutoffs = np.take_along_axis(
+                np.sort(mask, axis=1),
+                (n_minutes - active)[:, None],
+                axis=1,
+            )
+            keep = mask >= cutoffs
+            pvals[rows] = np.where(keep, pvals[rows] + 1e-12, 0.0)
+
+        row_sums = pvals.sum(axis=1, keepdims=True)
+        np.divide(pvals, row_sums, out=pvals)
+        out[lo:hi] = rng.multinomial(c, pvals).astype(np.int32)
+    return out
+
+
+def synth_multiday_summary(
+    base_duration_ms: np.ndarray,
+    base_invocations: np.ndarray,
+    n_days: int,
+    rng: np.random.Generator,
+    *,
+    stable_fraction: float = 0.88,
+    stable_sigma_range: tuple[float, float] = (0.05, 0.55),
+    volatile_sigma_range: tuple[float, float] = (0.8, 1.5),
+) -> MultiDaySummary:
+    """Per-day summaries with Azure-like day-to-day variability.
+
+    About 90% of Azure functions show a coefficient of variation below 1 for
+    both daily average duration and daily invocation count (Figure 3); the
+    remainder are genuinely volatile.  Daily values are the base values under
+    multiplicative lognormal noise whose sigma is drawn from the stable or
+    volatile range per function.
+    """
+    if n_days < 2:
+        raise ValueError("need at least two days")
+    if not 0.0 < stable_fraction <= 1.0:
+        raise ValueError("stable_fraction must be in (0, 1]")
+    n = base_duration_ms.size
+    if base_invocations.shape != (n,):
+        raise ValueError("bases must align")
+
+    def _noise(sig_lo_hi_stable, sig_lo_hi_volatile):
+        stable = rng.random(n) < stable_fraction
+        sigma = np.where(
+            stable,
+            rng.uniform(*sig_lo_hi_stable, size=n),
+            rng.uniform(*sig_lo_hi_volatile, size=n),
+        )
+        return rng.lognormal(0.0, sigma[:, None], size=(n, n_days))
+
+    durations = base_duration_ms[:, None] * _noise(
+        stable_sigma_range, volatile_sigma_range
+    )
+    invocations = np.maximum(
+        np.round(
+            base_invocations[:, None]
+            * _noise(stable_sigma_range, volatile_sigma_range)
+        ),
+        0.0,
+    )
+    return MultiDaySummary(
+        daily_avg_duration_ms=durations, daily_invocations=invocations
+    )
+
+
+def synth_app_memory(
+    app_ids: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    median_mb: float = 120.0,
+    sigma: float = 0.9,
+    lo_mb: float = 16.0,
+    hi_mb: float = 4096.0,
+) -> dict[str, float]:
+    """Lognormal per-app allocated memory (MiB), Azure Figure-7 ballpark."""
+    uniq = np.unique(app_ids)
+    mem = np.clip(
+        rng.lognormal(np.log(median_mb), sigma, size=uniq.size), lo_mb, hi_mb
+    )
+    return {str(a): float(m) for a, m in zip(uniq, mem)}

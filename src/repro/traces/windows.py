@@ -1,0 +1,92 @@
+"""Window selection for Minute Range mode.
+
+Minute Range mode (paper section 3.2.1.2) replays a verbatim window of
+the trace; the paper leaves *which* window to the user.  These helpers
+pick principled ones:
+
+- :func:`find_busiest_window` -- maximum total invocations (capacity /
+  stress studies);
+- :func:`find_burstiest_window` -- maximum minute-scale variability
+  (burst-sensitive studies, e.g. instance pre-allocation);
+- :func:`find_quietest_window` -- minimum total invocations (idle-time /
+  keep-alive studies, cf. section 3.3 "Long idle times");
+- :func:`window_stats` -- the summary a paper's experiment-setup table
+  would quote for the chosen window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.model import Trace
+
+__all__ = [
+    "find_burstiest_window",
+    "find_busiest_window",
+    "find_quietest_window",
+    "window_stats",
+]
+
+
+def _window_sums(agg: np.ndarray, duration: int) -> np.ndarray:
+    """Sliding-window sums of the aggregate series (one per start)."""
+    cumulative = np.concatenate(([0], np.cumsum(agg, dtype=np.int64)))
+    return cumulative[duration:] - cumulative[:-duration]
+
+
+def _validate(trace: Trace, duration_minutes: int) -> np.ndarray:
+    if not 0 < duration_minutes <= trace.n_minutes:
+        raise ValueError(
+            f"duration_minutes must be in [1, {trace.n_minutes}], got "
+            f"{duration_minutes}"
+        )
+    return trace.aggregate_per_minute.astype(np.int64)
+
+
+def find_busiest_window(trace: Trace, duration_minutes: int) -> int:
+    """Start minute of the window with the most invocations."""
+    agg = _validate(trace, duration_minutes)
+    return int(np.argmax(_window_sums(agg, duration_minutes)))
+
+
+def find_quietest_window(trace: Trace, duration_minutes: int) -> int:
+    """Start minute of the window with the fewest invocations."""
+    agg = _validate(trace, duration_minutes)
+    return int(np.argmin(_window_sums(agg, duration_minutes)))
+
+
+def find_burstiest_window(trace: Trace, duration_minutes: int) -> int:
+    """Start minute of the window with the highest minute-scale
+    variability (index of dispersion of its per-minute counts).
+
+    Computed for every start position via sliding sums of the series and
+    its square -- O(n_minutes), no per-window loop.
+    """
+    agg = _validate(trace, duration_minutes).astype(np.float64)
+    if duration_minutes < 2:
+        raise ValueError("burstiness needs windows of at least 2 minutes")
+    sums = _window_sums(agg, duration_minutes)
+    sq_sums = _window_sums(agg * agg, duration_minutes)
+    mean = sums / duration_minutes
+    var = sq_sums / duration_minutes - mean * mean
+    with np.errstate(divide="ignore", invalid="ignore"):
+        iod = np.where(mean > 0, var / np.where(mean > 0, mean, 1.0), -1.0)
+    return int(np.argmax(iod))
+
+
+def window_stats(trace: Trace, start: int, duration_minutes: int) -> dict:
+    """Summary of one window: volume, peak, variability, active functions."""
+    window = trace.minute_range(start, start + duration_minutes)
+    agg = window.aggregate_per_minute.astype(np.float64)
+    active = int((window.invocations_per_function > 0).sum())
+    return {
+        "start_minute": start,
+        "duration_minutes": duration_minutes,
+        "total_invocations": window.total_invocations,
+        "busiest_minute": int(agg.max()),
+        "mean_per_minute": float(agg.mean()),
+        "index_of_dispersion": float(agg.var() / agg.mean())
+        if agg.mean() > 0 else float("nan"),
+        "active_functions": active,
+        "active_fraction": active / trace.n_functions,
+    }

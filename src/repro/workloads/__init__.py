@@ -1,0 +1,40 @@
+"""Workload substrate: runnable FunctionBench bodies and the augmented pool.
+
+See :mod:`repro.workloads.base` for the Workload / WorkloadFamily model,
+:mod:`repro.workloads.functionbench` for the ten Table-1 benchmarks,
+:mod:`repro.workloads.pool` for augmentation, and
+:mod:`repro.workloads.calibration` for on-host runtime fitting.
+"""
+
+from repro.workloads.base import FamilyRegistry, Workload, WorkloadFamily
+from repro.workloads.calibration import (
+    CalibrationResult,
+    calibrate_family,
+    measure_runtime_ms,
+)
+from repro.workloads.functionbench import ALL_FAMILIES, default_registry
+from repro.workloads.io import load_pool, merge_pools, save_pool
+from repro.workloads.pool import (
+    WorkloadPool,
+    build_default_pool,
+    build_extended_pool,
+    vanilla_functionbench,
+)
+
+__all__ = [
+    "ALL_FAMILIES",
+    "CalibrationResult",
+    "FamilyRegistry",
+    "Workload",
+    "WorkloadFamily",
+    "WorkloadPool",
+    "build_default_pool",
+    "build_extended_pool",
+    "calibrate_family",
+    "default_registry",
+    "load_pool",
+    "measure_runtime_ms",
+    "merge_pools",
+    "save_pool",
+    "vanilla_functionbench",
+]

@@ -1,0 +1,169 @@
+"""Workload model: runnable FaaS function bodies with cost models.
+
+FaaSRail treats a *Workload* as a distinct ``(function, input)`` combination
+with a known average warm execution time (paper section 3.1.1).  Here each
+FunctionBench-style family is a :class:`WorkloadFamily` that can
+
+- enumerate an input grid (the paper's "augmentation": varying the input so
+  execution times span the whole trace distribution),
+- *estimate* the warm runtime of any input through an analytic cost model
+  (``overhead + ms_per_unit * work_units(params)``, coefficients shipped
+  from calibration on a reference machine and re-fittable on any host via
+  :mod:`repro.workloads.calibration`), and
+- actually *run* the input (a genuine computation, used by the live
+  replayer and by calibration -- never a sleep or busy loop).
+
+The pool built from estimates is deterministic and instant to construct;
+the paper's physical measurement step (each workload pinned to a core of a
+Xeon 4314) is replaced by the cost model + optional on-host calibration, as
+recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+__all__ = ["Workload", "WorkloadFamily", "FamilyRegistry"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One distinct (function, input) combination.
+
+    Attributes
+    ----------
+    workload_id:
+        Unique id, ``"<family>:<variant index>"``.
+    family:
+        Name of the originating benchmark (e.g. ``"pyaes"``).
+    params:
+        Input parameters, as an immutable mapping.
+    runtime_ms:
+        Average warm execution time used by the mapping stage.
+    memory_mb:
+        Estimated resident memory, used for the Figure-7 comparison.
+    """
+
+    workload_id: str
+    family: str
+    params: Mapping[str, Any]
+    runtime_ms: float
+    memory_mb: float
+
+    def __post_init__(self) -> None:
+        if self.runtime_ms <= 0:
+            raise ValueError(
+                f"{self.workload_id}: runtime must be positive, "
+                f"got {self.runtime_ms}"
+            )
+        if self.memory_mb <= 0:
+            raise ValueError(
+                f"{self.workload_id}: memory must be positive, "
+                f"got {self.memory_mb}"
+            )
+        # Freeze the params mapping so Workloads are safely hashable-by-id
+        # and cannot drift after pool construction.
+        object.__setattr__(self, "params", dict(self.params))
+
+
+class WorkloadFamily(abc.ABC):
+    """A FunctionBench benchmark with a parameterisable input.
+
+    Subclasses define the input grid, the work-unit function, and the
+    runnable body.  Cost coefficients (``overhead_ms``, ``ms_per_unit``)
+    are class attributes calibrated on the reference machine; the
+    calibration harness re-fits them per host.
+    """
+
+    #: Family name; must be unique across the registry.
+    name: str = ""
+    #: Fixed per-invocation overhead of the body, in ms.
+    overhead_ms: float = 0.05
+    #: Marginal cost per work unit, in ms.
+    ms_per_unit: float = 1.0
+    #: Baseline resident memory of the runtime, in MiB.
+    base_memory_mb: float = 30.0
+
+    # ------------------------------------------------------------------
+    # to implement
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def input_grid(self) -> Iterable[Mapping[str, Any]]:
+        """Yield the augmentation grid: one params mapping per variant."""
+
+    @abc.abstractmethod
+    def work_units(self, **params) -> float:
+        """Abstract work volume of an input (drives the cost model)."""
+
+    @abc.abstractmethod
+    def prepare(self, rng, **params) -> Any:
+        """Build the invocation payload (deterministic given ``rng``)."""
+
+    @abc.abstractmethod
+    def execute(self, payload) -> Any:
+        """Run the function body on a prepared payload; returns its result."""
+
+    # ------------------------------------------------------------------
+    # provided
+    # ------------------------------------------------------------------
+    def estimated_runtime_ms(self, **params) -> float:
+        """Cost-model estimate of the warm runtime for ``params``."""
+        return self.overhead_ms + self.ms_per_unit * self.work_units(**params)
+
+    def estimated_memory_mb(self, **params) -> float:
+        """Rough resident-set estimate; families override when input-sized
+        buffers dominate."""
+        return self.base_memory_mb
+
+    def workloads(self, start_index: int = 0) -> list[Workload]:
+        """Materialise this family's grid as Workload records."""
+        out = []
+        for k, params in enumerate(self.input_grid(), start=start_index):
+            out.append(
+                Workload(
+                    workload_id=f"{self.name}:{k}",
+                    family=self.name,
+                    params=params,
+                    runtime_ms=self.estimated_runtime_ms(**params),
+                    memory_mb=self.estimated_memory_mb(**params),
+                )
+            )
+        return out
+
+    def run(self, rng, **params):
+        """Prepare and execute in one call (convenience for tests/examples)."""
+        return self.execute(self.prepare(rng, **params))
+
+
+@dataclass
+class FamilyRegistry:
+    """Name -> family lookup used by the pool builder and the replayer."""
+
+    _families: dict[str, WorkloadFamily] = field(default_factory=dict)
+
+    def register(self, family: WorkloadFamily) -> WorkloadFamily:
+        if not family.name:
+            raise ValueError(f"{type(family).__name__} has no name")
+        if family.name in self._families:
+            raise ValueError(f"duplicate family {family.name!r}")
+        self._families[family.name] = family
+        return family
+
+    def get(self, name: str) -> WorkloadFamily:
+        try:
+            return self._families[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown workload family {name!r}; known: {sorted(self._families)}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._families)
+
+    def __iter__(self):
+        return iter(self._families.values())
+
+    def __len__(self) -> int:
+        return len(self._families)

@@ -1,0 +1,56 @@
+"""The ten FunctionBench workloads of the paper's Table 1.
+
+Each module implements one benchmark as a :class:`~repro.workloads.base.
+WorkloadFamily`: a runnable NumPy / pure-Python body with the original's
+computational profile, an augmentation input grid, and a calibrated cost
+model.  :func:`default_registry` wires them all up.
+"""
+
+from repro.workloads.base import FamilyRegistry
+from repro.workloads.functionbench.chameleon import Chameleon
+from repro.workloads.functionbench.cnn_serving import CnnServing
+from repro.workloads.functionbench.image_processing import ImageProcessing
+from repro.workloads.functionbench.json_serdes import JsonSerdes
+from repro.workloads.functionbench.lr_serving import LrServing
+from repro.workloads.functionbench.lr_training import LrTraining
+from repro.workloads.functionbench.matmul import MatMul
+from repro.workloads.functionbench.pyaes import PyAES
+from repro.workloads.functionbench.rnn_serving import RnnServing
+from repro.workloads.functionbench.video_processing import VideoProcessing
+
+__all__ = [
+    "ALL_FAMILIES",
+    "Chameleon",
+    "CnnServing",
+    "ImageProcessing",
+    "JsonSerdes",
+    "LrServing",
+    "LrTraining",
+    "MatMul",
+    "PyAES",
+    "RnnServing",
+    "VideoProcessing",
+    "default_registry",
+]
+
+#: Family classes in Table-1 order.
+ALL_FAMILIES = (
+    Chameleon,
+    CnnServing,
+    ImageProcessing,
+    JsonSerdes,
+    MatMul,
+    LrServing,
+    LrTraining,
+    PyAES,
+    RnnServing,
+    VideoProcessing,
+)
+
+
+def default_registry() -> FamilyRegistry:
+    """Fresh registry holding one instance of each Table-1 family."""
+    registry = FamilyRegistry()
+    for cls in ALL_FAMILIES:
+        registry.register(cls())
+    return registry

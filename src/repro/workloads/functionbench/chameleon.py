@@ -1,0 +1,57 @@
+"""``chameleon`` -- HTML table rendering (FunctionBench, Table 1).
+
+The original workload renders an HTML table with the Chameleon templating
+engine; the body here performs the same string-assembly work in pure
+Python: per-cell formatting, row joins and document concatenation, with
+cost linear in ``rows * cols``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import WorkloadFamily
+
+__all__ = ["Chameleon"]
+
+
+class Chameleon(WorkloadFamily):
+    name = "chameleon"
+    overhead_ms = 0.02
+    ms_per_unit = 5.6e-4  # per table cell; calibrated in-repo
+    base_memory_mb = 35.0
+
+    _ROWS = np.unique(np.geomspace(1_000, 120_000, 56).astype(int))
+    _COLS = (4, 8, 16, 32, 64)
+    #: Bounds on rendered cells: ~5 ms .. ~4 s of templating work.
+    _MIN_CELLS = 9_000
+    _MAX_CELLS = 7_200_000
+
+    def input_grid(self):
+        for rows in self._ROWS:
+            for cols in self._COLS:
+                cells = int(rows) * cols
+                if self._MIN_CELLS <= cells <= self._MAX_CELLS:
+                    yield {"rows": int(rows), "cols": int(cols)}
+
+    def work_units(self, *, rows: int, cols: int) -> float:
+        return float(rows * cols)
+
+    def estimated_memory_mb(self, *, rows: int, cols: int) -> float:
+        # ~24 bytes per rendered cell held in the output document
+        return self.base_memory_mb + rows * cols * 24 / 2**20
+
+    def prepare(self, rng, *, rows: int, cols: int):
+        if rows <= 0 or cols <= 0:
+            raise ValueError("rows and cols must be positive")
+        values = rng.integers(0, 10**6, size=(rows, cols))
+        return values
+
+    def execute(self, payload):
+        values = payload
+        rows = []
+        for r in values:
+            cells = "".join(f"<td>{int(v):06d}</td>" for v in r)
+            rows.append(f"<tr>{cells}</tr>")
+        doc = "<html><body><table>\n" + "\n".join(rows) + "\n</table></body></html>"
+        return len(doc)

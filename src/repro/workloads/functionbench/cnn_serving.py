@@ -1,0 +1,84 @@
+"""``cnn_serving`` -- JPEG-classification CNN inference (FunctionBench).
+
+The original serves a TensorFlow CNN; the body here runs a small
+convolutional stack (im2col + matmul convolutions, ReLU, 2x2 max-pool,
+dense head) with NumPy over a ``side x side x 3`` input.
+
+Deliberately *not* augmented: the paper keeps cnn_serving at a handful of
+fixed inputs (a pre-trained classifier has one input shape family), which
+is exactly why it is rare in Azure-mapped request mixes and absent from
+Huawei-mapped ones (Figures 12a/12b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import WorkloadFamily
+
+__all__ = ["CnnServing"]
+
+
+def _conv2d(x: np.ndarray, kernels: np.ndarray) -> np.ndarray:
+    """Valid 3x3 convolution via im2col; x is (h, w, c_in), kernels
+    (3, 3, c_in, c_out)."""
+    h, w, c_in = x.shape
+    kh, kw, _, c_out = kernels.shape
+    oh, ow = h - kh + 1, w - kw + 1
+    # Gather all 3x3 patches with stride tricks (views, no copy) then one GEMM.
+    s0, s1, s2 = x.strides
+    patches = np.lib.stride_tricks.as_strided(
+        x, shape=(oh, ow, kh, kw, c_in), strides=(s0, s1, s0, s1, s2)
+    )
+    cols = patches.reshape(oh * ow, kh * kw * c_in)
+    out = cols @ kernels.reshape(kh * kw * c_in, c_out)
+    return out.reshape(oh, ow, c_out)
+
+
+def _maxpool2(x: np.ndarray) -> np.ndarray:
+    h, w, c = x.shape
+    h2, w2 = h // 2, w // 2
+    view = x[: h2 * 2, : w2 * 2].reshape(h2, 2, w2, 2, c)
+    return view.max(axis=(1, 3))
+
+
+class CnnServing(WorkloadFamily):
+    name = "cnn_serving"
+    overhead_ms = 2.0
+    ms_per_unit = 1.46e-7  # per conv MAC
+    base_memory_mb = 220.0  # a loaded TF/Keras model dominates the footprint
+
+    _SIDES = (64, 96, 128, 224)
+
+    def input_grid(self):
+        for side in self._SIDES:
+            yield {"side": side, "channels": 64}
+
+    def work_units(self, *, side: int, channels: int) -> float:
+        # two conv layers (3 -> c, c -> c) with a pool between them
+        l1 = (side - 2) ** 2 * 9 * 3 * channels
+        side2 = (side - 2) // 2
+        l2 = (side2 - 2) ** 2 * 9 * channels * channels
+        return float(l1 + l2)
+
+    def estimated_memory_mb(self, *, side: int, channels: int) -> float:
+        acts = side * side * channels * 8
+        return self.base_memory_mb + acts / 2**20
+
+    def prepare(self, rng, *, side: int, channels: int):
+        if side < 8 or channels <= 0:
+            raise ValueError("side must be >= 8 and channels positive")
+        img = rng.standard_normal((side, side, 3))
+        k1 = rng.standard_normal((3, 3, 3, channels)) * 0.1
+        k2 = rng.standard_normal((3, 3, channels, channels)) * 0.1
+        dense = rng.standard_normal((channels, 10)) * 0.1
+        return img, k1, k2, dense
+
+    def execute(self, payload):
+        img, k1, k2, dense = payload
+        x = np.maximum(_conv2d(img, k1), 0.0)
+        x = _maxpool2(x)
+        x = np.maximum(_conv2d(x, k2), 0.0)
+        features = x.mean(axis=(0, 1))  # global average pool
+        logits = features @ dense
+        return int(np.argmax(logits))

@@ -1,0 +1,74 @@
+"""``image_processing`` -- JPEG-style image manipulation (FunctionBench).
+
+The original workload flips/rotates/filters a JPEG with Pillow; the body
+here applies the same class of operations (flip, rotate, box blur,
+contrast stretch) to an in-memory ``side x side x 3`` uint8 array with
+NumPy, cost linear in pixels processed per op.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import WorkloadFamily
+
+__all__ = ["ImageProcessing"]
+
+
+def _box_blur(img: np.ndarray) -> np.ndarray:
+    # 3x3 box filter via shifted views; float32 accumulator, no copies of
+    # the input beyond the accumulator itself.
+    acc = np.zeros(img.shape, dtype=np.float32)
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            acc += np.roll(np.roll(img, dy, axis=0), dx, axis=1)
+    return (acc / 9.0).astype(np.uint8)
+
+
+class ImageProcessing(WorkloadFamily):
+    name = "image_processing"
+    overhead_ms = 0.05
+    ms_per_unit = 6.7e-6  # per pixel-op across the op pipeline
+    base_memory_mb = 40.0
+
+    _SIDES = np.unique(np.geomspace(256, 4608, 48).astype(int))
+    _OPS = (2, 4, 8, 16, 32)
+    #: Bounds on pixel-ops: ~3 ms .. ~4 s across the pipeline.
+    _MIN_WORK = 4.5e5
+    _MAX_WORK = 6.0e8
+
+    def input_grid(self):
+        for side in self._SIDES:
+            for ops in self._OPS:
+                work = int(side) * int(side) * ops
+                if self._MIN_WORK <= work <= self._MAX_WORK:
+                    yield {"side": int(side), "ops": ops}
+
+    def work_units(self, *, side: int, ops: int) -> float:
+        return float(side * side * ops)
+
+    def estimated_memory_mb(self, *, side: int, ops: int) -> float:
+        # uint8 image + float32 blur accumulator, 3 channels
+        return self.base_memory_mb + side * side * 3 * 5 / 2**20
+
+    def prepare(self, rng, *, side: int, ops: int):
+        if side <= 0 or ops <= 0:
+            raise ValueError("side and ops must be positive")
+        img = rng.integers(0, 256, size=(side, side, 3), dtype=np.uint8)
+        return img, ops
+
+    def execute(self, payload):
+        img, ops = payload
+        for k in range(ops):
+            step = k % 4
+            if step == 0:
+                img = img[::-1]  # vertical flip (view)
+            elif step == 1:
+                img = np.rot90(img).copy()
+            elif step == 2:
+                img = _box_blur(img)
+            else:
+                lo, hi = img.min(), img.max()
+                span = max(int(hi) - int(lo), 1)
+                img = ((img.astype(np.int16) - lo) * 255 // span).astype(np.uint8)
+        return int(img.sum(dtype=np.int64))

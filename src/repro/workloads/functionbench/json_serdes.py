@@ -1,0 +1,68 @@
+"""``json_serdes`` -- JSON serialisation & deserialisation (FunctionBench).
+
+Round-trips a synthetic nested document through ``json.dumps`` /
+``json.loads``; cost scales with the number of leaf values.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.workloads.base import WorkloadFamily
+
+__all__ = ["JsonSerdes"]
+
+
+class JsonSerdes(WorkloadFamily):
+    name = "json_serdes"
+    overhead_ms = 0.02
+    ms_per_unit = 5.0e-4  # per leaf value round-tripped; calibrated in-repo
+    base_memory_mb = 30.0
+
+    import numpy as _np
+
+    _N_RECORDS = tuple(
+        int(v)
+        for v in _np.unique(_np.geomspace(2_000, 300_000, 44).astype(int))
+    )
+    _FIELDS = (4, 8, 16)
+    _ROUNDTRIPS = (1, 2, 4)
+    #: Bounds on leafs*roundtrips: ~5 ms .. ~8 s of serdes work.
+    _MIN_WORK = 1.0e4
+    _MAX_WORK = 1.6e7
+
+    def input_grid(self):
+        for n in self._N_RECORDS:
+            for fields in self._FIELDS:
+                for roundtrips in self._ROUNDTRIPS:
+                    work = n * fields * roundtrips
+                    if self._MIN_WORK <= work <= self._MAX_WORK:
+                        yield {"n_records": n, "fields": fields,
+                               "roundtrips": roundtrips}
+
+    def work_units(self, *, n_records: int, fields: int,
+                   roundtrips: int) -> float:
+        return float(n_records * fields * roundtrips)
+
+    def estimated_memory_mb(self, *, n_records: int, fields: int,
+                            roundtrips: int) -> float:
+        return self.base_memory_mb + n_records * fields * 40 / 2**20
+
+    def prepare(self, rng, *, n_records: int, fields: int, roundtrips: int):
+        if min(n_records, fields, roundtrips) <= 0:
+            raise ValueError("all parameters must be positive")
+        doc = [
+            {f"field_{j}": int(v) for j, v in
+             enumerate(rng.integers(0, 10**9, size=fields))}
+            for _ in range(n_records)
+        ]
+        return doc, roundtrips
+
+    def execute(self, payload):
+        doc, roundtrips = payload
+        size = 0
+        for _ in range(roundtrips):
+            blob = json.dumps(doc)
+            doc = json.loads(blob)
+            size = len(blob)
+        return size

@@ -1,0 +1,51 @@
+"""``lr_serving`` -- logistic-regression inference (FunctionBench).
+
+The original serves a scikit-learn logistic-regression model; the body
+here computes ``sigmoid(X @ w + b)`` over a ``batch x features`` input
+with NumPy -- the identical arithmetic, without the sklearn wrapper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import WorkloadFamily
+
+__all__ = ["LrServing"]
+
+
+class LrServing(WorkloadFamily):
+    name = "lr_serving"
+    #: The warm sklearn-style serving path still pays ~1 ms of model lookup
+    #: and input marshalling before the dot product.
+    overhead_ms = 1.0
+    ms_per_unit = 4.4e-7  # per feature MAC
+    base_memory_mb = 45.0
+
+    _BATCHES = np.unique(np.geomspace(5_000, 120_000, 36).astype(int))
+    _FEATURES = (32, 128, 512)
+
+    def input_grid(self):
+        for batch in self._BATCHES:
+            for features in self._FEATURES:
+                yield {"batch": int(batch), "features": features}
+
+    def work_units(self, *, batch: int, features: int) -> float:
+        return float(batch * features)
+
+    def estimated_memory_mb(self, *, batch: int, features: int) -> float:
+        return self.base_memory_mb + batch * features * 8 / 2**20
+
+    def prepare(self, rng, *, batch: int, features: int):
+        if batch <= 0 or features <= 0:
+            raise ValueError("batch and features must be positive")
+        x = rng.standard_normal((batch, features))
+        w = rng.standard_normal(features)
+        b = float(rng.standard_normal())
+        return x, w, b
+
+    def execute(self, payload):
+        x, w, b = payload
+        logits = x @ w + b
+        probs = 1.0 / (1.0 + np.exp(-logits))
+        return int((probs > 0.5).sum())

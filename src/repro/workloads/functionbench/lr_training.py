@@ -1,0 +1,70 @@
+"""``lr_training`` -- logistic-regression training (FunctionBench).
+
+Full-batch gradient descent on a synthetic binary-classification set.
+This is the suite's long-running outlier: the paper notes its quickest
+variation needs more than 3 s, which (given that only ~3% of Azure
+invocations run that long) explains its low representation in generated
+request mixes (Figure 12a).  The grid is deliberately small and coarse --
+training jobs do not come in 200 input sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import WorkloadFamily
+
+__all__ = ["LrTraining"]
+
+
+class LrTraining(WorkloadFamily):
+    name = "lr_training"
+    overhead_ms = 1.0
+    ms_per_unit = 1.05e-6  # per sample-feature-iteration MAC pair
+    base_memory_mb = 90.0
+
+    _N_SAMPLES = (20_000, 30_000, 45_000, 68_000, 100_000, 150_000)
+    _FEATURES = (128, 256, 512)
+    _ITERATIONS = (1_200, 2_400, 4_800)
+    #: Bounds on sample-feature-iteration MACs: ~3 s .. ~140 s.
+    _MIN_WORK = 2.9e9
+    _MAX_WORK = 1.33e11
+
+    def input_grid(self):
+        for n_samples in self._N_SAMPLES:
+            for features in self._FEATURES:
+                for iterations in self._ITERATIONS:
+                    work = float(n_samples) * features * iterations
+                    if self._MIN_WORK <= work <= self._MAX_WORK:
+                        yield {"n_samples": n_samples, "features": features,
+                               "iterations": iterations}
+
+    def work_units(self, *, n_samples: int, features: int,
+                   iterations: int) -> float:
+        return float(n_samples) * features * iterations
+
+    def estimated_memory_mb(self, *, n_samples: int, features: int,
+                            iterations: int) -> float:
+        return self.base_memory_mb + n_samples * features * 8 / 2**20
+
+    def prepare(self, rng, *, n_samples: int, features: int,
+                iterations: int):
+        if min(n_samples, features, iterations) <= 0:
+            raise ValueError("all parameters must be positive")
+        x = rng.standard_normal((n_samples, features))
+        true_w = rng.standard_normal(features)
+        y = (x @ true_w + 0.5 * rng.standard_normal(n_samples) > 0).astype(
+            np.float64
+        )
+        return x, y, iterations
+
+    def execute(self, payload):
+        x, y, iterations = payload
+        n, d = x.shape
+        w = np.zeros(d)
+        lr = 0.1
+        for _ in range(iterations):
+            probs = 1.0 / (1.0 + np.exp(-(x @ w)))
+            grad = x.T @ (probs - y) / n
+            w -= lr * grad
+        return float(np.linalg.norm(w))

@@ -1,0 +1,55 @@
+"""``matmul`` -- dense matrix multiplication with NumPy (FunctionBench).
+
+``reps`` products of two ``n x n`` float64 matrices; cost model uses the
+classical ``n^3`` term plus an ``n^2`` touch term for small sizes where
+allocation dominates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import WorkloadFamily
+
+__all__ = ["MatMul"]
+
+
+class MatMul(WorkloadFamily):
+    name = "matmul"
+    overhead_ms = 0.03
+    ms_per_unit = 4.0e-8  # per fused multiply-add; calibrated in-repo
+    base_memory_mb = 32.0
+
+    _SIZES = np.unique(np.geomspace(288, 2816, 56).astype(int))
+    _REPS = (1, 2, 4, 8, 16)
+    #: Cap estimated runtime at ~10 s: huge repeated GEMMs are not a
+    #: realistic FaaS request body.
+    _MAX_RUNTIME_MS = 10_000.0
+
+    def input_grid(self):
+        for n in self._SIZES:
+            for reps in self._REPS:
+                params = {"n": int(n), "reps": reps}
+                if self.estimated_runtime_ms(**params) <= self._MAX_RUNTIME_MS:
+                    yield params
+
+    def work_units(self, *, n: int, reps: int) -> float:
+        return float(reps) * (float(n) ** 3 + 40.0 * n * n)
+
+    def estimated_memory_mb(self, *, n: int, reps: int) -> float:
+        return self.base_memory_mb + 3 * n * n * 8 / 2**20
+
+    def prepare(self, rng, *, n: int, reps: int):
+        if n <= 0 or reps <= 0:
+            raise ValueError("n and reps must be positive")
+        a = rng.random((n, n))
+        b = rng.random((n, n))
+        return a, b, reps
+
+    def execute(self, payload):
+        a, b, reps = payload
+        acc = 0.0
+        for _ in range(reps):
+            c = a @ b
+            acc += float(c[0, 0])
+        return acc

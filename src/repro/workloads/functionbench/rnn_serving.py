@@ -1,0 +1,63 @@
+"""``rnn_serving`` -- word-generation RNN inference (FunctionBench).
+
+The original runs a PyTorch character RNN; the body here performs the same
+forward recurrence (``h = tanh(W_xh x + W_hh h)`` followed by an output
+projection and argmax sampling) with NumPy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import WorkloadFamily
+
+__all__ = ["RnnServing"]
+
+
+class RnnServing(WorkloadFamily):
+    name = "rnn_serving"
+    #: Warm framework dispatch (embedding lookups, tensor setup) costs ~1.5
+    #: ms before the recurrence itself.
+    overhead_ms = 1.5
+    ms_per_unit = 1.49e-7  # per recurrent MAC
+    base_memory_mb = 70.0
+
+    _SEQ_LENS = (16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768)
+    _HIDDEN = (128, 256, 512, 768, 1024)
+
+    def input_grid(self):
+        for seq_len in self._SEQ_LENS:
+            for hidden in self._HIDDEN:
+                yield {"seq_len": seq_len, "hidden": hidden}
+
+    def work_units(self, *, seq_len: int, hidden: int) -> float:
+        # two dense hidden-size products plus the vocab projection per step
+        vocab = 128
+        return float(seq_len) * (2.0 * hidden * hidden + hidden * vocab)
+
+    def estimated_memory_mb(self, *, seq_len: int, hidden: int) -> float:
+        vocab = 128
+        weights = (2 * hidden * hidden + hidden * vocab) * 8
+        return self.base_memory_mb + weights / 2**20
+
+    def prepare(self, rng, *, seq_len: int, hidden: int):
+        if seq_len <= 0 or hidden <= 0:
+            raise ValueError("seq_len and hidden must be positive")
+        vocab = 128
+        w_xh = rng.standard_normal((vocab, hidden)) * 0.1
+        w_hh = rng.standard_normal((hidden, hidden)) * 0.1
+        w_hy = rng.standard_normal((hidden, vocab)) * 0.1
+        first = int(rng.integers(0, vocab))
+        return w_xh, w_hh, w_hy, first, seq_len
+
+    def execute(self, payload):
+        w_xh, w_hh, w_hy, token, seq_len = payload
+        hidden = w_hh.shape[0]
+        h = np.zeros(hidden)
+        out = []
+        for _ in range(seq_len):
+            h = np.tanh(w_xh[token] + h @ w_hh)
+            logits = h @ w_hy
+            token = int(np.argmax(logits))
+            out.append(token)
+        return out[-1]

@@ -1,0 +1,64 @@
+"""``video_processing`` -- gray-scale effect over video frames (FunctionBench).
+
+The original applies an OpenCV gray-scale effect to a video; the body here
+converts ``frames`` RGB frames of ``side x side`` to luma with the BT.601
+weights and re-encodes them to a (fake) planar buffer.  Cost is linear in
+total pixels, and the per-invocation work is the largest of the suite
+after lr_training, giving the pool its mid-to-long-running mass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import WorkloadFamily
+
+__all__ = ["VideoProcessing"]
+
+_BT601 = np.array([0.299, 0.587, 0.114], dtype=np.float32)
+
+
+class VideoProcessing(WorkloadFamily):
+    name = "video_processing"
+    overhead_ms = 0.1
+    ms_per_unit = 2.2e-6  # per pixel (weighted sum + store)
+    base_memory_mb = 60.0
+
+    _FRAMES = (8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512,
+               768, 1024, 1280, 1536, 1792, 2048, 2560)
+    _SIDES = (240, 360, 480, 720, 1080, 1440, 1920)
+    #: Bounds on total pixels: ~20 ms .. ~15 s of frame processing.
+    _MIN_PIXELS = 9.0e6
+    _MAX_PIXELS = 6.8e9
+
+    def input_grid(self):
+        for frames in self._FRAMES:
+            for side in self._SIDES:
+                pixels = frames * side * side
+                if self._MIN_PIXELS <= pixels <= self._MAX_PIXELS:
+                    yield {"frames": frames, "side": side}
+
+    def work_units(self, *, frames: int, side: int) -> float:
+        return float(frames * side * side)
+
+    def estimated_memory_mb(self, *, frames: int, side: int) -> float:
+        # one RGB frame + one luma frame resident at a time, plus a small
+        # window of buffered output frames
+        return self.base_memory_mb + side * side * (3 + 4 + 1) * 8 / 2**20
+
+    def prepare(self, rng, *, frames: int, side: int):
+        if frames <= 0 or side <= 0:
+            raise ValueError("frames and side must be positive")
+        # A seed frame; successive frames are derived in execute() so the
+        # payload stays one frame large regardless of `frames`.
+        seed_frame = rng.integers(0, 256, size=(side, side, 3), dtype=np.uint8)
+        return seed_frame, frames
+
+    def execute(self, payload):
+        frame, n_frames = payload
+        total = 0
+        for k in range(n_frames):
+            rgb = frame if k == 0 else np.roll(frame, k, axis=0)
+            luma = (rgb.astype(np.float32) @ _BT601).astype(np.uint8)
+            total += int(luma[0, 0])
+        return total

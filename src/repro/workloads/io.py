@@ -1,0 +1,76 @@
+"""Workload-pool persistence and composition.
+
+Pools are cheap to rebuild from the grids, but a *calibrated* pool (cost
+models re-fitted on a specific host) is an artifact worth sharing -- and
+the paper's extensibility story ("a larger volume of benchmarking suites
+would lead to even greater variety") needs a way to compose pools from
+several suites.  JSON keeps the artifact human-diffable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.workloads.base import Workload
+from repro.workloads.pool import WorkloadPool
+
+__all__ = ["load_pool", "merge_pools", "save_pool"]
+
+_POOL_VERSION = 1
+
+
+def save_pool(pool: WorkloadPool, path: Path | str) -> None:
+    """Serialise a pool (metadata only; bodies live in the families)."""
+    data = {
+        "version": _POOL_VERSION,
+        "workloads": [
+            {
+                "workload_id": w.workload_id,
+                "family": w.family,
+                "params": dict(w.params),
+                "runtime_ms": w.runtime_ms,
+                "memory_mb": w.memory_mb,
+            }
+            for w in pool
+        ],
+    }
+    Path(path).write_text(json.dumps(data))
+
+
+def load_pool(path: Path | str) -> WorkloadPool:
+    """Load a pool saved by :func:`save_pool`."""
+    data = json.loads(Path(path).read_text())
+    version = data.get("version")
+    if version != _POOL_VERSION:
+        raise ValueError(
+            f"unsupported pool version {version!r} "
+            f"(expected {_POOL_VERSION})"
+        )
+    workloads = [Workload(**w) for w in data["workloads"]]
+    if not workloads:
+        raise ValueError(f"{path}: pool file contains no workloads")
+    return WorkloadPool(workloads)
+
+
+def merge_pools(*pools: WorkloadPool) -> WorkloadPool:
+    """Union of several pools (suite composition).
+
+    Workload ids must be globally unique across the inputs -- families
+    from different suites already namespace their variants, so collisions
+    indicate merging the same suite twice.
+    """
+    if not pools:
+        raise ValueError("need at least one pool")
+    seen: dict[str, str] = {}
+    workloads = []
+    for pool in pools:
+        for w in pool:
+            if w.workload_id in seen:
+                raise ValueError(
+                    f"workload id {w.workload_id!r} appears in multiple "
+                    "pools; are you merging a suite with itself?"
+                )
+            seen[w.workload_id] = w.family
+            workloads.append(w)
+    return WorkloadPool(workloads)

@@ -1,0 +1,187 @@
+"""Workload pool: the augmented set of distinct (function, input) Workloads.
+
+Paper section 3.1.1: the ten FunctionBench workloads are augmented by
+varying their input so the pool's execution-time CDF spans the whole trace
+distribution, yielding ~2300 distinct Workloads.  The pool keeps runtimes
+in a sorted array so the mapping stage's range and nearest-neighbour
+queries are ``searchsorted`` calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.base import FamilyRegistry, Workload
+from repro.workloads.functionbench import default_registry
+
+__all__ = [
+    "WorkloadPool",
+    "build_default_pool",
+    "build_extended_pool",
+    "vanilla_functionbench",
+]
+
+#: Inputs commonly used in the literature for the un-augmented suite
+#: (one per family), mirroring the paper's "vanilla FunctionBench" series.
+VANILLA_INPUTS: dict[str, dict] = {
+    "chameleon": {"rows": 1_000, "cols": 16},
+    "cnn_serving": {"side": 224, "channels": 32},
+    "image_processing": {"side": 512, "ops": 4},
+    "json_serdes": {"n_records": 1_024, "fields": 8, "roundtrips": 1},
+    "matmul": {"n": 512, "reps": 1},
+    "lr_serving": {"batch": 1_000, "features": 128},
+    "lr_training": {"n_samples": 20_000, "features": 128, "iterations": 800},
+    "pyaes": {"length": 4_096, "rounds": 2},
+    "rnn_serving": {"seq_len": 128, "hidden": 128},
+    "video_processing": {"frames": 64, "side": 240},
+}
+
+
+@dataclass
+class WorkloadPool:
+    """An immutable, runtime-sorted collection of Workloads."""
+
+    workloads: list[Workload]
+
+    def __post_init__(self) -> None:
+        if not self.workloads:
+            raise ValueError("pool must contain at least one workload")
+        ids = {w.workload_id for w in self.workloads}
+        if len(ids) != len(self.workloads):
+            raise ValueError("workload ids must be unique")
+        self.workloads = sorted(self.workloads, key=lambda w: w.runtime_ms)
+        self._runtimes = np.array(
+            [w.runtime_ms for w in self.workloads], dtype=np.float64
+        )
+        self._by_id = {w.workload_id: w for w in self.workloads}
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.workloads)
+
+    def __iter__(self):
+        return iter(self.workloads)
+
+    def __getitem__(self, workload_id: str) -> Workload:
+        try:
+            return self._by_id[workload_id]
+        except KeyError:
+            raise KeyError(f"unknown workload {workload_id!r}") from None
+
+    @property
+    def runtimes_ms(self) -> np.ndarray:
+        """Sorted runtime array (read-only view)."""
+        v = self._runtimes.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def memories_mb(self) -> np.ndarray:
+        return np.array([w.memory_mb for w in self.workloads])
+
+    def families(self) -> list[str]:
+        return sorted({w.family for w in self.workloads})
+
+    def count_by_family(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for w in self.workloads:
+            out[w.family] = out.get(w.family, 0) + 1
+        return out
+
+    # ------------------------------------------------------------------
+    # queries used by the mapping stage
+    # ------------------------------------------------------------------
+    def within_threshold(self, runtime_ms: float, pct: float) -> np.ndarray:
+        """Indices of workloads whose runtime is within ``pct``% of target.
+
+        The mapping algorithm's candidate set (paper section 3.1.3): all
+        pool entries whose runtime diverges from the Function's reported
+        average by at most the error threshold.
+        """
+        if runtime_ms <= 0:
+            raise ValueError("runtime must be positive")
+        if pct < 0:
+            raise ValueError("threshold must be non-negative")
+        lo = runtime_ms * (1.0 - pct / 100.0)
+        hi = runtime_ms * (1.0 + pct / 100.0)
+        i = np.searchsorted(self._runtimes, lo, side="left")
+        j = np.searchsorted(self._runtimes, hi, side="right")
+        return np.arange(i, j)
+
+    def nearest(self, runtime_ms: float) -> int:
+        """Index of the workload with runtime closest to ``runtime_ms``.
+
+        The fallback when no workload honours the threshold -- used for the
+        long-running outlier Functions the paper mentions.
+        """
+        if runtime_ms <= 0:
+            raise ValueError("runtime must be positive")
+        j = int(np.searchsorted(self._runtimes, runtime_ms))
+        if j == 0:
+            return 0
+        if j >= self._runtimes.size:
+            return int(self._runtimes.size - 1)
+        left, right = self._runtimes[j - 1], self._runtimes[j]
+        return j - 1 if runtime_ms - left <= right - runtime_ms else j
+
+    def index_of(self, workload_id: str) -> int:
+        w = self[workload_id]
+        lo = int(np.searchsorted(self._runtimes, w.runtime_ms, side="left"))
+        for k in range(lo, len(self.workloads)):
+            if self.workloads[k].workload_id == workload_id:
+                return k
+        raise AssertionError(f"pool index desynchronised for {workload_id}")
+
+
+def build_default_pool(
+    registry: FamilyRegistry | None = None,
+    seed: int | None = None,
+) -> WorkloadPool:
+    """Build the full augmented pool from every registered family.
+
+    ``seed`` is accepted for signature stability but unused: the grid and
+    the cost models are deterministic (measurement noise only enters via
+    the optional on-host calibration).
+    """
+    del seed
+    registry = registry if registry is not None else default_registry()
+    workloads: list[Workload] = []
+    for family in registry:
+        workloads.extend(family.workloads())
+    return WorkloadPool(workloads)
+
+
+def build_extended_pool(seed: int | None = None) -> WorkloadPool:
+    """FunctionBench plus the vSwarm-style suite (~2500 workloads).
+
+    The paper's section-3.3 extensibility claim, realised: four further
+    families (graph analytics, compression, sorting, text parsing) widen
+    the pool's behavioural variety without touching the pipeline.
+    """
+    from repro.workloads.vswarm import extended_registry
+
+    return build_default_pool(registry=extended_registry(), seed=seed)
+
+
+def vanilla_functionbench(
+    registry: FamilyRegistry | None = None,
+) -> WorkloadPool:
+    """The 10-workload un-augmented suite with literature inputs (Fig 6)."""
+    registry = registry if registry is not None else default_registry()
+    workloads = []
+    for name, params in VANILLA_INPUTS.items():
+        family = registry.get(name)
+        workloads.append(
+            Workload(
+                workload_id=f"{name}:vanilla",
+                family=name,
+                params=params,
+                runtime_ms=family.estimated_runtime_ms(**params),
+                memory_mb=family.estimated_memory_mb(**params),
+            )
+        )
+    return WorkloadPool(workloads)

@@ -1,0 +1,38 @@
+"""A second workload suite, in the spirit of vSwarm / SeBS.
+
+Paper section 3.3 ("Flexibility to adopt new real workloads"): FaaSRail is
+not bound to FunctionBench, and enriching the pool with further
+open-source suites is the stated plan.  This subpackage delivers four
+additional families with execution profiles FunctionBench lacks --
+graph analytics (pointer-chasing via networkx), compression (byte-stream
+CPU with zlib), text parsing (regex/scanning), and sorting (comparison-
+bound) -- wired into the same WorkloadFamily contract, so
+:func:`extended_registry` / ``build_extended_pool`` drop them straight
+into the mapping machinery.
+"""
+
+from repro.workloads.base import FamilyRegistry
+from repro.workloads.functionbench import default_registry
+from repro.workloads.vswarm.compression import Compression
+from repro.workloads.vswarm.graph_analytics import GraphAnalytics
+from repro.workloads.vswarm.sorting import Sorting
+from repro.workloads.vswarm.text_parsing import TextParsing
+
+__all__ = [
+    "Compression",
+    "GraphAnalytics",
+    "Sorting",
+    "TextParsing",
+    "VSWARM_FAMILIES",
+    "extended_registry",
+]
+
+VSWARM_FAMILIES = (Compression, GraphAnalytics, Sorting, TextParsing)
+
+
+def extended_registry() -> FamilyRegistry:
+    """FunctionBench plus the vSwarm-style families (14 total)."""
+    registry = default_registry()
+    for cls in VSWARM_FAMILIES:
+        registry.register(cls())
+    return registry

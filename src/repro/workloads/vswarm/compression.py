@@ -1,0 +1,59 @@
+"""``compression`` -- zlib round-trip over a synthetic byte stream.
+
+Byte-oriented CPU work with a memory-bandwidth component, a profile none
+of the FunctionBench ten covers.  Cost is linear in bytes processed per
+round-trip.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.workloads.base import WorkloadFamily
+
+__all__ = ["Compression"]
+
+
+class Compression(WorkloadFamily):
+    name = "compression"
+    overhead_ms = 0.05
+    ms_per_unit = 1.9e-5  # per byte compressed+decompressed (level 6)
+    base_memory_mb = 35.0
+
+    _SIZES = np.unique(np.geomspace(16_384, 8_388_608, 28).astype(int))
+    _ROUNDS = (1, 2, 4)
+
+    def input_grid(self):
+        for size in self._SIZES:
+            for rounds in self._ROUNDS:
+                yield {"size_bytes": int(size), "rounds": rounds}
+
+    def work_units(self, *, size_bytes: int, rounds: int) -> float:
+        return float(size_bytes * rounds)
+
+    def estimated_memory_mb(self, *, size_bytes: int, rounds: int) -> float:
+        return self.base_memory_mb + 3 * size_bytes / 2**20
+
+    def prepare(self, rng, *, size_bytes: int, rounds: int):
+        if size_bytes <= 0 or rounds <= 0:
+            raise ValueError("size_bytes and rounds must be positive")
+        # Mildly compressible data: random bytes interleaved with runs.
+        noise = rng.integers(0, 256, size=size_bytes // 2, dtype=np.uint8)
+        runs = np.repeat(
+            rng.integers(0, 256, size=max(size_bytes // 64, 1),
+                         dtype=np.uint8),
+            32,
+        )[: size_bytes - noise.size]
+        data = np.concatenate([noise, runs]).tobytes()
+        return data, rounds
+
+    def execute(self, payload):
+        data, rounds = payload
+        size = 0
+        for _ in range(rounds):
+            compressed = zlib.compress(data, 6)
+            data = zlib.decompress(compressed)
+            size = len(compressed)
+        return size

@@ -1,0 +1,84 @@
+"""``graph_analytics`` -- BFS + PageRank over a random graph (networkx).
+
+Pointer-chasing with irregular memory access, the profile distributed
+scheduling research increasingly cares about (paper section 2.2).  Cost
+scales with edges times PageRank iterations.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.workloads.base import WorkloadFamily
+
+__all__ = ["GraphAnalytics"]
+
+_EDGES_PER_NODE = 4
+
+
+class GraphAnalytics(WorkloadFamily):
+    name = "graph_analytics"
+    overhead_ms = 0.3
+    ms_per_unit = 1.05e-4  # per edge-iteration (pure-Python adjacency loops)
+    base_memory_mb = 55.0
+
+    _NODES = np.unique(np.geomspace(64, 20_000, 22).astype(int))
+    _ITERATIONS = (5, 10, 20)
+
+    def input_grid(self):
+        for n_nodes in self._NODES:
+            for iterations in self._ITERATIONS:
+                yield {"n_nodes": int(n_nodes), "iterations": iterations}
+
+    def work_units(self, *, n_nodes: int, iterations: int) -> float:
+        # BFS touches each edge once; PageRank touches them per iteration.
+        edges = n_nodes * _EDGES_PER_NODE
+        return float(edges * (iterations + 1))
+
+    def estimated_memory_mb(self, *, n_nodes: int, iterations: int) -> float:
+        # networkx adjacency dicts are heavy: ~0.5 KiB per edge
+        return self.base_memory_mb + \
+            n_nodes * _EDGES_PER_NODE * 512 / 2**20
+
+    def prepare(self, rng, *, n_nodes: int, iterations: int):
+        if n_nodes <= 1 or iterations <= 0:
+            raise ValueError("need n_nodes > 1 and positive iterations")
+        graph = nx.barabasi_albert_graph(
+            n_nodes, _EDGES_PER_NODE, seed=int(rng.integers(0, 2**31))
+        )
+        adjacency = [list(graph.neighbors(v)) for v in range(n_nodes)]
+        source = int(rng.integers(0, n_nodes))
+        return adjacency, source, iterations
+
+    def execute(self, payload):
+        adjacency, source, iterations = payload
+        n = len(adjacency)
+        # BFS reachability: pure-Python pointer chasing.
+        seen = [False] * n
+        seen[source] = True
+        frontier = [source]
+        reachable = 0
+        while frontier:
+            nxt = []
+            for v in frontier:
+                for w in adjacency[v]:
+                    if not seen[w]:
+                        seen[w] = True
+                        nxt.append(w)
+            reachable += len(frontier)
+            frontier = nxt
+        # Fixed-iteration PageRank power method over the adjacency lists
+        # (deliberately dict/list-based: irregular access is the profile).
+        damping = 0.85
+        rank = [1.0 / n] * n
+        degree = [max(len(a), 1) for a in adjacency]
+        for _ in range(iterations):
+            nxt_rank = [(1.0 - damping) / n] * n
+            for v, neighbours in enumerate(adjacency):
+                share = damping * rank[v] / degree[v]
+                for w in neighbours:
+                    nxt_rank[w] += share
+            rank = nxt_rank
+        top = max(range(n), key=rank.__getitem__)
+        return reachable, top

@@ -1,0 +1,49 @@
+"""``sorting`` -- comparison sorting of string records.
+
+Interpreter-bound comparison work over Python string tuples (Timsort with
+custom keys), distinct from NumPy's vectorised number crunching.  Cost is
+``n log n`` in records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import WorkloadFamily
+
+__all__ = ["Sorting"]
+
+
+class Sorting(WorkloadFamily):
+    name = "sorting"
+    overhead_ms = 0.05
+    ms_per_unit = 2.9e-5  # per record-comparison-ish unit (n log2 n)
+    base_memory_mb = 40.0
+
+    _SIZES = np.unique(np.geomspace(1_000, 2_000_000, 24).astype(int))
+    _KEYS = (1, 3)
+
+    def input_grid(self):
+        for n_records in self._SIZES:
+            for n_keys in self._KEYS:
+                yield {"n_records": int(n_records), "n_keys": n_keys}
+
+    def work_units(self, *, n_records: int, n_keys: int) -> float:
+        return float(n_records * np.log2(max(n_records, 2)) * n_keys)
+
+    def estimated_memory_mb(self, *, n_records: int, n_keys: int) -> float:
+        return self.base_memory_mb + n_records * 80 / 2**20
+
+    def prepare(self, rng, *, n_records: int, n_keys: int):
+        if n_records <= 0 or n_keys <= 0:
+            raise ValueError("n_records and n_keys must be positive")
+        ints = rng.integers(0, 10**9, size=(n_records, n_keys))
+        records = [tuple(f"k{v:09d}" for v in row) for row in ints]
+        return records, n_keys
+
+    def execute(self, payload):
+        records, n_keys = payload
+        out = records
+        for key_idx in range(n_keys):
+            out = sorted(out, key=lambda r, k=key_idx: r[k])
+        return out[0][0]

@@ -1,0 +1,67 @@
+"""``text_parsing`` -- regex scanning and tokenisation of synthetic logs.
+
+String scanning with branchy per-character work (an API-gateway /
+log-processing profile).  Cost is linear in characters scanned per pass.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.workloads.base import WorkloadFamily
+
+__all__ = ["TextParsing"]
+
+_LINE_TEMPLATE = "{ts:010d} host-{h:03d} GET /api/v{v}/item/{item:06d} {ms}ms\n"
+_PATTERN = re.compile(
+    r"^(?P<ts>\d+) host-(?P<host>\d+) (?P<verb>\w+) "
+    r"(?P<path>\S+) (?P<ms>\d+)ms$",
+    re.MULTILINE,
+)
+
+
+class TextParsing(WorkloadFamily):
+    name = "text_parsing"
+    overhead_ms = 0.10
+    ms_per_unit = 7.1e-4  # per log line scanned per pass
+    base_memory_mb = 38.0
+
+    _LINES = np.unique(np.geomspace(200, 400_000, 24).astype(int))
+    _PASSES = (1, 2, 4)
+
+    def input_grid(self):
+        for n_lines in self._LINES:
+            for passes in self._PASSES:
+                yield {"n_lines": int(n_lines), "passes": passes}
+
+    def work_units(self, *, n_lines: int, passes: int) -> float:
+        return float(n_lines * passes)
+
+    def estimated_memory_mb(self, *, n_lines: int, passes: int) -> float:
+        return self.base_memory_mb + n_lines * 60 / 2**20
+
+    def prepare(self, rng, *, n_lines: int, passes: int):
+        if n_lines <= 0 or passes <= 0:
+            raise ValueError("n_lines and passes must be positive")
+        ts = rng.integers(0, 10**9, size=n_lines)
+        hosts = rng.integers(0, 1000, size=n_lines)
+        items = rng.integers(0, 10**6, size=n_lines)
+        ms = rng.integers(1, 5000, size=n_lines)
+        text = "".join(
+            _LINE_TEMPLATE.format(ts=int(t), h=int(h), v=1 + int(h) % 3,
+                                  item=int(i), ms=int(m))
+            for t, h, i, m in zip(ts, hosts, items, ms)
+        )
+        return text, passes
+
+    def execute(self, payload):
+        text, passes = payload
+        slow = 0
+        for _ in range(passes):
+            slow = sum(
+                1 for m in _PATTERN.finditer(text)
+                if int(m.group("ms")) > 2500
+            )
+        return slow

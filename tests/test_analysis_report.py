@@ -1,0 +1,76 @@
+"""Tests for the claim-check report generator and the DKW band."""
+
+import pytest
+
+from repro.analysis import (
+    ClaimCheck,
+    FigureContext,
+    generate_report,
+    run_claim_checks,
+)
+from repro.stats import dkw_band
+
+
+class TestDkwBand:
+    def test_shrinks_with_n(self):
+        assert dkw_band(10_000) < dkw_band(100)
+
+    def test_known_value(self):
+        # sqrt(ln(40)/2n) at alpha=0.05, n=1000
+        assert dkw_band(1000, alpha=0.05) == pytest.approx(0.0429, abs=1e-3)
+
+    def test_ecdf_within_band_of_truth(self):
+        import numpy as np
+
+        from repro.stats import EmpiricalCDF
+
+        rng = np.random.default_rng(0)
+        n = 5000
+        x = rng.exponential(1.0, n)
+        ecdf = EmpiricalCDF.from_samples(x)
+        grid = np.linspace(0.01, 8, 200)
+        true_cdf = 1.0 - np.exp(-grid)
+        sup = np.max(np.abs(ecdf(grid) - true_cdf))
+        assert sup <= dkw_band(n, alpha=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dkw_band(0)
+        with pytest.raises(ValueError):
+            dkw_band(10, alpha=0.0)
+        with pytest.raises(ValueError):
+            dkw_band(10, alpha=1.0)
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return FigureContext(azure_functions=2000, seed=29)
+
+    def test_all_claims_pass_at_small_scale(self, ctx):
+        checks = run_claim_checks(ctx)
+        assert len(checks) == 15
+        failing = [c for c in checks if not c.passed]
+        assert not failing, f"failed claims: {failing}"
+
+    def test_checks_carry_metric_values(self, ctx):
+        for c in run_claim_checks(ctx):
+            assert isinstance(c, ClaimCheck)
+            assert c.metric
+            assert c.value == c.value  # not NaN
+
+    def test_markdown_structure(self, ctx):
+        text = generate_report(ctx)
+        assert text.startswith("# FaaSRail reproduction report")
+        assert "| figure | claim |" in text
+        assert "claims reproduced" in text
+        assert "**FAIL**" not in text
+
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        rc = main(["report", "--functions", "1000", "--seed", "5",
+                   "--out", str(out)])
+        assert rc == 0
+        assert out.read_text().startswith("# FaaSRail reproduction report")

@@ -1,0 +1,43 @@
+"""Tests for the seed-sensitivity harness."""
+
+import pytest
+
+from repro.analysis import SensitivityResult, seed_sweep
+from repro.workloads import build_default_pool
+
+
+class TestSensitivityResult:
+    def test_stats(self):
+        r = SensitivityResult("m", (0.1, 0.2, 0.3))
+        assert r.mean == pytest.approx(0.2)
+        assert r.best == 0.1
+        assert r.worst == 0.3
+        assert r.std > 0
+
+
+class TestSeedSweep:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return seed_sweep(range(3), n_functions=600, max_rps=5.0,
+                          duration_minutes=15,
+                          pool=build_default_pool())
+
+    def test_metrics_present(self, results):
+        assert set(results) == {
+            "invocation_duration_ks",
+            "load_shape_corr",
+            "popularity_top10pct_spec",
+        }
+        for r in results.values():
+            assert len(r.values) == 3
+
+    def test_fidelity_stable_across_seeds(self, results):
+        ks = results["invocation_duration_ks"]
+        assert ks.worst < 0.12       # every seed downscales faithfully
+        assert ks.std < 0.05         # and the spread is tight
+        corr = results["load_shape_corr"]
+        assert corr.best > 0.95
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            seed_sweep([])

@@ -1,0 +1,136 @@
+"""Tests for the prior-work baseline strategies."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BusyLoop,
+    busyloop_pool_from_trace,
+    plain_poisson_trace,
+    random_sampling_spec,
+)
+from repro.stats import EmpiricalCDF, ks_distance
+from repro.traces import synthetic_azure_trace
+
+
+@pytest.fixture(scope="module")
+def azure():
+    return synthetic_azure_trace(n_functions=1500, seed=21)
+
+
+class TestPlainPoisson:
+    def test_rate_and_duration(self):
+        t = plain_poisson_trace(10.0, 10, seed=0)
+        assert t.duration_s < 600
+        assert t.n_requests == pytest.approx(6000, rel=0.1)
+
+    def test_flat_load_over_time(self):
+        t = plain_poisson_trace(20.0, 30, seed=1)
+        per_min = t.per_minute_rate(30 * 60).astype(float)
+        # constant-rate process: minute counts vary only by Poisson noise
+        assert per_min.std() / per_min.mean() < 0.1
+
+    def test_uniform_popularity(self):
+        t = plain_poisson_trace(20.0, 30, seed=2)
+        _, counts = np.unique(t.workload_ids, return_counts=True)
+        shares = counts / counts.sum()
+        assert counts.size == 10
+        assert shares.max() < 0.15  # no skew: the violation under study
+
+    def test_only_ten_distinct_runtimes(self):
+        t = plain_poisson_trace(5.0, 10, seed=3)
+        assert np.unique(t.runtimes_ms).size <= 10
+
+    def test_exponential_gaps(self):
+        t = plain_poisson_trace(50.0, 10, seed=4)
+        gaps = np.diff(t.timestamps_s)
+        # exponential: CV of gaps ~ 1
+        assert 0.9 <= gaps.std() / gaps.mean() <= 1.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plain_poisson_trace(0.0, 10)
+        with pytest.raises(ValueError):
+            plain_poisson_trace(1.0, 0)
+
+
+class TestRandomSampling:
+    def test_spec_totals(self, azure):
+        spec = random_sampling_spec(azure, 80, 10_000, 60, seed=0)
+        assert spec.total_requests == 10_000
+        assert spec.n_functions == 80
+        assert spec.duration_minutes == 60
+
+    def test_maps_to_vanilla_only(self, azure):
+        spec = random_sampling_spec(azure, 50, 5_000, 30, seed=1)
+        assert all(e.workload_id.endswith(":vanilla") for e in spec.entries)
+
+    def test_runtime_distribution_violated(self, azure):
+        """The Figure-1b critique: 10 mapping targets distort the CDF."""
+        spec = random_sampling_spec(azure, 100, 50_000, 120, seed=2)
+        counts = azure.invocations_per_function.astype(float)
+        mask = counts > 0
+        azure_cdf = EmpiricalCDF.from_samples(azure.durations_ms[mask],
+                                              counts[mask])
+        req = spec.requests_per_function.astype(float)
+        live = req > 0
+        got = EmpiricalCDF.from_samples(spec.runtimes_ms[live], req[live])
+        assert ks_distance(got, azure_cdf) > 0.2
+
+    def test_metadata(self, azure):
+        spec = random_sampling_spec(azure, 10, 1_000, 30, seed=3)
+        assert spec.metadata["baseline"] == "random-sampling"
+        assert 0 <= spec.metadata["window_start_minute"] <= 1440 - 30
+
+    def test_idle_window_degenerates_gracefully(self):
+        # a trace that is fully idle in every window
+        from repro.traces import Trace
+
+        t = Trace("idle", np.array(["f0", "f1"]), np.array(["a", "a"]),
+                  np.array([10.0, 20.0]),
+                  np.zeros((2, 100), dtype=np.int64))
+        t.per_minute[0, 0] = 1  # one invocation so select() keeps them
+        spec = random_sampling_spec(t, 2, 100, 10, seed=0)
+        assert spec.total_requests == 100
+
+    def test_validation(self, azure):
+        with pytest.raises(ValueError):
+            random_sampling_spec(azure, 10, 0, 30)
+        with pytest.raises(ValueError):
+            random_sampling_spec(azure, 10, 100, 0)
+        with pytest.raises(ValueError):
+            random_sampling_spec(azure, 10, 100, 10_000)
+
+
+class TestBusyLoop:
+    def test_spins_for_target(self):
+        family = BusyLoop()
+        import time
+
+        t0 = time.perf_counter()
+        spins = family.run(np.random.default_rng(0), target_ms=20.0)
+        elapsed = (time.perf_counter() - t0) * 1e3
+        assert spins > 0
+        assert elapsed >= 20.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BusyLoop().prepare(np.random.default_rng(0), target_ms=0.0)
+
+    def test_pool_clones_trace_cdf(self, azure):
+        pool = busyloop_pool_from_trace(azure, 500, seed=0)
+        assert len(pool) == 500
+        ks = ks_distance(
+            EmpiricalCDF.from_samples(pool.runtimes_ms),
+            EmpiricalCDF.from_samples(azure.durations_ms),
+        )
+        # perfect-runtime-fidelity strategy: much closer than vanilla FB
+        assert ks < 0.1
+
+    def test_pool_single_family(self, azure):
+        pool = busyloop_pool_from_trace(azure, 20, seed=1)
+        assert pool.families() == ["busyloop"]
+
+    def test_pool_validation(self, azure):
+        with pytest.raises(ValueError):
+            busyloop_pool_from_trace(azure, 0)

@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import csv
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_shrinkray_requires_rps_and_duration(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["shrinkray"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(
+            ["shrinkray", "--max-rps", "5", "--duration", "30"]
+        )
+        assert args.trace == "azure"
+        assert args.threshold == 10.0
+        assert args.time_mode == "thumbnails"
+
+
+class TestCommands:
+    @pytest.fixture(scope="class")
+    def spec_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "spec.json"
+        rc = main([
+            "shrinkray", "--trace", "azure", "--functions", "800",
+            "--max-rps", "3", "--duration", "10",
+            "--seed", "1", "--out", str(path),
+        ])
+        assert rc == 0
+        return path
+
+    def test_shrinkray_writes_spec(self, spec_path):
+        from repro.core import ExperimentSpec
+
+        spec = ExperimentSpec.load(spec_path)
+        assert spec.duration_minutes == 10
+        assert spec.busiest_minute_rate <= 180
+
+    def test_generate_writes_csv(self, spec_path, tmp_path, capsys):
+        out = tmp_path / "requests.csv"
+        rc = main(["generate", "--spec", str(spec_path),
+                   "--out", str(out), "--arrival-mode", "uniform"])
+        assert rc == 0
+        with out.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows
+        assert set(rows[0]) == {"timestamp_s", "workload_id", "function_id",
+                                "runtime_ms", "family"}
+        times = [float(r["timestamp_s"]) for r in rows]
+        assert times == sorted(times)
+
+    def test_generate_npz_output(self, spec_path, tmp_path):
+        from repro.loadgen import load_request_trace_npz
+
+        out = tmp_path / "requests.npz"
+        rc = main(["generate", "--spec", str(spec_path),
+                   "--out", str(out), "--arrival-mode", "uniform"])
+        assert rc == 0
+        trace = load_request_trace_npz(out)
+        assert trace.n_requests > 0
+
+    def test_replay_prints_summary(self, spec_path, capsys):
+        rc = main(["replay", "--spec", str(spec_path), "--nodes", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cold-start fraction" in out
+        assert "latency p50/p90/p99" in out
+
+    def test_figures_subset(self, capsys):
+        rc = main(["figures", "fig3", "--functions", "500", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "frac_duration_cv_below_1" in out
+
+    def test_figures_unknown_rejected(self):
+        with pytest.raises(SystemExit, match="unknown figure"):
+            main(["figures", "fig99"])
+
+    def test_unknown_trace_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown trace source"):
+            main(["shrinkray", "--trace", "nope", "--max-rps", "1",
+                  "--duration", "10"])
+
+    def test_trace_from_csv_directory(self, tmp_path):
+        from repro.traces import dump_azure_day, synthetic_azure_trace
+
+        trace = synthetic_azure_trace(n_functions=300, seed=4)
+        dump_azure_day(trace, tmp_path / "day")
+        out = tmp_path / "spec.json"
+        rc = main(["shrinkray", "--trace", str(tmp_path / "day"),
+                   "--max-rps", "2", "--duration", "10",
+                   "--out", str(out)])
+        assert rc == 0
+        assert out.exists()
+
+    def test_calibrate_one_family(self, capsys):
+        rc = main(["calibrate", "--family", "pyaes", "--repeats", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pyaes" in out and "ms_per_unit" in out

@@ -1,0 +1,53 @@
+"""Tests for the extended CLI subcommands."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSmirnovCommand:
+    def test_prints_family_shares(self, capsys):
+        rc = main(["smirnov", "--functions", "500", "--requests", "2000",
+                   "--seed", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sampled 2000 requests" in out
+        assert "%" in out
+
+    def test_step_inverse_and_csv(self, capsys, tmp_path):
+        out_path = tmp_path / "reqs.csv"
+        rc = main(["smirnov", "--functions", "500", "--requests", "1000",
+                   "--inverse", "step", "--out", str(out_path)])
+        assert rc == 0
+        text = out_path.read_text()
+        assert text.startswith("timestamp_s,workload_id,runtime_ms,family")
+        assert len(text.splitlines()) == 1001
+
+    def test_huawei_trace(self, capsys):
+        rc = main(["smirnov", "--trace", "huawei", "--requests", "1000"])
+        assert rc == 0
+        assert "huawei" in capsys.readouterr().out
+
+
+class TestSpecInfoCommand:
+    def test_reports_spec_contents(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        main(["shrinkray", "--functions", "500", "--max-rps", "2",
+              "--duration", "10", "--seed", "1", "--out", str(spec_path)])
+        capsys.readouterr()
+        rc = main(["spec-info", "--spec", str(spec_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "functions" in out
+        assert "family shares" in out
+        assert "thumbnails" in out
+
+
+class TestSensitivityCommand:
+    def test_prints_metric_ranges(self, capsys):
+        rc = main(["sensitivity", "--seeds", "2", "--functions", "400",
+                   "--duration", "10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "invocation_duration_ks" in out
+        assert "range=[" in out

@@ -1,0 +1,94 @@
+"""Tests for trace-function aggregation (paper section 3.1.2, Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import aggregate_functions
+from repro.traces import Trace, invocation_duration_cdf, synthetic_azure_trace
+
+
+def trace_with(durations, per_minute):
+    n = len(durations)
+    return Trace(
+        name="t",
+        function_ids=np.array([f"f{i}" for i in range(n)]),
+        app_ids=np.array(["a"] * n),
+        durations_ms=np.array(durations, dtype=float),
+        per_minute=np.asarray(per_minute, dtype=np.int64),
+    )
+
+
+class TestAggregation:
+    def test_groups_same_quantized_duration(self):
+        t = trace_with([100.2, 99.8, 250.0],
+                       [[5, 0], [1, 1], [0, 3]])
+        agg, audit = aggregate_functions(t, quantize_ms=1.0)
+        assert agg.n_functions == 2
+        assert audit.n_original == 3
+        assert audit.n_aggregated == 2
+
+    def test_per_minute_rows_summed(self):
+        t = trace_with([100.0, 100.0], [[5, 2], [1, 1]])
+        agg, _ = aggregate_functions(t)
+        np.testing.assert_array_equal(agg.per_minute, [[6, 3]])
+
+    def test_total_invocations_preserved(self):
+        t = synthetic_azure_trace(n_functions=2000, seed=5)
+        agg, _ = aggregate_functions(t)
+        assert agg.total_invocations == t.total_invocations
+
+    def test_weighted_duration_cdf_preserved(self):
+        """Aggregation must not move the invocations' duration distribution."""
+        t = synthetic_azure_trace(n_functions=2000, seed=6)
+        agg, _ = aggregate_functions(t)
+        before = invocation_duration_cdf(t)
+        after = invocation_duration_cdf(agg)
+        # weighted means agree to quantisation error
+        assert after.mean() == pytest.approx(before.mean(), rel=0.01)
+
+    def test_group_duration_is_invocation_weighted_mean(self):
+        t = trace_with([100.4, 100.0], [[3, 0], [1, 0]])
+        agg, _ = aggregate_functions(t)
+        assert agg.durations_ms[0] == pytest.approx(
+            (100.4 * 3 + 100.0 * 1) / 4
+        )
+
+    def test_reduces_function_count_substantially(self):
+        t = synthetic_azure_trace(n_functions=5000, seed=7)
+        agg, audit = aggregate_functions(t)
+        # ~50K -> ~12.7K in the paper; proportionally fewer groups here
+        assert agg.n_functions < t.n_functions
+        assert audit.group_sizes.sum() == t.n_functions
+
+    def test_popularity_changes_tiny(self):
+        """Figure 4: the vast majority of popularity changes are ~0."""
+        t = synthetic_azure_trace(n_functions=4000, seed=8)
+        agg, audit = aggregate_functions(t)
+        changes, probs = audit.popularity_change_series()
+        assert changes.size == agg.n_functions
+        # >=99% of super-Functions shift popularity by < 1 percentage point
+        below = probs[np.searchsorted(changes, 0.01, side="right") - 1]
+        assert below >= 0.99
+
+    def test_quantize_knob(self):
+        t = trace_with([100.2, 100.4], [[1, 0], [1, 0]])
+        agg_coarse, _ = aggregate_functions(t, quantize_ms=1.0)
+        assert agg_coarse.n_functions == 1
+        agg_fine, _ = aggregate_functions(t, quantize_ms=0.1)
+        assert agg_fine.n_functions == 2
+
+    def test_rejects_bad_quantize(self):
+        t = trace_with([1.0], [[1]])
+        with pytest.raises(ValueError, match="quantize_ms"):
+            aggregate_functions(t, quantize_ms=0.0)
+
+    def test_rejects_empty_invocations(self):
+        t = trace_with([1.0, 2.0], [[0], [0]])
+        with pytest.raises(ValueError, match="no invocations"):
+            aggregate_functions(t)
+
+    def test_sub_quantum_durations_keep_positive_key(self):
+        t = trace_with([0.2, 0.3], [[1], [1]])
+        agg, _ = aggregate_functions(t, quantize_ms=1.0)
+        assert agg.n_functions == 1
+        assert agg.durations_ms[0] > 0

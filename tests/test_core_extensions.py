@@ -1,0 +1,268 @@
+"""Tests for the section-3.3 extensions: variable input, memory-aware
+mapping, and spec operations."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ShrinkRay,
+    build_variant_table,
+    fidelity_report,
+    filter_spec,
+    map_functions,
+    merge_specs,
+    rescale_spec,
+    sample_variants,
+    shrink,
+)
+from repro.loadgen import generate_request_trace
+from repro.traces import Trace, synthetic_azure_trace
+from repro.workloads import Workload, WorkloadPool, build_default_pool
+
+
+@pytest.fixture(scope="module")
+def azure():
+    return synthetic_azure_trace(n_functions=1200, seed=33)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return build_default_pool()
+
+
+def small_trace(durations, counts=None):
+    n = len(durations)
+    if counts is None:
+        counts = [10] * n
+    return Trace(
+        "vt", np.array([f"f{i}" for i in range(n)]),
+        np.array(["a"] * n), np.array(durations, dtype=float),
+        np.array(counts, dtype=np.int64)[:, None],
+    )
+
+
+def make_pool(spec):
+    return WorkloadPool([
+        Workload(f"{fam}:{i}", fam, {"i": i}, rt, mem)
+        for i, (fam, rt, mem) in enumerate(spec)
+    ])
+
+
+class TestVariantTable:
+    def test_variants_within_threshold(self):
+        p = make_pool([("a", 95.0, 30), ("b", 100.0, 30), ("c", 108.0, 30),
+                       ("d", 300.0, 30)])
+        table = build_variant_table(small_trace([100.0]), p,
+                                    error_threshold_pct=10)
+        ids = {v["workload_id"] for v in table[0]}
+        assert ids == {"a:0", "b:1", "c:2"}
+
+    def test_weights_normalised_and_favour_closest(self):
+        p = make_pool([("a", 100.0, 30), ("b", 109.0, 30)])
+        table = build_variant_table(small_trace([100.0]), p)
+        weights = {v["workload_id"]: v["weight"] for v in table[0]}
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert weights["a:0"] > weights["b:1"]
+
+    def test_fallback_single_variant(self):
+        p = make_pool([("a", 1.0, 30)])
+        table = build_variant_table(small_trace([1000.0]), p)
+        assert len(table[0]) == 1
+
+    def test_max_variants_cap(self):
+        p = make_pool([("a", 100.0 + d, 30) for d in range(8)])
+        table = build_variant_table(small_trace([103.0]), p, max_variants=3)
+        assert len(table[0]) == 3
+
+    def test_validation(self):
+        p = make_pool([("a", 1.0, 30)])
+        with pytest.raises(ValueError):
+            build_variant_table(small_trace([1.0]), p, max_variants=0)
+        with pytest.raises(ValueError):
+            build_variant_table(small_trace([1.0]), p,
+                                error_threshold_pct=-1)
+
+    def test_sample_variants_distribution(self):
+        table = [[
+            {"workload_id": "x", "family": "fa", "runtime_ms": 1.0,
+             "memory_mb": 1.0, "weight": 0.8},
+            {"workload_id": "y", "family": "fb", "runtime_ms": 2.0,
+             "memory_mb": 1.0, "weight": 0.2},
+        ]]
+        rng = np.random.default_rng(0)
+        ids, rts, fams = sample_variants(table, np.zeros(20000, dtype=int),
+                                         rng)
+        share_x = (ids == "x").mean()
+        assert share_x == pytest.approx(0.8, abs=0.02)
+        assert set(fams) == {"fa", "fb"}
+
+    def test_sample_variants_validation(self):
+        table = [[{"workload_id": "x", "family": "f", "runtime_ms": 1.0,
+                   "memory_mb": 1.0, "weight": 1.0}]]
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_variants(table, np.array([], dtype=int), rng)
+        with pytest.raises(ValueError):
+            sample_variants(table, np.array([5]), rng)
+        with pytest.raises(ValueError):
+            sample_variants([[]], np.array([0]), rng)
+
+    def test_end_to_end_variable_spec(self, azure, pool):
+        sr = ShrinkRay(variable_input=True, max_variants=4)
+        spec = sr.run(azure, pool, max_rps=5.0, duration_minutes=15, seed=1)
+        assert "variants" in spec.metadata
+        var = generate_request_trace(spec, seed=1)
+        fixed = generate_request_trace(spec, seed=1, variable_input=False)
+        assert np.unique(var.workload_ids).size > np.unique(
+            fixed.workload_ids).size
+
+    def test_variable_requires_table_when_forced(self, azure, pool):
+        spec = shrink(azure, pool, max_rps=5.0, duration_minutes=15, seed=1)
+        with pytest.raises(ValueError, match="no variant table"):
+            generate_request_trace(spec, seed=1, variable_input=True)
+
+    def test_variable_spec_survives_json(self, azure, pool, tmp_path):
+        from repro.core import ExperimentSpec
+
+        sr = ShrinkRay(variable_input=True)
+        spec = sr.run(azure, pool, max_rps=5.0, duration_minutes=15, seed=1)
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        loaded = ExperimentSpec.load(path)
+        req = generate_request_trace(loaded, seed=2)
+        assert req.n_requests > 0
+
+    def test_variable_preserves_duration_fidelity(self, azure, pool):
+        """Variant sampling stays inside the threshold fidelity envelope."""
+        from repro.stats.distance import ks_relative_band
+
+        sr = ShrinkRay(variable_input=True)
+        spec = sr.run(azure, pool, max_rps=5.0, duration_minutes=30, seed=1)
+        req = generate_request_trace(spec, seed=1)
+        counts = azure.invocations_per_function.astype(float)
+        mask = counts > 0
+        ks = ks_relative_band(req.runtimes_ms, azure.durations_ms[mask],
+                              y_weights=counts[mask])
+        assert ks < 0.12
+
+
+class TestMemoryAwareMapping:
+    def test_memory_breaks_ties(self):
+        p = make_pool([("a", 100.0, 30.0), ("b", 100.0, 500.0)])
+        t = small_trace([100.0])
+        m = map_functions(t, p, memory_targets=np.array([480.0]),
+                          balance=False, memory_protect_top=0)
+        assert m.workload_ids[0] == "b:1"
+        m2 = map_functions(t, p, memory_targets=np.array([32.0]),
+                           balance=False, memory_protect_top=0)
+        assert m2.workload_ids[0] == "a:0"
+
+    def test_runtime_threshold_still_respected(self):
+        p = make_pool([("a", 100.0, 500.0), ("b", 200.0, 100.0)])
+        t = small_trace([100.0])
+        # b matches memory perfectly but is outside the threshold
+        m = map_functions(t, p, memory_targets=np.array([100.0]),
+                          error_threshold_pct=10, memory_protect_top=0)
+        assert m.workload_ids[0] == "a:0"
+
+    def test_validation(self):
+        p = make_pool([("a", 1.0, 1.0)])
+        t = small_trace([1.0, 2.0])
+        with pytest.raises(ValueError, match="align"):
+            map_functions(t, p, memory_targets=np.array([1.0]))
+        with pytest.raises(ValueError, match="positive"):
+            map_functions(t, p, memory_targets=np.array([0.0, 1.0]))
+        with pytest.raises(ValueError, match="memory_weight"):
+            map_functions(t, p, memory_targets=np.array([1.0, 1.0]),
+                          memory_weight=-1.0)
+
+    def test_shrinkray_memory_aware_keeps_fidelity(self, azure, pool):
+        """Memory-aware selection must not hurt either distribution.
+
+        The achievable memory gain is pool-limited (the pool's footprints
+        sit left of Azure's apps, paper sec. 3.3), so the contract is
+        'no regression beyond noise' on memory and 'unchanged' on
+        duration -- the exact-tie-break behaviour is covered above.
+        """
+        from repro.stats import EmpiricalCDF, wasserstein
+
+        target = EmpiricalCDF.from_samples(azure.memory_per_app_array())
+
+        def dist(spec):
+            mem = np.array([e.memory_mb for e in spec.entries])
+            return wasserstein(EmpiricalCDF.from_samples(mem), target)
+
+        base = shrink(azure, pool, max_rps=5.0, duration_minutes=15, seed=4)
+        aware = ShrinkRay(memory_aware=True).run(
+            azure, pool, max_rps=5.0, duration_minutes=15, seed=4)
+        assert dist(aware) <= dist(base) * 1.15
+        assert (fidelity_report(aware, azure)["invocation_duration_ks"]
+                < 0.08)
+
+    def test_shrinkray_memory_aware_needs_memory_data(self, pool):
+        from repro.traces import synthetic_huawei_trace
+
+        hw = synthetic_huawei_trace(seed=1)  # reports no memory
+        with pytest.raises(ValueError, match="app memory"):
+            ShrinkRay(memory_aware=True).run(
+                hw, pool, max_rps=5.0, duration_minutes=15, seed=0)
+
+
+class TestSpecOps:
+    @pytest.fixture(scope="class")
+    def spec(self, azure, pool):
+        return shrink(azure, pool, max_rps=10.0, duration_minutes=20,
+                      seed=6)
+
+    def test_rescale_lowers_peak(self, spec):
+        smaller = rescale_spec(spec, 2.0, seed=0)
+        assert smaller.busiest_minute_rate <= 120
+        assert smaller.n_functions == spec.n_functions
+        assert smaller.metadata["rescaled_from_rps"] == spec.max_rps
+
+    def test_rescale_cannot_upscale(self, spec):
+        with pytest.raises(ValueError, match="not below"):
+            rescale_spec(spec, 10_000.0)
+
+    def test_merge_disjoint(self, spec):
+        from repro.core import ExperimentSpec, SpecEntry
+
+        other = ExperimentSpec(
+            "o", "t2", 1.0,
+            [SpecEntry("zz-f", "w:z", "pyaes", 5.0, 32.0)],
+            np.full((1, spec.duration_minutes), 3, dtype=np.int64),
+        )
+        merged = merge_specs(spec, other)
+        assert merged.n_functions == spec.n_functions + 1
+        assert merged.total_requests == spec.total_requests + other.total_requests
+
+    def test_merge_rejects_collisions(self, spec):
+        with pytest.raises(ValueError, match="collide"):
+            merge_specs(spec, spec)
+
+    def test_merge_rejects_duration_mismatch(self, spec):
+        from repro.core import ExperimentSpec, SpecEntry
+
+        other = ExperimentSpec(
+            "o", "t2", 1.0,
+            [SpecEntry("zz-f", "w:z", "pyaes", 5.0, 32.0)],
+            np.full((1, spec.duration_minutes + 1), 3, dtype=np.int64),
+        )
+        with pytest.raises(ValueError, match="durations differ"):
+            merge_specs(spec, other)
+
+    def test_filter(self, spec):
+        short = filter_spec(spec, lambda e: e.runtime_ms < 100.0)
+        assert 0 < short.n_functions < spec.n_functions
+        assert all(e.runtime_ms < 100.0 for e in short.entries)
+
+    def test_filter_rejects_empty(self, spec):
+        with pytest.raises(ValueError, match="every entry"):
+            filter_spec(spec, lambda e: False)
+
+    def test_fidelity_report(self, spec, azure):
+        rep = fidelity_report(spec, azure)
+        assert rep["invocation_duration_ks"] < 0.08
+        assert rep["load_shape_corr"] > 0.95
+        assert rep["popularity_top10pct_trace"] > 0.9
+        assert rep["total_requests"] == spec.total_requests

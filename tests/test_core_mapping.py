@@ -1,0 +1,115 @@
+"""Tests for the Function-to-Workload mapping (paper section 3.1.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import map_functions
+from repro.traces import Trace
+from repro.workloads import Workload, WorkloadPool
+
+
+def make_trace(durations, counts=None):
+    n = len(durations)
+    if counts is None:
+        counts = [1] * n
+    return Trace(
+        name="t",
+        function_ids=np.array([f"f{i}" for i in range(n)]),
+        app_ids=np.array(["a"] * n),
+        durations_ms=np.array(durations, dtype=float),
+        per_minute=np.array(counts, dtype=np.int64)[:, None],
+    )
+
+
+def make_pool(spec):
+    """spec: list of (family, runtime)."""
+    return WorkloadPool([
+        Workload(f"{fam}:{i}", fam, {"i": i}, rt, 32.0)
+        for i, (fam, rt) in enumerate(spec)
+    ])
+
+
+class TestThresholdAssociation:
+    def test_exact_match_chosen(self):
+        pool = make_pool([("a", 90.0), ("a", 100.0), ("a", 130.0)])
+        m = map_functions(make_trace([100.0]), pool, error_threshold_pct=10)
+        assert m.mapped_runtime_ms[0] == 100.0
+        assert not m.fallback_mask[0]
+        assert m.n_fallbacks == 0
+
+    def test_threshold_respected(self):
+        pool = make_pool([("a", 89.0), ("a", 111.0)])
+        m = map_functions(make_trace([100.0]), pool, error_threshold_pct=12)
+        assert m.relative_error[0] <= 0.12
+
+    def test_fallback_to_closest_when_no_candidate(self):
+        pool = make_pool([("a", 10.0), ("a", 1000.0)])
+        m = map_functions(make_trace([100.0]), pool, error_threshold_pct=5)
+        assert m.fallback_mask[0]
+        assert m.mapped_runtime_ms[0] == 10.0  # closer than 1000
+
+    def test_long_outlier_fallback(self):
+        # the paper's relaxation: long-running outliers map to the longest
+        pool = make_pool([("a", 10.0), ("b", 5_000.0)])
+        m = map_functions(make_trace([500_000.0]), pool)
+        assert m.fallback_mask[0]
+        assert m.mapped_runtime_ms[0] == 5_000.0
+
+    def test_rejects_negative_threshold(self):
+        pool = make_pool([("a", 1.0)])
+        with pytest.raises(ValueError):
+            map_functions(make_trace([1.0]), pool, error_threshold_pct=-1)
+
+
+class TestBalanceSelection:
+    def test_balances_families_across_functions(self):
+        # two families, both always candidates: 4 functions split 2/2
+        pool = make_pool([("a", 100.0), ("b", 101.0)])
+        trace = make_trace([100.0, 100.5, 100.2, 100.7])
+        m = map_functions(trace, pool, error_threshold_pct=10)
+        counts = m.family_assignment_counts(pool)
+        assert counts == {"a": 2, "b": 2}
+
+    def test_most_popular_function_gets_closest(self):
+        pool = make_pool([("a", 100.0), ("b", 108.0)])
+        trace = make_trace([100.0, 100.0], counts=[1000, 1])
+        m = map_functions(trace, pool, error_threshold_pct=10)
+        # fn0 is most popular -> processed first -> exact match family a
+        assert m.mapped_runtime_ms[0] == 100.0
+
+    def test_balance_off_always_closest(self):
+        pool = make_pool([("a", 100.0), ("b", 108.0)])
+        trace = make_trace([100.0, 100.0, 100.0])
+        m = map_functions(trace, pool, error_threshold_pct=10, balance=False)
+        assert np.all(m.mapped_runtime_ms == 100.0)
+
+    def test_single_candidate_short_circuits(self):
+        pool = make_pool([("a", 100.0), ("b", 500.0)])
+        trace = make_trace([100.0, 100.0])
+        m = map_functions(trace, pool, error_threshold_pct=5)
+        counts = m.family_assignment_counts(pool)
+        assert counts == {"a": 2}
+
+    def test_mapping_dimensions(self):
+        pool = make_pool([("a", 10.0), ("b", 20.0), ("c", 30.0)])
+        trace = make_trace([12.0, 22.0, 28.0, 9.0])
+        m = map_functions(trace, pool)
+        assert m.n_functions == 4
+        assert len(m.workload_ids) == 4
+        assert m.workload_indices.shape == (4,)
+        assert m.relative_error.shape == (4,)
+
+
+class TestErrorAccounting:
+    def test_relative_error_definition(self):
+        pool = make_pool([("a", 110.0)])
+        m = map_functions(make_trace([100.0]), pool, error_threshold_pct=15)
+        assert m.relative_error[0] == pytest.approx(0.1)
+
+    def test_non_fallback_errors_bounded_by_threshold(self):
+        rng = np.random.default_rng(0)
+        pool = make_pool([("a", float(r)) for r in rng.uniform(1, 1000, 200)])
+        trace = make_trace(rng.uniform(1, 1000, 50).tolist())
+        m = map_functions(trace, pool, error_threshold_pct=20)
+        ok = ~m.fallback_mask
+        assert np.all(m.relative_error[ok] <= 0.20 + 1e-9)

@@ -1,0 +1,144 @@
+"""Tests for request-rate and time scaling (paper section 3.2.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import scale_request_rate, thumbnail_scale, minute_range_scale
+from repro.traces import Trace, synthetic_azure_trace
+
+
+class TestRateScaling:
+    def test_busiest_minute_hits_cap(self):
+        rng = np.random.default_rng(0)
+        per_minute = rng.integers(100, 1000, (50, 60)).astype(np.int64)
+        scaled = scale_request_rate(per_minute, max_rps=2.0, rng=rng)
+        agg = scaled.sum(axis=0)
+        cap = 2.0 * 60
+        assert agg.max() <= cap
+        assert agg.max() >= cap * 0.9  # approximates the target
+
+    def test_no_minute_exceeds_cap(self):
+        rng = np.random.default_rng(1)
+        per_minute = (rng.pareto(1.0, (200, 120)) * 50).astype(np.int64)
+        scaled = scale_request_rate(per_minute, max_rps=5.0, rng=rng)
+        assert scaled.sum(axis=0).max() <= 300
+
+    def test_preserves_aggregate_trend(self):
+        trace = synthetic_azure_trace(n_functions=2000, seed=2)
+        rng = np.random.default_rng(2)
+        scaled = scale_request_rate(trace.per_minute, max_rps=10.0, rng=rng)
+        corr = np.corrcoef(
+            scaled.sum(axis=0), trace.aggregate_per_minute
+        )[0, 1]
+        assert corr > 0.95
+
+    def test_preserves_function_shares_in_expectation(self):
+        rng = np.random.default_rng(3)
+        per_minute = np.zeros((3, 10), dtype=np.int64)
+        per_minute[0] = 8000
+        per_minute[1] = 1500
+        per_minute[2] = 500
+        scaled = scale_request_rate(per_minute, max_rps=20.0, rng=rng)
+        shares = scaled.sum(axis=1) / scaled.sum()
+        np.testing.assert_allclose(shares, [0.8, 0.15, 0.05], atol=0.03)
+
+    def test_column_sums_deterministic_given_seed(self):
+        per_minute = np.full((5, 8), 100, dtype=np.int64)
+        a = scale_request_rate(per_minute, 1.0, np.random.default_rng(9))
+        b = scale_request_rate(per_minute, 1.0, np.random.default_rng(9))
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_upscaling(self):
+        per_minute = np.full((2, 4), 1, dtype=np.int64)
+        with pytest.raises(ValueError, match="not below"):
+            scale_request_rate(per_minute, 1000.0, np.random.default_rng(0))
+
+    def test_rejects_empty_trace(self):
+        per_minute = np.zeros((2, 4), dtype=np.int64)
+        with pytest.raises(ValueError, match="no invocations"):
+            scale_request_rate(per_minute, 1.0, np.random.default_rng(0))
+
+    def test_rejects_bad_inputs(self):
+        good = np.full((2, 4), 100, dtype=np.int64)
+        with pytest.raises(ValueError, match="max_rps"):
+            scale_request_rate(good, 0.0, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="2-D"):
+            scale_request_rate(good[0], 1.0, np.random.default_rng(0))
+
+    @given(st.integers(1, 40), st.integers(2, 30), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_property_cap_never_exceeded(self, n_fns, n_minutes, seed):
+        rng = np.random.default_rng(seed)
+        per_minute = rng.integers(0, 500, (n_fns, n_minutes)).astype(np.int64)
+        if per_minute.sum() == 0 or per_minute.sum(axis=0).max() <= 60:
+            return
+        scaled = scale_request_rate(per_minute, 1.0, rng)
+        assert scaled.sum(axis=0).max() <= 60
+        assert np.all(scaled >= 0)
+
+
+class TestThumbnailScaling:
+    def test_exact_division(self):
+        per_minute = np.arange(24, dtype=np.int64).reshape(2, 12)
+        out = thumbnail_scale(per_minute, 4)
+        assert out.shape == (2, 4)
+        np.testing.assert_array_equal(out.sum(axis=1), per_minute.sum(axis=1))
+        np.testing.assert_array_equal(out[0], [0 + 1 + 2, 3 + 4 + 5,
+                                               6 + 7 + 8, 9 + 10 + 11])
+
+    def test_uneven_division_preserves_totals(self):
+        rng = np.random.default_rng(0)
+        per_minute = rng.integers(0, 50, (7, 1440)).astype(np.int64)
+        out = thumbnail_scale(per_minute, 7)  # 1440 / 7 is not integral
+        assert out.shape == (7, 7)
+        np.testing.assert_array_equal(out.sum(axis=1), per_minute.sum(axis=1))
+
+    def test_identity_when_duration_equals_length(self):
+        per_minute = np.arange(12, dtype=np.int64).reshape(3, 4)
+        np.testing.assert_array_equal(thumbnail_scale(per_minute, 4),
+                                      per_minute)
+
+    def test_preserves_diurnal_shape(self):
+        trace = synthetic_azure_trace(n_functions=1500, seed=4)
+        out = thumbnail_scale(trace.per_minute, 120)
+        # group the original aggregate the same way and compare
+        agg = out.sum(axis=0).astype(float)
+        assert np.corrcoef(agg, thumbnail_scale(
+            trace.aggregate_per_minute[None, :], 120)[0])[0, 1] > 0.999
+
+    def test_validation(self):
+        per_minute = np.zeros((2, 10), dtype=np.int64)
+        with pytest.raises(ValueError):
+            thumbnail_scale(per_minute, 0)
+        with pytest.raises(ValueError):
+            thumbnail_scale(per_minute, 11)
+        with pytest.raises(ValueError, match="2-D"):
+            thumbnail_scale(per_minute[0], 2)
+
+    @given(st.integers(1, 60), st.integers(1, 400))
+    @settings(max_examples=50, deadline=None)
+    def test_property_row_sums_invariant(self, duration, n_minutes):
+        if duration > n_minutes:
+            return
+        rng = np.random.default_rng(duration * 1000 + n_minutes)
+        per_minute = rng.integers(0, 100, (5, n_minutes)).astype(np.int64)
+        out = thumbnail_scale(per_minute, duration)
+        assert out.shape == (5, duration)
+        np.testing.assert_array_equal(out.sum(axis=1), per_minute.sum(axis=1))
+
+
+class TestMinuteRange:
+    def test_window(self):
+        trace = synthetic_azure_trace(n_functions=100, seed=0)
+        w = minute_range_scale(trace, 100, 30)
+        assert w.n_minutes == 30
+        np.testing.assert_array_equal(
+            w.per_minute, trace.per_minute[:, 100:130]
+        )
+
+    def test_rejects_nonpositive_duration(self):
+        trace = synthetic_azure_trace(n_functions=10, seed=0)
+        with pytest.raises(ValueError):
+            minute_range_scale(trace, 0, 0)

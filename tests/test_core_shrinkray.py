@@ -1,0 +1,165 @@
+"""End-to-end tests for the shrink ray and the Smirnov mode."""
+
+import numpy as np
+import pytest
+
+from repro.core import ShrinkRay, shrink, smirnov_request_sample
+from repro.stats.distance import ks_relative_band
+from repro.traces import (
+    invocation_duration_cdf,
+    synthetic_azure_trace,
+    synthetic_huawei_trace,
+)
+from repro.workloads import build_default_pool
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return build_default_pool()
+
+
+@pytest.fixture(scope="module")
+def azure():
+    return synthetic_azure_trace(n_functions=3000, seed=17)
+
+
+class TestShrinkRay:
+    def test_spec_shape_and_caps(self, azure, pool):
+        spec = shrink(azure, pool, max_rps=10.0, duration_minutes=60, seed=0)
+        assert spec.duration_minutes == 60
+        assert spec.busiest_minute_rate <= 600
+        assert spec.busiest_minute_rate >= 540  # approximates target
+        assert spec.total_requests > 10_000
+
+    def test_weighted_duration_cdf_tracks_trace(self, azure, pool):
+        """The Figure-9 claim, quantitatively."""
+        spec = shrink(azure, pool, max_rps=10.0, duration_minutes=60, seed=0)
+        req = spec.requests_per_function.astype(float)
+        counts = azure.invocations_per_function.astype(float)
+        mask = counts > 0
+        ks = ks_relative_band(
+            spec.runtimes_ms[req > 0],
+            azure.durations_ms[mask],
+            x_weights=req[req > 0],
+            y_weights=counts[mask],
+        )
+        assert ks < 0.08
+
+    def test_load_trend_follows_trace(self, azure, pool):
+        """The Figure-8 claim: thumbnails track the day's diurnal shape."""
+        from repro.core import thumbnail_scale
+
+        spec = shrink(azure, pool, max_rps=10.0, duration_minutes=120, seed=0)
+        target = thumbnail_scale(azure.per_minute, 120).sum(axis=0)
+        got = spec.aggregate_per_minute.astype(float)
+        assert np.corrcoef(got, target)[0, 1] > 0.98
+
+    def test_popularity_skew_preserved(self, azure, pool):
+        """The Figure-10 claim: top functions dominate the request mix."""
+        spec = shrink(azure, pool, max_rps=10.0, duration_minutes=60, seed=0)
+        req = np.sort(spec.requests_per_function)[::-1].astype(float)
+        top10pct = req[: max(1, req.size // 10)].sum() / req.sum()
+        assert top10pct > 0.9
+
+    def test_minute_range_mode(self, azure, pool):
+        sr = ShrinkRay(time_mode="minute-range", range_start_minute=300)
+        spec = sr.run(azure, pool, max_rps=10.0, duration_minutes=30, seed=0)
+        assert spec.duration_minutes == 30
+        assert spec.metadata["time_mode"] == "minute-range"
+
+    def test_unknown_time_mode_rejected(self):
+        with pytest.raises(ValueError, match="time mode"):
+            ShrinkRay(time_mode="bogus")
+
+    def test_rejects_nonpositive_duration(self, azure, pool):
+        with pytest.raises(ValueError, match="duration"):
+            shrink(azure, pool, max_rps=10.0, duration_minutes=0)
+
+    def test_deterministic_given_seed(self, azure, pool):
+        a = shrink(azure, pool, max_rps=5.0, duration_minutes=30, seed=3)
+        b = shrink(azure, pool, max_rps=5.0, duration_minutes=30, seed=3)
+        np.testing.assert_array_equal(a.per_minute, b.per_minute)
+        assert [e.workload_id for e in a.entries] == [
+            e.workload_id for e in b.entries
+        ]
+
+    def test_report_available_after_run(self, azure, pool):
+        sr = ShrinkRay()
+        with pytest.raises(RuntimeError):
+            _ = sr.last_report
+        sr.run(azure, pool, max_rps=5.0, duration_minutes=30, seed=0)
+        rep = sr.last_report
+        assert rep.mapping.n_functions == rep.aggregated_trace.n_functions
+
+    def test_aggregate_off_ablation(self, azure, pool):
+        sr = ShrinkRay(aggregate=False)
+        spec = sr.run(azure, pool, max_rps=5.0, duration_minutes=30, seed=0)
+        # without aggregation every invoked trace function maps separately
+        assert spec.n_functions == azure.nonzero_functions().n_functions
+
+    def test_metadata_provenance(self, azure, pool):
+        spec = shrink(azure, pool, max_rps=5.0, duration_minutes=30, seed=0)
+        md = spec.metadata
+        assert md["source_functions"] == azure.n_functions
+        assert md["time_mode"] == "thumbnails"
+        assert "n_fallbacks" in md
+
+
+class TestSmirnovMode:
+    def test_sample_size(self, azure, pool):
+        s = smirnov_request_sample(azure, pool, 20_000, seed=1)
+        assert s.n_requests == 20_000
+        assert s.workload_ids.shape == (20_000,)
+
+    def test_distribution_tracks_azure(self, azure, pool):
+        s = smirnov_request_sample(azure, pool, 40_000, seed=1)
+        counts = azure.invocations_per_function.astype(float)
+        mask = counts > 0
+        ks = ks_relative_band(
+            s.mapped_runtime_ms, azure.durations_ms[mask],
+            y_weights=counts[mask],
+        )
+        assert ks < 0.08
+
+    def test_step_inverse_reproduces_sparse_staircase(self, pool):
+        """Figure 11b: on Huawei's 104-function staircase the step inverse
+        nails the atoms; the paper's linear inverse smooths them."""
+        hw = synthetic_huawei_trace(seed=7)
+        w = hw.invocations_per_function.astype(float)
+        s_step = smirnov_request_sample(hw, pool, 20_000, seed=2,
+                                        inverse_method="step")
+        ks_step = ks_relative_band(s_step.mapped_runtime_ms,
+                                   hw.durations_ms, y_weights=w)
+        s_lin = smirnov_request_sample(hw, pool, 20_000, seed=2,
+                                       inverse_method="linear")
+        ks_lin = ks_relative_band(s_lin.mapped_runtime_ms,
+                                  hw.durations_ms, y_weights=w)
+        assert ks_step < 0.08
+        assert ks_step < ks_lin
+
+    def test_family_shares_sum_to_one(self, azure, pool):
+        s = smirnov_request_sample(azure, pool, 5_000, seed=3)
+        assert sum(s.family_shares().values()) == pytest.approx(1.0)
+
+    def test_huawei_severely_imbalanced(self, pool):
+        """Figure 12b: short-running Huawei load concentrates on few
+        families; the long-running benchmarks never appear."""
+        hw = synthetic_huawei_trace(seed=7)
+        s = smirnov_request_sample(hw, pool, 20_000, seed=2,
+                                   inverse_method="step")
+        shares = s.family_shares()
+        assert "lr_training" not in shares          # >3s floor, never drawn
+        assert max(shares.values()) > 0.25          # one family dominates
+
+    def test_rejects_bad_args(self, azure, pool):
+        with pytest.raises(ValueError):
+            smirnov_request_sample(azure, pool, 0)
+        with pytest.raises(ValueError):
+            smirnov_request_sample(azure, pool, 10, quantize_rel=0.0)
+        with pytest.raises(ValueError):
+            smirnov_request_sample(azure, pool, 10, inverse_method="nope")
+
+    def test_deterministic(self, azure, pool):
+        a = smirnov_request_sample(azure, pool, 1_000, seed=5)
+        b = smirnov_request_sample(azure, pool, 1_000, seed=5)
+        np.testing.assert_array_equal(a.workload_ids, b.workload_ids)

@@ -1,0 +1,236 @@
+"""Tests for the online load generator: arrivals, traces, replay."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExperimentSpec, SpecEntry, shrink, smirnov_request_sample
+from repro.loadgen import (
+    RequestTrace,
+    cell_counts,
+    generate_request_trace,
+    generate_smirnov_trace,
+    minute_offsets,
+    replay,
+)
+from repro.traces import synthetic_azure_trace
+from repro.workloads import build_default_pool
+
+
+def small_spec(counts=None):
+    entries = [
+        SpecEntry("fnA", "pyaes:1", "pyaes", 5.0, 32.0),
+        SpecEntry("fnB", "matmul:1", "matmul", 50.0, 64.0),
+    ]
+    if counts is None:
+        counts = [[30, 0, 10], [5, 5, 5]]
+    return ExperimentSpec("s", "t", 1.0, entries,
+                          np.array(counts, dtype=np.int64))
+
+
+class TestArrivals:
+    def test_poisson_counts_random_with_mean(self):
+        rng = np.random.default_rng(0)
+        counts = np.full(2000, 100, dtype=np.int64)
+        realised = cell_counts(counts, "poisson", rng)
+        assert realised.mean() == pytest.approx(100, rel=0.05)
+        assert realised.std() > 5  # genuinely random
+
+    def test_deterministic_modes_emit_exact(self):
+        rng = np.random.default_rng(0)
+        counts = np.array([3, 7, 0], dtype=np.int64)
+        for mode in ("uniform", "equidistant"):
+            np.testing.assert_array_equal(
+                cell_counts(counts, mode, rng), counts
+            )
+
+    def test_unknown_mode_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="arrival mode"):
+            cell_counts(np.array([1]), "gamma", rng)
+        with pytest.raises(ValueError, match="arrival mode"):
+            minute_offsets(np.array([1]), "gamma", rng)
+
+    def test_offsets_in_minute_and_sorted_within_cell(self):
+        rng = np.random.default_rng(1)
+        realised = np.array([100, 0, 50], dtype=np.int64)
+        off = minute_offsets(realised, "poisson", rng)
+        assert off.shape == (150,)
+        assert np.all((off >= 0) & (off < 60))
+        assert np.all(np.diff(off[:100]) >= 0)  # cell 0 ascending
+        assert np.all(np.diff(off[100:]) >= 0)  # cell 2 ascending
+
+    def test_equidistant_evenly_spaced(self):
+        rng = np.random.default_rng(2)
+        off = minute_offsets(np.array([4]), "equidistant", rng)
+        np.testing.assert_allclose(np.diff(off), 15.0)  # constant gaps
+        assert 0 <= off[0] < 15.0  # random phase within one gap
+
+    def test_equidistant_phases_decorrelated(self):
+        # two one-request cells must not land on the same second
+        rng = np.random.default_rng(3)
+        off = minute_offsets(np.full(200, 1, dtype=np.int64),
+                             "equidistant", rng)
+        assert np.unique(np.floor(off)).size > 10
+
+    def test_zero_requests(self):
+        rng = np.random.default_rng(3)
+        off = minute_offsets(np.array([0, 0]), "uniform", rng)
+        assert off.size == 0
+
+    def test_poisson_second_scale_burstiness(self):
+        """Per-second counts under Poisson arrivals show index of
+        dispersion ~1 (bursty), unlike equidistant (~0)."""
+        rng = np.random.default_rng(4)
+        realised = np.array([600], dtype=np.int64)  # 10 rps average
+        for mode, lo, hi in (("poisson", 0.5, 2.0), ("equidistant", 0.0, 0.2)):
+            off = minute_offsets(realised, mode, rng)
+            per_sec, _ = np.histogram(off, bins=np.arange(61))
+            iod = per_sec.var() / per_sec.mean()
+            assert lo <= iod <= hi, f"{mode}: IoD {iod}"
+
+
+class TestGenerateFromSpec:
+    def test_deterministic_mode_exact_totals(self):
+        spec = small_spec()
+        trace = generate_request_trace(spec, seed=0, arrival_mode="uniform")
+        assert trace.n_requests == spec.total_requests
+
+    def test_poisson_mode_close_totals(self):
+        spec = small_spec([[600, 600], [600, 600]])
+        trace = generate_request_trace(spec, seed=0)
+        assert trace.n_requests == pytest.approx(2400, rel=0.15)
+
+    def test_timestamps_sorted_and_within_duration(self):
+        spec = small_spec()
+        trace = generate_request_trace(spec, seed=1)
+        assert np.all(np.diff(trace.timestamps_s) >= 0)
+        assert trace.timestamps_s.max() < spec.duration_minutes * 60
+
+    def test_requests_carry_workload_metadata(self):
+        spec = small_spec()
+        trace = generate_request_trace(spec, seed=1, arrival_mode="uniform")
+        a_mask = trace.function_ids == "fnA"
+        assert np.all(trace.workload_ids[a_mask] == "pyaes:1")
+        assert np.all(trace.runtimes_ms[a_mask] == 5.0)
+        assert a_mask.sum() == 40
+
+    def test_minute_structure_respected(self):
+        spec = small_spec([[60, 0, 0], [0, 0, 60]])
+        trace = generate_request_trace(spec, seed=2, arrival_mode="uniform")
+        a_times = trace.timestamps_s[trace.function_ids == "fnA"]
+        b_times = trace.timestamps_s[trace.function_ids == "fnB"]
+        assert np.all(a_times < 60)
+        assert np.all(b_times >= 120)
+
+    def test_empty_spec_rejected(self):
+        spec = small_spec([[0, 0, 0], [0, 0, 0]])
+        with pytest.raises(ValueError, match="zero requests"):
+            generate_request_trace(spec, seed=0, arrival_mode="uniform")
+
+
+class TestGenerateSmirnov:
+    @pytest.fixture(scope="class")
+    def sample(self):
+        trace = synthetic_azure_trace(n_functions=800, seed=3)
+        pool = build_default_pool()
+        return smirnov_request_sample(trace, pool, 2_000, seed=3)
+
+    def test_constant_rate_horizon(self, sample):
+        trace = generate_smirnov_trace(sample, rate_rps=50.0, seed=0)
+        assert trace.n_requests == 2_000
+        assert trace.duration_s == pytest.approx(40.0, rel=0.2)
+
+    def test_equidistant_exact(self, sample):
+        trace = generate_smirnov_trace(sample, rate_rps=100.0, seed=0,
+                                       arrival_mode="equidistant")
+        np.testing.assert_allclose(np.diff(trace.timestamps_s), 0.01)
+
+    def test_uniform_sorted(self, sample):
+        trace = generate_smirnov_trace(sample, rate_rps=10.0, seed=0,
+                                       arrival_mode="uniform")
+        assert np.all(np.diff(trace.timestamps_s) >= 0)
+
+    def test_rejects_bad_rate_and_mode(self, sample):
+        with pytest.raises(ValueError):
+            generate_smirnov_trace(sample, rate_rps=0.0)
+        with pytest.raises(ValueError, match="arrival mode"):
+            generate_smirnov_trace(sample, rate_rps=1.0,
+                                   arrival_mode="burst")
+
+
+class TestRequestTrace:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="contain requests"):
+            RequestTrace(np.array([]), np.array([]), np.array([]),
+                         np.array([]), np.array([]))
+        with pytest.raises(ValueError, match="ascending"):
+            RequestTrace(np.array([1.0, 0.5]), np.array(["a", "b"]),
+                         np.array(["f", "f"]), np.array([1.0, 1.0]),
+                         np.array(["x", "x"]))
+        with pytest.raises(ValueError, match="align"):
+            RequestTrace(np.array([1.0]), np.array(["a", "b"]),
+                         np.array(["f"]), np.array([1.0]), np.array(["x"]))
+
+    def test_rate_series(self):
+        t = RequestTrace(np.array([0.5, 1.5, 61.0]),
+                         np.array(["a"] * 3), np.array(["f"] * 3),
+                         np.array([1.0] * 3), np.array(["x"] * 3))
+        assert t.per_second_rate()[:2].tolist() == [1, 1]
+        assert t.per_minute_rate().tolist() == [2, 1]
+
+    def test_slice_time(self):
+        t = RequestTrace(np.array([1.0, 30.0, 90.0]),
+                         np.array(["a", "b", "c"]), np.array(["f"] * 3),
+                         np.array([1.0] * 3), np.array(["x"] * 3))
+        s = t.slice_time(10.0, 100.0)
+        assert s.n_requests == 2
+        assert list(s.workload_ids) == ["b", "c"]
+        with pytest.raises(ValueError, match="no requests"):
+            t.slice_time(2.0, 3.0)
+
+
+class _RecordingBackend:
+    def __init__(self):
+        self.calls = []
+
+    def invoke(self, timestamp_s, workload_id):
+        self.calls.append((timestamp_s, workload_id))
+
+    def drain(self):
+        return [f"done-{i}" for i in range(len(self.calls))]
+
+
+class TestReplay:
+    def test_replay_submits_in_order(self):
+        spec = small_spec()
+        trace = generate_request_trace(spec, seed=0, arrival_mode="uniform")
+        backend = _RecordingBackend()
+        result = replay(trace, backend)
+        assert result.n_requests == trace.n_requests
+        assert len(backend.calls) == trace.n_requests
+        times = [c[0] for c in backend.calls]
+        assert times == sorted(times)
+
+    def test_replay_paced(self):
+        # 3 requests over 0.2 virtual seconds at speed 1 -> ~0.2s wall
+        t = RequestTrace(np.array([0.0, 0.1, 0.2]),
+                         np.array(["a"] * 3), np.array(["f"] * 3),
+                         np.array([1.0] * 3), np.array(["x"] * 3))
+        backend = _RecordingBackend()
+        result = replay(t, backend, speed=1.0)
+        assert 0.15 <= result.wall_clock_s <= 2.0
+
+    def test_replay_rejects_bad_speed(self):
+        t = RequestTrace(np.array([0.0]), np.array(["a"]), np.array(["f"]),
+                         np.array([1.0]), np.array(["x"]))
+        with pytest.raises(ValueError, match="speed"):
+            replay(t, _RecordingBackend(), speed=0.0)
+
+    def test_result_metric_guards(self):
+        spec = small_spec()
+        trace = generate_request_trace(spec, seed=0, arrival_mode="uniform")
+        result = replay(trace, _RecordingBackend())
+        with pytest.raises(ValueError, match="latencies"):
+            result.latencies_ms()
+        with pytest.raises(ValueError, match="cold"):
+            result.cold_start_fraction()

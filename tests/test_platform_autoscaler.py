@@ -1,0 +1,242 @@
+"""Tests for autoscaling, queue timeouts, and loadgen IO."""
+
+import numpy as np
+import pytest
+
+from repro.platform import (
+    FaaSCluster,
+    NoKeepAlive,
+    ReactiveAutoscaler,
+    WorkloadProfile,
+)
+
+
+def profiles():
+    return {
+        "fast": WorkloadProfile("fast", runtime_ms=50.0, memory_mb=100.0),
+        "slow": WorkloadProfile("slow", runtime_ms=5_000.0, memory_mb=200.0),
+    }
+
+
+class TestAutoscalerPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReactiveAutoscaler(min_nodes=0)
+        with pytest.raises(ValueError):
+            ReactiveAutoscaler(min_nodes=5, max_nodes=2)
+        with pytest.raises(ValueError):
+            ReactiveAutoscaler(target_busy_per_node=0)
+        with pytest.raises(ValueError):
+            ReactiveAutoscaler(low_watermark=1.5, high_watermark=1.2)
+        with pytest.raises(ValueError):
+            ReactiveAutoscaler(evaluate_every_s=0)
+
+    def test_scales_up_on_overload(self):
+        from repro.platform.simulator import Node
+
+        policy = ReactiveAutoscaler(target_busy_per_node=2.0,
+                                    evaluate_every_s=1.0)
+        nodes = [Node(0, 1000.0)]
+        nodes[0].busy_count = 10
+        assert policy.decide(0.0, nodes) == 2
+        assert policy.events == [(0.0, 2)]
+
+    def test_rate_limited(self):
+        from repro.platform.simulator import Node
+
+        policy = ReactiveAutoscaler(target_busy_per_node=2.0,
+                                    evaluate_every_s=30.0)
+        nodes = [Node(0, 1000.0)]
+        nodes[0].busy_count = 10
+        assert policy.decide(0.0, nodes) == 2
+        assert policy.decide(5.0, nodes) == 1  # too soon: keep current n
+
+    def test_scale_down_needs_grace(self):
+        from repro.platform.simulator import Node
+
+        policy = ReactiveAutoscaler(
+            min_nodes=1, target_busy_per_node=4.0,
+            evaluate_every_s=1.0, scale_down_grace_s=100.0)
+        nodes = [Node(0, 1000.0), Node(1, 1000.0)]  # idle cluster
+        assert policy.decide(0.0, nodes) == 2     # starts the grace clock
+        assert policy.decide(50.0, nodes) == 2    # still within grace
+        assert policy.decide(150.0, nodes) == 1   # grace elapsed
+
+    def test_never_below_min(self):
+        from repro.platform.simulator import Node
+
+        policy = ReactiveAutoscaler(min_nodes=2, evaluate_every_s=1.0,
+                                    scale_down_grace_s=0.0)
+        nodes = [Node(0, 1000.0), Node(1, 1000.0)]
+        assert policy.decide(0.0, nodes) == 2
+
+
+class TestElasticCluster:
+    def test_cluster_grows_under_burst(self):
+        policy = ReactiveAutoscaler(
+            min_nodes=1, max_nodes=8, target_busy_per_node=2.0,
+            evaluate_every_s=0.5)
+        c = FaaSCluster(profiles(), n_nodes=1, node_memory_mb=8_000.0,
+                        autoscaler=policy)
+        # 30 overlapping slow invocations overwhelm one node
+        for k in range(30):
+            c.invoke(k * 1.0, "slow")
+        c.drain()
+        assert len(c.nodes) > 1
+        assert policy.events  # scale-ups recorded
+
+    def test_cluster_shrinks_after_burst(self):
+        policy = ReactiveAutoscaler(
+            min_nodes=1, max_nodes=8, target_busy_per_node=1.0,
+            evaluate_every_s=1.0, scale_down_grace_s=5.0)
+        c = FaaSCluster(profiles(), n_nodes=4, node_memory_mb=8_000.0,
+                        keepalive=NoKeepAlive(), autoscaler=policy)
+        # a long tail of sparse fast requests: cluster should contract
+        for k in range(120):
+            c.invoke(k * 2.0, "fast")
+        c.drain()
+        assert len(c.nodes) < 4
+
+    def test_records_survive_topology_changes(self):
+        policy = ReactiveAutoscaler(min_nodes=1, max_nodes=4,
+                                    target_busy_per_node=1.0,
+                                    evaluate_every_s=0.5,
+                                    scale_down_grace_s=2.0)
+        c = FaaSCluster(profiles(), n_nodes=2, node_memory_mb=8_000.0,
+                        autoscaler=policy)
+        rng = np.random.default_rng(0)
+        t = 0.0
+        for _ in range(200):
+            t += float(rng.exponential(0.5))
+            c.invoke(t, "fast" if rng.random() < 0.8 else "slow")
+        records = c.drain()
+        assert len(records) == 200
+        for r in records:
+            assert r.end_s >= r.start_s >= r.arrival_s
+
+
+class TestQueueTimeout:
+    def test_drops_after_timeout(self):
+        profs = {"big": WorkloadProfile("big", runtime_ms=10_000.0,
+                                        memory_mb=900.0)}
+        c = FaaSCluster(profs, n_nodes=1, node_memory_mb=1_000.0,
+                        keepalive=NoKeepAlive(), queue_timeout_s=1.0)
+        c.invoke(0.0, "big")     # occupies the node for 10s
+        c.invoke(0.1, "big")     # queued; will exceed the 1s deadline
+        records = c.drain()
+        assert len(records) == 1
+        assert len(c.dropped) == 1
+        assert c.dropped[0][1] == "big"
+
+    def test_within_timeout_still_served(self):
+        profs = {"quick": WorkloadProfile("quick", runtime_ms=200.0,
+                                          memory_mb=900.0)}
+        c = FaaSCluster(profs, n_nodes=1, node_memory_mb=1_000.0,
+                        keepalive=NoKeepAlive(), queue_timeout_s=5.0)
+        c.invoke(0.0, "quick")
+        c.invoke(0.1, "quick")  # waits ~0.1s, inside the deadline
+        records = c.drain()
+        assert len(records) == 2
+        assert not c.dropped
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaaSCluster(profiles(), queue_timeout_s=0.0)
+
+
+class TestHuaweiPublic:
+    def test_azure_like_profile(self):
+        from repro.traces import (
+            invocation_duration_cdf,
+            synthetic_huawei_public_trace,
+        )
+
+        t = synthetic_huawei_public_trace(n_functions=1500, seed=2)
+        assert t.n_functions == 1500
+        frac_fns = (t.durations_ms < 1000.0).mean()
+        assert 0.5 <= frac_fns <= 0.75  # slightly faster than Azure
+        w = invocation_duration_cdf(t)(1000.0)
+        assert w > frac_fns  # popularity skews short, like Azure
+
+    def test_pipeline_compatible(self):
+        from repro.core import shrink
+        from repro.traces import synthetic_huawei_public_trace
+        from repro.workloads import build_default_pool
+
+        t = synthetic_huawei_public_trace(n_functions=600, seed=3)
+        spec = shrink(t, build_default_pool(), max_rps=5.0,
+                      duration_minutes=10, seed=3)
+        assert spec.total_requests > 0
+
+    def test_validation(self):
+        from repro.traces import synthetic_huawei_public_trace
+
+        with pytest.raises(ValueError):
+            synthetic_huawei_public_trace(n_functions=0)
+
+
+class TestRequestTraceIO:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        from repro.core import shrink
+        from repro.loadgen import generate_request_trace
+        from repro.traces import synthetic_azure_trace
+        from repro.workloads import build_default_pool
+
+        azure = synthetic_azure_trace(n_functions=400, seed=8)
+        spec = shrink(azure, build_default_pool(), max_rps=3.0,
+                      duration_minutes=5, seed=8)
+        return generate_request_trace(spec, seed=8)
+
+    def test_csv_roundtrip(self, trace, tmp_path):
+        from repro.loadgen import (
+            load_request_trace_csv,
+            save_request_trace_csv,
+        )
+
+        path = tmp_path / "req.csv"
+        save_request_trace_csv(trace, path)
+        loaded = load_request_trace_csv(path)
+        assert loaded.n_requests == trace.n_requests
+        np.testing.assert_allclose(loaded.timestamps_s, trace.timestamps_s,
+                                   atol=1e-6)
+        np.testing.assert_array_equal(loaded.workload_ids,
+                                      trace.workload_ids)
+
+    def test_npz_roundtrip(self, trace, tmp_path):
+        from repro.loadgen import (
+            load_request_trace_npz,
+            save_request_trace_npz,
+        )
+
+        path = tmp_path / "req.npz"
+        save_request_trace_npz(trace, path)
+        loaded = load_request_trace_npz(path)
+        np.testing.assert_array_equal(loaded.timestamps_s,
+                                      trace.timestamps_s)
+        np.testing.assert_array_equal(loaded.families, trace.families)
+
+    def test_csv_header_guard(self, tmp_path):
+        from repro.loadgen import load_request_trace_csv
+
+        path = tmp_path / "bad.csv"
+        path.write_text("wrong,header\n1,2\n")
+        with pytest.raises(ValueError, match="header"):
+            load_request_trace_csv(path)
+
+    def test_csv_empty_guard(self, tmp_path):
+        from repro.loadgen import load_request_trace_csv
+
+        path = tmp_path / "empty.csv"
+        path.write_text(
+            "timestamp_s,workload_id,function_id,runtime_ms,family\n")
+        with pytest.raises(ValueError, match="no requests"):
+            load_request_trace_csv(path)
+
+    def test_npz_missing_arrays_guard(self, tmp_path):
+        from repro.loadgen import load_request_trace_npz
+
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(path, timestamps_s=np.array([1.0]))
+        with pytest.raises(ValueError, match="missing arrays"):
+            load_request_trace_npz(path)

@@ -1,0 +1,118 @@
+"""Queueing-theory validation of the discrete-event simulator.
+
+Cross-checks the event engine against closed-form results: constraining a
+node's memory so exactly one sandbox fits turns it into a single-server
+FIFO queue, so with Poisson arrivals and deterministic service the mean
+queueing delay must follow the M/D/1 Pollaczek-Khinchine formula
+
+    Wq = rho / (2 * (1 - rho)) * service_time .
+
+Agreement here validates arrival handling, the event heap, FIFO backlog
+order, and service accounting in one shot.
+"""
+
+import numpy as np
+import pytest
+
+from repro.loadgen.requests import RequestTrace
+from repro.loadgen.replay import replay
+from repro.platform import FaaSCluster, FixedKeepAlive, WorkloadProfile
+
+
+def poisson_trace(rate_rps, horizon_s, seed):
+    rng = np.random.default_rng(seed)
+    n = int(rate_rps * horizon_s * 1.3 + 100)
+    times = np.cumsum(rng.exponential(1.0 / rate_rps, size=n))
+    times = times[times < horizon_s]
+    k = times.size
+    return RequestTrace(
+        timestamps_s=times,
+        workload_ids=np.full(k, "w"),
+        function_ids=np.full(k, "f"),
+        runtimes_ms=np.full(k, 1.0),
+        families=np.full(k, "fam"),
+    )
+
+
+def single_server_cluster(service_ms):
+    profiles = {
+        "w": WorkloadProfile("w", runtime_ms=service_ms, memory_mb=900.0)
+    }
+    # 900 MiB sandbox on a 1000 MiB node: one sandbox, ever.
+    return FaaSCluster(
+        profiles, n_nodes=1, node_memory_mb=1000.0,
+        keepalive=FixedKeepAlive(1e9),
+        cold_start_model=lambda p: 0.0,  # pure queueing, no boot noise
+    )
+
+
+class TestMD1:
+    @pytest.mark.parametrize("rho", [0.3, 0.6, 0.8])
+    def test_mean_wait_matches_pollaczek_khinchine(self, rho):
+        service_s = 0.05
+        rate = rho / service_s
+        horizon = 4000.0  # long run for tight averages
+        trace = poisson_trace(rate, horizon, seed=int(rho * 100))
+        cluster = single_server_cluster(service_s * 1e3)
+        result = replay(trace, cluster)
+        # discard warm-up fifth
+        waits = np.array(
+            [r.queueing_ms for r in result.records
+             if r.arrival_s > horizon / 5]
+        ) / 1e3
+        expected = rho / (2.0 * (1.0 - rho)) * service_s
+        assert waits.mean() == pytest.approx(expected, rel=0.15)
+
+    def test_low_utilisation_no_queueing(self):
+        trace = poisson_trace(0.5, 500.0, seed=1)  # rho = 0.025
+        cluster = single_server_cluster(50.0)
+        result = replay(trace, cluster)
+        waits = result.latencies_ms() - 50.0
+        assert np.median(waits) == pytest.approx(0.0, abs=1e-6)
+
+    def test_utilisation_matches_rho(self):
+        rho = 0.7
+        service_s = 0.02
+        trace = poisson_trace(rho / service_s, 1000.0, seed=2)
+        cluster = single_server_cluster(service_s * 1e3)
+        result = replay(trace, cluster)
+        busy_time = sum(r.service_ms for r in result.records) / 1e3
+        span = max(r.end_s for r in result.records)
+        assert busy_time / span == pytest.approx(rho, rel=0.05)
+
+    def test_fifo_order_preserved(self):
+        # back-to-back arrivals on a busy server must start in order
+        trace = RequestTrace(
+            timestamps_s=np.array([0.0, 0.01, 0.02, 0.03]),
+            workload_ids=np.full(4, "w"),
+            function_ids=np.full(4, "f"),
+            runtimes_ms=np.full(4, 1.0),
+            families=np.full(4, "fam"),
+        )
+        cluster = single_server_cluster(100.0)
+        result = replay(trace, cluster)
+        starts = [r.start_s for r in sorted(result.records,
+                                            key=lambda r: r.arrival_s)]
+        assert starts == sorted(starts)
+
+
+class TestLittlesLaw:
+    def test_l_equals_lambda_w(self):
+        """Little's law over the whole run: mean in-system count equals
+        arrival rate times mean time in system."""
+        rho = 0.5
+        service_s = 0.04
+        rate = rho / service_s
+        trace = poisson_trace(rate, 2000.0, seed=3)
+        cluster = single_server_cluster(service_s * 1e3)
+        result = replay(trace, cluster)
+        records = result.records
+        span = max(r.end_s for r in records)
+        w_mean = float(np.mean([r.end_s - r.arrival_s for r in records]))
+        # time-average number in system via integral of presence
+        presence = sum(r.end_s - r.arrival_s for r in records) / span
+        lam = len(records) / span
+        assert presence == pytest.approx(lam * w_mean, rel=1e-9)
+        # and the M/D/1 prediction for W = Wq + D holds
+        expected_w = rho / (2 * (1 - rho)) * service_s + service_s
+        assert w_mean == pytest.approx(expected_w, rel=0.15)

@@ -1,0 +1,212 @@
+"""Tests for platform tracing, the new schedulers, and window selection."""
+
+import numpy as np
+import pytest
+
+from repro.platform import (
+    FaaSCluster,
+    FixedKeepAlive,
+    LocalityAwareScheduler,
+    NoKeepAlive,
+    PlatformEvent,
+    PlatformTracer,
+    PowerOfTwoScheduler,
+    WorkloadProfile,
+    lifecycle_summary,
+)
+from repro.traces import (
+    Trace,
+    find_burstiest_window,
+    find_busiest_window,
+    find_quietest_window,
+    window_stats,
+)
+
+
+def profiles():
+    return {
+        "fast": WorkloadProfile("fast", runtime_ms=10.0, memory_mb=100.0),
+        "big": WorkloadProfile("big", runtime_ms=10.0, memory_mb=900.0),
+    }
+
+
+class TestTracer:
+    def test_creation_and_reuse_events(self):
+        tracer = PlatformTracer()
+        c = FaaSCluster(profiles(), n_nodes=1, node_memory_mb=2000.0,
+                        keepalive=FixedKeepAlive(60.0), tracer=tracer)
+        c.invoke(0.0, "fast")
+        c.invoke(1.0, "fast")
+        c.drain()
+        assert len(tracer.of_kind("sandbox_created")) == 1
+        assert len(tracer.of_kind("sandbox_reused")) == 1
+
+    def test_expiry_event(self):
+        tracer = PlatformTracer()
+        c = FaaSCluster(profiles(), n_nodes=1, node_memory_mb=2000.0,
+                        keepalive=FixedKeepAlive(5.0), tracer=tracer)
+        c.invoke(0.0, "fast")
+        c.invoke(100.0, "fast")
+        c.drain()
+        assert len(tracer.of_kind("sandbox_expired")) == 2
+
+    def test_eviction_event(self):
+        tracer = PlatformTracer()
+        c = FaaSCluster(profiles(), n_nodes=1, node_memory_mb=950.0,
+                        keepalive=FixedKeepAlive(3600.0), tracer=tracer)
+        c.invoke(0.0, "fast")
+        c.invoke(1.0, "big")  # 100 + 900 > 950: must evict fast's sandbox
+        c.drain()
+        ev = tracer.of_kind("sandbox_evicted")
+        assert len(ev) == 1
+        assert ev[0].workload_id == "fast"
+
+    def test_queued_and_dropped_events(self):
+        tracer = PlatformTracer()
+        profs = {"big": WorkloadProfile("big", runtime_ms=10_000.0,
+                                        memory_mb=900.0)}
+        c = FaaSCluster(profs, n_nodes=1, node_memory_mb=1000.0,
+                        keepalive=NoKeepAlive(), queue_timeout_s=1.0,
+                        tracer=tracer)
+        c.invoke(0.0, "big")
+        c.invoke(0.1, "big")
+        c.drain()
+        assert len(tracer.of_kind("request_queued")) == 1
+        assert len(tracer.of_kind("request_dropped")) == 1
+
+    def test_lifecycle_summary(self):
+        tracer = PlatformTracer()
+        c = FaaSCluster(profiles(), n_nodes=1, node_memory_mb=2000.0,
+                        keepalive=FixedKeepAlive(60.0), tracer=tracer)
+        for t in (0.0, 1.0, 2.0, 3.0):
+            c.invoke(t, "fast")
+        c.drain()
+        s = lifecycle_summary(tracer)
+        assert s["sandbox_created"] == 1
+        assert s["sandbox_reused"] == 3
+        assert s["reuse_ratio"] == 3.0
+        assert s["eviction_rate"] == 0.0
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError, match="event kind"):
+            PlatformEvent(0.0, "bogus", 0, "w")
+        with pytest.raises(ValueError, match="event kind"):
+            PlatformTracer().of_kind("bogus")
+
+    def test_no_tracer_is_default(self):
+        c = FaaSCluster(profiles(), n_nodes=1, node_memory_mb=2000.0)
+        c.invoke(0.0, "fast")
+        c.drain()
+        assert c.tracer is None
+
+
+class TestNewSchedulers:
+    def _nodes(self, loads, warm=None):
+        from repro.platform.simulator import Node, _Sandbox
+
+        nodes = [Node(i, 1000.0) for i in range(len(loads))]
+        for n, load in zip(nodes, loads):
+            n.busy_count = load
+        for k, wid in (warm or {}).items():
+            nodes[k].idle[wid] = [_Sandbox(0, wid, 10.0)]
+        return nodes
+
+    def test_power_of_two_prefers_less_busy(self):
+        nodes = self._nodes([10, 0, 10, 10])
+        picks = [PowerOfTwoScheduler(seed=s).pick(nodes, "w")
+                 for s in range(40)]
+        # node 1 wins whenever probed; it must dominate the picks
+        assert picks.count(1) > 10
+        # and no pick is ever a *more* busy node than both probes allow
+        assert all(0 <= p < 4 for p in picks)
+
+    def test_power_of_two_single_node(self):
+        nodes = self._nodes([5])
+        assert PowerOfTwoScheduler().pick(nodes, "w") == 0
+
+    def test_locality_prefers_warm_node(self):
+        nodes = self._nodes([0, 3, 0], warm={1: "w"})
+        # node 1 holds a warm sandbox for w -> chosen despite load
+        assert LocalityAwareScheduler().pick(nodes, "w") == 1
+
+    def test_locality_falls_back_to_least_busy(self):
+        nodes = self._nodes([2, 1, 3])
+        assert LocalityAwareScheduler().pick(nodes, "w") == 1
+
+    def test_locality_improves_warm_rate_end_to_end(self):
+        rng = np.random.default_rng(0)
+        profs = {f"w{i}": WorkloadProfile(f"w{i}", 50.0, 200.0)
+                 for i in range(20)}
+
+        def run(scheduler):
+            c = FaaSCluster(profs, n_nodes=4, node_memory_mb=1200.0,
+                            keepalive=FixedKeepAlive(600.0),
+                            scheduler=scheduler)
+            t = 0.0
+            r = np.random.default_rng(1)
+            for _ in range(600):
+                t += float(r.exponential(0.2))
+                c.invoke(t, f"w{int(r.integers(0, 20))}")
+            recs = c.drain()
+            return np.mean([rec.cold for rec in recs])
+
+        from repro.platform import LeastLoadedScheduler
+
+        cold_locality = run(LocalityAwareScheduler())
+        cold_least = run(LeastLoadedScheduler())
+        assert cold_locality <= cold_least
+        del rng
+
+
+class TestWindows:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        n, minutes = 6, 120
+        per_minute = np.ones((n, minutes), dtype=np.int64)
+        per_minute[:, 40:50] = 30          # busy plateau
+        per_minute[0, 80] = 400            # one extreme burst minute
+        per_minute[:, 100:110] = 0         # quiet stretch
+        return Trace(
+            "w", np.array([f"f{i}" for i in range(n)]),
+            np.array(["a"] * n), np.full(n, 100.0), per_minute,
+        )
+
+    def test_busiest_window(self, trace):
+        start = find_busiest_window(trace, 10)
+        assert 40 <= start <= 49 or start == 80 - 9  # plateau or burst
+        # the plateau sums 6*30*10=1800 vs burst 400+... plateau wins
+        assert start == 40
+
+    def test_quietest_window(self, trace):
+        assert find_quietest_window(trace, 10) == 100
+
+    def test_burstiest_window_catches_spike(self, trace):
+        start = find_burstiest_window(trace, 10)
+        assert start <= 80 < start + 10
+
+    def test_window_stats(self, trace):
+        stats = window_stats(trace, 40, 10)
+        assert stats["total_invocations"] == 6 * 30 * 10
+        assert stats["busiest_minute"] == 180
+        assert stats["active_functions"] == 6
+        assert stats["active_fraction"] == 1.0
+
+    def test_validation(self, trace):
+        with pytest.raises(ValueError):
+            find_busiest_window(trace, 0)
+        with pytest.raises(ValueError):
+            find_busiest_window(trace, 10_000)
+        with pytest.raises(ValueError, match="at least 2"):
+            find_burstiest_window(trace, 1)
+
+    def test_minute_range_integration(self, trace):
+        """Window finder output feeds the Minute Range pipeline directly."""
+        from repro.core import ShrinkRay
+        from repro.workloads import Workload, WorkloadPool
+
+        pool = WorkloadPool([Workload("w:0", "fam", {}, 100.0, 32.0)])
+        start = find_busiest_window(trace, 10)
+        sr = ShrinkRay(time_mode="minute-range", range_start_minute=start)
+        spec = sr.run(trace, pool, max_rps=1.0, duration_minutes=10,
+                      seed=0)
+        assert spec.duration_minutes == 10

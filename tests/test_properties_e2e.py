@@ -1,0 +1,146 @@
+"""Cross-cutting property tests over the whole pipeline.
+
+Each property here is an invariant a downstream user implicitly relies
+on; hypothesis drives the trace shapes, scaling targets, and seeds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ExperimentSpec,
+    SpecEntry,
+    aggregate_functions,
+    scale_request_rate,
+    thumbnail_scale,
+)
+from repro.loadgen import generate_request_trace
+from repro.traces import Trace
+
+
+@st.composite
+def random_trace(draw):
+    n = draw(st.integers(2, 25))
+    minutes = draw(st.integers(4, 60))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    durations = rng.lognormal(4.0, 2.0, n) + 1.0
+    # heavy-tailed counts so the trace resembles real popularity skew
+    counts = np.maximum(rng.pareto(1.0, n) * 50, 1).astype(np.int64)
+    per_minute = np.zeros((n, minutes), dtype=np.int64)
+    for i in range(n):
+        per_minute[i] = rng.multinomial(
+            counts[i], np.full(minutes, 1.0 / minutes)
+        )
+    return Trace(
+        name=f"prop-{seed}",
+        function_ids=np.array([f"f{i}" for i in range(n)]),
+        app_ids=np.array(["a"] * n),
+        durations_ms=durations,
+        per_minute=per_minute,
+    )
+
+
+class TestAggregationProperties:
+    @given(random_trace(), st.floats(0.1, 100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_invocations_conserved(self, trace, quantize):
+        agg, audit = aggregate_functions(trace, quantize_ms=quantize)
+        assert agg.total_invocations == trace.total_invocations
+        assert audit.aggregated_shares.sum() == pytest.approx(1.0)
+
+    @given(random_trace())
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_mean_duration_preserved(self, trace):
+        counts = trace.invocations_per_function.astype(float)
+        before = np.average(trace.durations_ms, weights=counts)
+        agg, _ = aggregate_functions(trace)
+        after = np.average(
+            agg.durations_ms,
+            weights=agg.invocations_per_function.astype(float),
+        )
+        assert after == pytest.approx(before, rel=1e-9)
+
+    @given(random_trace())
+    @settings(max_examples=40, deadline=None)
+    def test_aggregation_idempotent(self, trace):
+        once, _ = aggregate_functions(trace)
+        twice, _ = aggregate_functions(once)
+        assert twice.n_functions == once.n_functions
+
+
+class TestScalingProperties:
+    @given(random_trace(), st.integers(1, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_thumbnail_then_rate_preserves_shares(self, trace, duration):
+        if duration > trace.n_minutes:
+            duration = trace.n_minutes
+        matrix = thumbnail_scale(trace.per_minute, duration)
+        busiest = matrix.sum(axis=0).max()
+        if busiest <= 60:
+            return  # nothing to downscale
+        rng = np.random.default_rng(0)
+        scaled = scale_request_rate(matrix, 1.0, rng)
+        # per-function shares survive in expectation (loose tolerance:
+        # single realisation of a multinomial)
+        orig = matrix.sum(axis=1).astype(float)
+        got = scaled.sum(axis=1).astype(float)
+        if scaled.sum() >= 500:
+            top = int(np.argmax(orig))
+            assert got[top] / got.sum() == pytest.approx(
+                orig[top] / orig.sum(), abs=0.1
+            )
+
+    @given(random_trace())
+    @settings(max_examples=30, deadline=None)
+    def test_rate_scaled_never_exceeds_original(self, trace):
+        busiest = int(trace.aggregate_per_minute.max())
+        if busiest <= 60:
+            return
+        rng = np.random.default_rng(1)
+        scaled = scale_request_rate(trace.per_minute, 1.0, rng)
+        # downsampling never invents load in a minute that had none
+        assert np.all(scaled[trace.per_minute == 0] == 0)
+
+
+class TestSpecProperties:
+    @given(st.integers(1, 8), st.integers(1, 10), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_spec_json_roundtrip(self, n, minutes, seed):
+        rng = np.random.default_rng(seed)
+        entries = [
+            SpecEntry(f"f{i}", f"w:{i}", "pyaes",
+                      float(rng.uniform(1, 1000)),
+                      float(rng.uniform(16, 512)))
+            for i in range(n)
+        ]
+        spec = ExperimentSpec(
+            "p", "t", float(rng.uniform(0.1, 100)), entries,
+            rng.integers(0, 50, (n, minutes)).astype(np.int64),
+            metadata={"k": seed},
+        )
+        again = ExperimentSpec.from_dict(spec.to_dict())
+        np.testing.assert_array_equal(again.per_minute, spec.per_minute)
+        assert again.max_rps == spec.max_rps
+        assert [e.runtime_ms for e in again.entries] == [
+            e.runtime_ms for e in spec.entries
+        ]
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_generate_deterministic_count_modes(self, seed):
+        rng = np.random.default_rng(seed)
+        n, minutes = 4, 6
+        matrix = rng.integers(0, 30, (n, minutes)).astype(np.int64)
+        if matrix.sum() == 0:
+            matrix[0, 0] = 1
+        entries = [SpecEntry(f"f{i}", f"w:{i}", "pyaes", 5.0, 32.0)
+                   for i in range(n)]
+        spec = ExperimentSpec("p", "t", 1.0, entries, matrix)
+        for mode in ("uniform", "equidistant"):
+            trace = generate_request_trace(spec, seed=seed,
+                                           arrival_mode=mode)
+            assert trace.n_requests == spec.total_requests
+            assert np.all(np.diff(trace.timestamps_s) >= 0)

@@ -1,0 +1,112 @@
+"""Property tests for the band-KS fidelity metric and window finders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import ks_statistic_samples
+from repro.stats.distance import ks_relative_band
+
+
+class TestBandKsProperties:
+    @given(st.lists(st.floats(0.1, 1e5), min_size=2, max_size=60),
+           st.integers(0, 1000))
+    @settings(max_examples=60)
+    def test_zero_for_sub_tolerance_relocation(self, y, seed):
+        """Relocating every sample by < tolerance costs exactly zero."""
+        rng = np.random.default_rng(seed)
+        yv = np.array(y)
+        shifts = rng.uniform(-0.09, 0.09, size=yv.size)
+        x = yv * (1.0 + shifts)
+        assert ks_relative_band(x, yv, rel_tolerance=0.1) == 0.0
+
+    @given(st.lists(st.floats(0.1, 1e5), min_size=2, max_size=60),
+           st.lists(st.floats(0.1, 1e5), min_size=2, max_size=60))
+    @settings(max_examples=60)
+    def test_bounded_by_plain_ks(self, x, y):
+        """The band statistic never exceeds the plain KS statistic."""
+        band = ks_relative_band(x, y, rel_tolerance=0.1)
+        plain = ks_statistic_samples(x, y)
+        assert 0.0 <= band <= plain + 1e-12
+
+    @given(st.lists(st.floats(0.1, 1e5), min_size=2, max_size=40))
+    @settings(max_examples=40)
+    def test_identity_is_zero(self, y):
+        assert ks_relative_band(y, y) == 0.0
+
+    def test_charges_mass_beyond_tolerance(self):
+        # 40% atom moved 50%: charged in full
+        y = np.array([100.0] * 40 + [1000.0] * 60)
+        x = np.array([150.0] * 40 + [1000.0] * 60)
+        assert ks_relative_band(x, y, rel_tolerance=0.1) == pytest.approx(
+            0.4)
+
+    def test_charges_created_mass(self):
+        y = np.array([100.0] * 100)
+        x = np.array([100.0] * 50 + [10_000.0] * 50)
+        assert ks_relative_band(x, y) == pytest.approx(0.5)
+
+    def test_heavy_atom_near_neighbour_not_confused(self):
+        """The failure mode that broke snapping: a reference neighbour
+        closer to the mapped value than the atom's origin."""
+        y = np.array([1475.5] * 46 + [1488.15] + [100.0] * 53)
+        x = np.array([1487.86] * 46 + [1488.15] + [100.0] * 53)
+        # 1475.5 -> 1487.86 is a 0.84% move: inside the band, zero cost
+        assert ks_relative_band(x, y, rel_tolerance=0.1) == 0.0
+
+    def test_weighted(self):
+        y = np.array([10.0, 1000.0])
+        x = np.array([10.0, 1000.0])
+        yw = np.array([9.0, 1.0])
+        xw = np.array([1.0, 9.0])  # same support, very different weights
+        assert ks_relative_band(x, y, x_weights=xw, y_weights=yw) \
+            == pytest.approx(0.8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ks_relative_band([1.0], [1.0], rel_tolerance=0.0)
+        with pytest.raises(ValueError):
+            ks_relative_band([-1.0], [1.0])
+        with pytest.raises(ValueError):
+            ks_relative_band([1.0], [0.0])
+
+    def test_deprecated_alias(self):
+        from repro.stats.distance import ks_log_quantized
+
+        assert ks_log_quantized is ks_relative_band
+
+
+class TestWindowProperties:
+    @given(st.integers(0, 500), st.integers(2, 20), st.integers(20, 120))
+    @settings(max_examples=40, deadline=None)
+    def test_busiest_window_is_argmax(self, seed, duration, minutes):
+        from repro.traces import Trace, find_busiest_window
+
+        rng = np.random.default_rng(seed)
+        per_minute = rng.integers(0, 40, (4, minutes)).astype(np.int64)
+        trace = Trace(
+            f"p{seed}", np.array([f"f{i}" for i in range(4)]),
+            np.array(["a"] * 4), np.full(4, 10.0), per_minute,
+        )
+        duration = min(duration, minutes)
+        start = find_busiest_window(trace, duration)
+        agg = trace.aggregate_per_minute
+        best = agg[start:start + duration].sum()
+        for s in range(minutes - duration + 1):
+            assert agg[s:s + duration].sum() <= best
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_quietest_never_busier_than_busiest(self, seed):
+        from repro.traces import (
+            find_busiest_window,
+            find_quietest_window,
+            synthetic_azure_trace,
+        )
+
+        trace = synthetic_azure_trace(n_functions=60, seed=seed)
+        agg = trace.aggregate_per_minute
+        b = find_busiest_window(trace, 30)
+        q = find_quietest_window(trace, 30)
+        assert agg[q:q + 30].sum() <= agg[b:b + 30].sum()

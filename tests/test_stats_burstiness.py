@@ -1,0 +1,122 @@
+"""Tests for burstiness metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    burstiness_parameter,
+    index_of_dispersion,
+    peak_to_mean,
+    rate_autocorrelation,
+)
+
+
+class TestIndexOfDispersion:
+    def test_poisson_near_one(self):
+        rng = np.random.default_rng(0)
+        counts = rng.poisson(20.0, size=5000)
+        assert index_of_dispersion(counts) == pytest.approx(1.0, abs=0.1)
+
+    def test_constant_is_zero(self):
+        assert index_of_dispersion(np.full(100, 7)) == 0.0
+
+    def test_bursty_above_one(self):
+        counts = np.zeros(100)
+        counts[::10] = 100
+        assert index_of_dispersion(counts) > 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            index_of_dispersion(np.array([1]))
+        with pytest.raises(ValueError):
+            index_of_dispersion(np.zeros(10))
+
+
+class TestBurstinessParameter:
+    def test_periodic_minus_one(self):
+        gaps = np.full(100, 2.0)
+        assert burstiness_parameter(gaps) == pytest.approx(-1.0)
+
+    def test_exponential_near_zero(self):
+        rng = np.random.default_rng(1)
+        gaps = rng.exponential(1.0, 20000)
+        assert burstiness_parameter(gaps) == pytest.approx(0.0, abs=0.05)
+
+    def test_heavy_tail_positive(self):
+        rng = np.random.default_rng(2)
+        gaps = rng.pareto(1.1, 5000)
+        assert burstiness_parameter(gaps) > 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            burstiness_parameter(np.array([1.0]))
+        with pytest.raises(ValueError):
+            burstiness_parameter(np.array([1.0, -1.0]))
+
+    def test_all_zero_gaps(self):
+        assert burstiness_parameter(np.zeros(5)) == -1.0
+
+    @given(st.lists(st.floats(0.0, 1e6), min_size=2, max_size=100))
+    @settings(max_examples=60)
+    def test_bounded(self, gaps):
+        b = burstiness_parameter(gaps)
+        assert -1.0 <= b <= 1.0
+
+
+class TestPeakToMean:
+    def test_constant_is_one(self):
+        assert peak_to_mean(np.full(10, 3.0)) == 1.0
+
+    def test_spike(self):
+        counts = np.ones(100)
+        counts[0] = 100
+        assert peak_to_mean(counts) > 40
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            peak_to_mean(np.array([]))
+        with pytest.raises(ValueError):
+            peak_to_mean(np.zeros(3))
+
+
+class TestAutocorrelation:
+    def test_diurnal_series_slow_decay(self):
+        t = np.arange(1440)
+        series = 1 + 0.3 * np.sin(2 * np.pi * t / 1440)
+        ac = rate_autocorrelation(series, 60)
+        assert np.all(ac > 0.9)  # smooth trend: high at small lags
+
+    def test_white_noise_decorrelates(self):
+        rng = np.random.default_rng(3)
+        ac = rate_autocorrelation(rng.normal(size=5000), 10)
+        assert np.all(np.abs(ac) < 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rate_autocorrelation(np.arange(10.0), 0)
+        with pytest.raises(ValueError):
+            rate_autocorrelation(np.arange(5.0), 10)
+        with pytest.raises(ValueError):
+            rate_autocorrelation(np.full(10, 2.0), 3)
+
+    def test_faasrail_vs_poisson_contrast(self):
+        """The Figure-8 contrast as a statistic: generated FaaSRail load
+        has long-range autocorrelation, plain Poisson load does not."""
+        from repro.baselines import plain_poisson_trace
+        from repro.core import shrink
+        from repro.loadgen import generate_request_trace
+        from repro.traces import synthetic_azure_trace
+        from repro.workloads import build_default_pool
+
+        azure = synthetic_azure_trace(n_functions=800, seed=5)
+        pool = build_default_pool()
+        spec = shrink(azure, pool, max_rps=10.0, duration_minutes=60, seed=5)
+        faasrail = generate_request_trace(spec, seed=5)
+        poisson = plain_poisson_trace(10.0, 60, seed=5)
+        ac_f = rate_autocorrelation(
+            faasrail.per_minute_rate(3600).astype(float), 5)
+        ac_p = rate_autocorrelation(
+            poisson.per_minute_rate(3600).astype(float), 5)
+        assert ac_f.mean() > ac_p.mean() + 0.2

@@ -1,0 +1,156 @@
+"""Unit + property tests for repro.stats.ecdf."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import EmpiricalCDF
+
+
+class TestConstruction:
+    def test_from_samples_basic(self):
+        cdf = EmpiricalCDF.from_samples([3.0, 1.0, 2.0])
+        assert cdf.n_points == 3
+        np.testing.assert_allclose(cdf.support, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(cdf.probs, [1 / 3, 2 / 3, 1.0])
+
+    def test_duplicates_merge(self):
+        cdf = EmpiricalCDF.from_samples([1.0, 1.0, 2.0])
+        assert cdf.n_points == 2
+        np.testing.assert_allclose(cdf.probs, [2 / 3, 1.0])
+
+    def test_weighted(self):
+        cdf = EmpiricalCDF.from_samples([1.0, 2.0], weights=[3.0, 1.0])
+        np.testing.assert_allclose(cdf.probs, [0.75, 1.0])
+
+    def test_zero_weight_total_rejected(self):
+        with pytest.raises(ValueError, match="total weight"):
+            EmpiricalCDF.from_samples([1.0, 2.0], weights=[0.0, 0.0])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            EmpiricalCDF.from_samples([1.0], weights=[-1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF.from_samples([])
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(ValueError, match="match"):
+            EmpiricalCDF.from_samples([1.0, 2.0], weights=[1.0])
+
+    def test_raw_ctor_validates_monotone_support(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            EmpiricalCDF(support=np.array([2.0, 1.0]), probs=np.array([0.5, 1.0]))
+
+    def test_raw_ctor_validates_final_prob(self):
+        with pytest.raises(ValueError, match="end at 1.0"):
+            EmpiricalCDF(support=np.array([1.0, 2.0]), probs=np.array([0.2, 0.9]))
+
+
+class TestEvaluation:
+    def test_step_semantics(self):
+        cdf = EmpiricalCDF.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert cdf(0.5) == 0.0
+        assert cdf(1.0) == pytest.approx(0.25)  # right-continuous
+        assert cdf(2.5) == pytest.approx(0.5)
+        assert cdf(4.0) == 1.0
+        assert cdf(100.0) == 1.0
+
+    def test_vectorised_eval(self):
+        cdf = EmpiricalCDF.from_samples([1.0, 2.0])
+        out = cdf(np.array([0.0, 1.0, 1.5, 2.0, 3.0]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 0.5, 1.0, 1.0])
+
+    def test_sf_complements(self):
+        cdf = EmpiricalCDF.from_samples([1.0, 5.0, 9.0])
+        xs = np.linspace(0, 10, 23)
+        np.testing.assert_allclose(cdf.sf(xs), 1.0 - cdf(xs))
+
+    def test_quantile_endpoints(self):
+        cdf = EmpiricalCDF.from_samples([2.0, 4.0, 8.0])
+        assert cdf.quantile(0.0) == 2.0
+        assert cdf.quantile(1.0) == 8.0
+
+    def test_quantile_interpolates(self):
+        cdf = EmpiricalCDF.from_samples([0.0, 10.0])
+        # knots: (0, 0), (0.5, 0), (1.0, 10) -> q=0.75 interpolates halfway
+        assert cdf.quantile(0.75) == pytest.approx(5.0)
+
+    def test_quantile_rejects_out_of_range(self):
+        cdf = EmpiricalCDF.from_samples([1.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+        with pytest.raises(ValueError):
+            cdf.quantile(-0.1)
+
+    def test_mean_weighted(self):
+        cdf = EmpiricalCDF.from_samples([1.0, 3.0], weights=[1.0, 3.0])
+        assert cdf.mean() == pytest.approx(2.5)
+
+    def test_series_log_space(self):
+        cdf = EmpiricalCDF.from_samples([1.0, 10.0, 100.0])
+        xs, fs = cdf.series(n=32)
+        assert xs.shape == fs.shape == (32,)
+        assert xs[0] == pytest.approx(1.0)
+        assert xs[-1] == pytest.approx(100.0)
+        assert np.all(np.diff(fs) >= 0)
+
+    def test_series_linear_when_nonpositive_support(self):
+        cdf = EmpiricalCDF.from_samples([-1.0, 0.0, 1.0])
+        xs, fs = cdf.series(n=16)
+        assert xs[0] == -1.0 and xs[-1] == 1.0
+
+
+@st.composite
+def samples_and_weights(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    vals = draw(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.001, max_value=1e3, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return vals, weights
+
+
+class TestProperties:
+    @given(samples_and_weights())
+    @settings(max_examples=80)
+    def test_cdf_monotone_and_bounded(self, sw):
+        vals, weights = sw
+        cdf = EmpiricalCDF.from_samples(vals, weights)
+        xs = np.linspace(min(vals) - 1, max(vals) + 1, 101)
+        fs = cdf(xs)
+        assert np.all((fs >= 0) & (fs <= 1))
+        assert np.all(np.diff(fs) >= -1e-12)
+        assert fs[-1] == pytest.approx(1.0)
+
+    @given(samples_and_weights())
+    @settings(max_examples=80)
+    def test_quantile_is_pseudo_inverse(self, sw):
+        vals, weights = sw
+        cdf = EmpiricalCDF.from_samples(vals, weights)
+        qs = np.linspace(0, 1, 21)
+        xq = cdf.quantile(qs)
+        # interpolated inverse stays inside the sample range and is monotone
+        assert np.all(xq >= cdf.support[0] - 1e-9)
+        assert np.all(xq <= cdf.support[-1] + 1e-9)
+        assert np.all(np.diff(xq) >= -1e-9)
+
+    @given(samples_and_weights())
+    @settings(max_examples=50)
+    def test_mean_matches_numpy_average(self, sw):
+        vals, weights = sw
+        cdf = EmpiricalCDF.from_samples(vals, weights)
+        expected = np.average(vals, weights=weights)
+        assert cdf.mean() == pytest.approx(expected, rel=1e-9, abs=1e-6)

@@ -1,0 +1,176 @@
+"""Tests for EM mixture fitting and trace-driven generator calibration."""
+
+import numpy as np
+import pytest
+
+from repro.stats import MixtureFit, fit_lognormal_mixture
+from repro.traces import (
+    characterize_trace,
+    fit_generator_from_trace,
+    fit_popularity_exponent,
+    synthetic_azure_trace,
+)
+
+
+def draw_mixture(rng, n, weights, medians, sigmas):
+    which = rng.choice(len(weights), size=n, p=weights)
+    mu = np.log(medians)[which]
+    return rng.lognormal(mean=mu, sigma=np.array(sigmas)[which])
+
+
+class TestEM:
+    def test_recovers_well_separated_mixture(self):
+        rng = np.random.default_rng(0)
+        x = draw_mixture(rng, 20_000, [0.5, 0.5], [10.0, 1000.0],
+                         [0.3, 0.3])
+        fit = fit_lognormal_mixture(x, n_components=2, seed=1)
+        assert fit.converged
+        np.testing.assert_allclose(np.sort(fit.medians), [10.0, 1000.0],
+                                   rtol=0.1)
+        np.testing.assert_allclose(fit.weights, [0.5, 0.5], atol=0.05)
+        np.testing.assert_allclose(fit.sigmas, [0.3, 0.3], atol=0.05)
+
+    def test_recovers_unequal_weights(self):
+        rng = np.random.default_rng(1)
+        x = draw_mixture(rng, 30_000, [0.8, 0.2], [5.0, 500.0], [0.4, 0.5])
+        fit = fit_lognormal_mixture(x, n_components=2, seed=2)
+        assert fit.weights[0] == pytest.approx(0.8, abs=0.05)
+
+    def test_single_component_is_lognormal_mle(self):
+        rng = np.random.default_rng(2)
+        x = rng.lognormal(np.log(50.0), 0.7, size=10_000)
+        fit = fit_lognormal_mixture(x, n_components=1, seed=0)
+        assert fit.medians[0] == pytest.approx(50.0, rel=0.05)
+        assert fit.sigmas[0] == pytest.approx(0.7, rel=0.05)
+
+    def test_weighted_fit_shifts_toward_heavy_samples(self):
+        rng = np.random.default_rng(3)
+        x = np.concatenate([
+            rng.lognormal(np.log(10.0), 0.2, 1000),
+            rng.lognormal(np.log(1000.0), 0.2, 1000),
+        ])
+        w = np.concatenate([np.full(1000, 100.0), np.ones(1000)])
+        fit = fit_lognormal_mixture(x, n_components=2, weights=w, seed=0)
+        # weighting makes the short component carry ~99% of the mass
+        assert fit.weights[0] > 0.9
+
+    def test_log_likelihood_monotone_ish(self):
+        rng = np.random.default_rng(4)
+        x = draw_mixture(rng, 5_000, [0.6, 0.4], [20.0, 400.0], [0.5, 0.5])
+        fit1 = fit_lognormal_mixture(x, n_components=1, seed=0)
+        fit2 = fit_lognormal_mixture(x, n_components=2, seed=0)
+        assert fit2.log_likelihood >= fit1.log_likelihood
+
+    def test_sample_roundtrip(self):
+        fit = MixtureFit(
+            weights=np.array([0.3, 0.7]),
+            medians=np.array([10.0, 200.0]),
+            sigmas=np.array([0.2, 0.2]),
+            log_likelihood=0.0, n_iterations=1, converged=True,
+        )
+        s = fit.sample(20_000, np.random.default_rng(5))
+        short = (s < 50.0).mean()
+        assert short == pytest.approx(0.3, abs=0.03)
+
+    def test_to_components(self):
+        fit = MixtureFit(
+            weights=np.array([1.0]), medians=np.array([42.0]),
+            sigmas=np.array([0.5]), log_likelihood=0.0,
+            n_iterations=1, converged=True,
+        )
+        comps = fit.to_components()
+        assert comps[0].median_ms == 42.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least"):
+            fit_lognormal_mixture([1.0], n_components=3)
+        with pytest.raises(ValueError, match="positive"):
+            fit_lognormal_mixture([1.0, -1.0, 2.0], n_components=1)
+        with pytest.raises(ValueError, match="match"):
+            fit_lognormal_mixture([1.0, 2.0], n_components=1,
+                                  weights=[1.0])
+        with pytest.raises(ValueError):
+            fit_lognormal_mixture([1.0, 2.0], n_components=0)
+        with pytest.raises(ValueError):
+            MixtureFit(np.array([1.0]), np.array([1.0]), np.array([0.1]),
+                       0.0, 1, True).sample(0, np.random.default_rng(0))
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(6)
+        x = rng.lognormal(2.0, 1.0, 2000)
+        a = fit_lognormal_mixture(x, n_components=2, seed=7)
+        b = fit_lognormal_mixture(x, n_components=2, seed=7)
+        np.testing.assert_allclose(a.medians, b.medians)
+
+
+class TestPopularityExponent:
+    def test_recovers_zipf_slope(self):
+        ranks = np.arange(1, 5001, dtype=float)
+        counts = 1e9 * ranks**-1.6
+        s = fit_popularity_exponent(counts)
+        assert s == pytest.approx(1.6, abs=0.05)
+
+    def test_on_synthetic_azure(self):
+        trace = synthetic_azure_trace(n_functions=4000, seed=9)
+        s = fit_popularity_exponent(trace.invocations_per_function)
+        # the generator uses exponent 1.6 with jitter
+        assert 1.2 <= s <= 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least 10"):
+            fit_popularity_exponent(np.arange(5) + 1)
+        with pytest.raises(ValueError, match="head_fraction"):
+            fit_popularity_exponent(np.arange(100) + 1.0,
+                                    head_fraction=0.0)
+
+
+class TestGeneratorFit:
+    def test_fit_from_synthetic_azure_matches_calibration(self):
+        trace = synthetic_azure_trace(n_functions=6000, seed=10)
+        fitted = fit_generator_from_trace(trace, seed=10)
+        comps = fitted["duration_mixture"]
+        assert len(comps) == 3
+        medians = sorted(c.median_ms for c in comps)
+        # the shipped calibration is (120, 1000, 8000) ms
+        assert 30 <= medians[0] <= 400
+        assert 300 <= medians[1] <= 3000
+        assert 2500 <= medians[2] <= 30000
+
+    def test_refit_generator_reproduces_cdf(self):
+        """The loop closes: fit a trace, synthesise from the fit, and the
+        duration CDFs agree."""
+        from repro.stats import EmpiricalCDF, ks_distance
+        from repro.traces.synth import sample_duration_mixture
+
+        trace = synthetic_azure_trace(n_functions=6000, seed=11)
+        fitted = fit_generator_from_trace(trace, seed=11)
+        rng = np.random.default_rng(12)
+        regen = sample_duration_mixture(
+            6000, fitted["duration_mixture"], rng,
+            lo_ms=1.0, hi_ms=600_000.0,
+        )
+        ks = ks_distance(EmpiricalCDF.from_samples(regen),
+                         EmpiricalCDF.from_samples(trace.durations_ms))
+        assert ks < 0.05
+
+
+class TestCharacterize:
+    def test_summary_fields(self):
+        trace = synthetic_azure_trace(n_functions=1000, seed=13)
+        info = characterize_trace(trace)
+        assert info["n_functions"] == 1000
+        assert info["total_invocations"] == trace.total_invocations
+        assert 0.4 <= info["duration_ms"]["frac_subsecond"] <= 0.6
+        assert info["popularity"]["top8pct_share"] > 0.9
+        assert info["weighted_median_duration_ms"] > 0
+        assert info["reports_memory"] is True
+
+    def test_cli_trace_info(self, capsys):
+        from repro.cli import main
+
+        rc = main(["trace-info", "--functions", "600", "--fit",
+                   "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "popularity" in out
+        assert "fitted duration mixture" in out

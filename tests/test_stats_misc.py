@@ -1,0 +1,205 @@
+"""Tests for repro.stats: sampling, cv, popularity, distance, histograms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    EmpiricalCDF,
+    cdf_series,
+    coefficient_of_variation,
+    cv_cdf_series,
+    ks_distance,
+    ks_statistic_samples,
+    log_bins,
+    popularity_change_cdf,
+    popularity_curve,
+    popularity_shares,
+    smirnov_sample,
+    wasserstein,
+)
+from repro.stats.histograms import format_cdf_table
+from repro.stats.sampling import stratified_uniform
+
+
+class TestSmirnovSampling:
+    def test_samples_follow_target_cdf(self):
+        rng = np.random.default_rng(7)
+        target = EmpiricalCDF.from_samples(rng.lognormal(2.0, 1.5, size=2000))
+        sample = smirnov_sample(target, 20000, np.random.default_rng(11))
+        got = EmpiricalCDF.from_samples(sample)
+        assert ks_distance(target, got) < 0.02
+
+    def test_sample_range_bounded_by_support(self):
+        target = EmpiricalCDF.from_samples([5.0, 10.0, 20.0])
+        s = smirnov_sample(target, 1000, np.random.default_rng(0))
+        assert s.min() >= 5.0 and s.max() <= 20.0
+
+    def test_deterministic_under_seed(self):
+        target = EmpiricalCDF.from_samples([1.0, 2.0, 3.0])
+        a = smirnov_sample(target, 100, np.random.default_rng(42))
+        b = smirnov_sample(target, 100, np.random.default_rng(42))
+        np.testing.assert_array_equal(a, b)
+
+    def test_antithetic_pairs(self):
+        target = EmpiricalCDF.from_samples(np.arange(1, 101, dtype=float))
+        s = smirnov_sample(target, 2000, np.random.default_rng(1), antithetic=True)
+        # Antithetic pairing symmetrises the sample mean around the median.
+        assert s.mean() == pytest.approx(target.mean(), rel=0.05)
+
+    def test_rejects_nonpositive_n(self):
+        target = EmpiricalCDF.from_samples([1.0])
+        with pytest.raises(ValueError):
+            smirnov_sample(target, 0, np.random.default_rng(0))
+
+    def test_stratified_uniform_low_discrepancy(self):
+        u = stratified_uniform(1000, np.random.default_rng(3))
+        assert u.shape == (1000,)
+        sorted_u = np.sort(u)
+        grid = (np.arange(1000) + 0.5) / 1000
+        assert np.max(np.abs(sorted_u - grid)) <= 1.0 / 1000 + 1e-12
+
+    def test_stratified_uniform_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            stratified_uniform(0, np.random.default_rng(0))
+
+
+class TestCV:
+    def test_constant_rows_have_zero_cv(self):
+        vals = np.full((5, 14), 3.0)
+        np.testing.assert_allclose(coefficient_of_variation(vals), 0.0)
+
+    def test_known_cv(self):
+        row = np.array([[1.0, 3.0]])  # mean 2, std 1
+        assert coefficient_of_variation(row)[0] == pytest.approx(0.5)
+
+    def test_zero_mean_zero_std_is_zero(self):
+        assert coefficient_of_variation(np.zeros((1, 4)))[0] == 0.0
+
+    def test_zero_mean_nonzero_std_is_inf(self):
+        cv = coefficient_of_variation(np.array([[-1.0, 1.0]]))
+        assert np.isinf(cv[0])
+
+    def test_cdf_series_clipped_window(self):
+        cv = np.array([0.1, 0.5, 0.9, 5.0])
+        xs, fs = cv_cdf_series(cv, max_cv=3.0, n=100)
+        assert xs[-1] == 3.0
+        assert fs[-1] == pytest.approx(0.75)  # the 5.0 stays beyond the window
+
+    def test_cdf_series_rejects_all_inf(self):
+        with pytest.raises(ValueError):
+            cv_cdf_series(np.array([np.inf]))
+
+
+class TestPopularity:
+    def test_shares_sum_to_one(self):
+        s = popularity_shares([1, 2, 3, 4])
+        assert s.sum() == pytest.approx(1.0)
+
+    def test_shares_reject_all_zero(self):
+        with pytest.raises(ValueError):
+            popularity_shares([0, 0])
+
+    def test_curve_is_concave_increasing(self):
+        rng = np.random.default_rng(5)
+        inv = rng.pareto(1.1, size=500) + 1
+        x, y = popularity_curve(inv)
+        assert y[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(y) >= -1e-12)
+        # most-popular-first ordering => increments are non-increasing
+        assert np.all(np.diff(np.diff(y)) <= 1e-9)
+
+    def test_curve_skew(self):
+        # one dominant function: first point captures almost everything
+        x, y = popularity_curve([10_000, 1, 1, 1, 1])
+        assert y[0] > 0.99
+
+    def test_popularity_change_zero_for_singleton_groups(self):
+        shares = np.array([0.5, 0.3, 0.2])
+        keys = np.array([1, 2, 3])
+        changes, probs = popularity_change_cdf(shares, keys, shares, keys)
+        np.testing.assert_allclose(changes, 0.0)
+        assert probs[-1] == 1.0
+
+    def test_popularity_change_aggregation(self):
+        orig_shares = np.array([0.4, 0.1, 0.5])
+        orig_keys = np.array([10, 10, 20])
+        agg_shares = np.array([0.5, 0.5])  # group 10 sums 0.4+0.1
+        agg_keys = np.array([10, 20])
+        changes, _ = popularity_change_cdf(
+            orig_shares, orig_keys, agg_shares, agg_keys
+        )
+        np.testing.assert_allclose(np.sort(changes), [0.0, 0.1])
+
+    def test_popularity_change_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="aggregated key"):
+            popularity_change_cdf(
+                np.array([1.0]), np.array([1]), np.array([1.0]), np.array([2])
+            )
+
+
+class TestDistances:
+    def test_ks_identical_zero(self):
+        cdf = EmpiricalCDF.from_samples([1.0, 2.0, 3.0])
+        assert ks_distance(cdf, cdf) == 0.0
+
+    def test_ks_disjoint_is_one(self):
+        a = EmpiricalCDF.from_samples([1.0, 2.0])
+        b = EmpiricalCDF.from_samples([10.0, 20.0])
+        assert ks_distance(a, b) == pytest.approx(1.0)
+
+    def test_ks_matches_scipy(self):
+        rng = np.random.default_rng(2)
+        x, y = rng.normal(size=300), rng.normal(0.5, 1.2, size=400)
+        from scipy.stats import ks_2samp
+
+        expected = ks_2samp(x, y).statistic
+        assert ks_statistic_samples(x, y) == pytest.approx(expected, abs=1e-12)
+
+    def test_wasserstein_matches_scipy(self):
+        rng = np.random.default_rng(3)
+        x, y = rng.exponential(2.0, 200), rng.exponential(3.0, 250)
+        from scipy.stats import wasserstein_distance
+
+        a = EmpiricalCDF.from_samples(x)
+        b = EmpiricalCDF.from_samples(y)
+        assert wasserstein(a, b) == pytest.approx(
+            wasserstein_distance(x, y), rel=1e-9
+        )
+
+    def test_wasserstein_symmetry(self):
+        a = EmpiricalCDF.from_samples([1.0, 5.0])
+        b = EmpiricalCDF.from_samples([2.0, 3.0])
+        assert wasserstein(a, b) == pytest.approx(wasserstein(b, a))
+
+    @given(
+        st.lists(st.floats(0.1, 1e4), min_size=2, max_size=40),
+        st.lists(st.floats(0.1, 1e4), min_size=2, max_size=40),
+    )
+    @settings(max_examples=60)
+    def test_ks_bounds(self, x, y):
+        d = ks_statistic_samples(x, y)
+        assert 0.0 <= d <= 1.0
+
+
+class TestHistograms:
+    def test_log_bins_cover_range(self):
+        edges = log_bins(1.0, 1000.0, n=30)
+        assert edges.size == 31
+        assert edges[0] == 1.0 and edges[-1] == pytest.approx(1000.0)
+
+    def test_log_bins_reject_bad_range(self):
+        with pytest.raises(ValueError):
+            log_bins(0.0, 10.0)
+        with pytest.raises(ValueError):
+            log_bins(10.0, 1.0)
+
+    def test_cdf_series_shapes(self):
+        xs, fs = cdf_series([1.0, 10.0, 100.0], n=50)
+        assert xs.shape == (50,) and fs.shape == (50,)
+
+    def test_format_cdf_table_contains_labels(self):
+        xs, fs = cdf_series([1.0, 2.0, 4.0, 8.0], n=64)
+        out = format_cdf_table({"azure": (xs, fs), "faasrail": (xs, fs)})
+        assert "azure" in out and "faasrail" in out and "p50" in out

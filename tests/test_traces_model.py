@@ -1,0 +1,206 @@
+"""Tests for the trace data model and derived operations."""
+
+import numpy as np
+import pytest
+
+from repro.traces import MultiDaySummary, Trace
+from repro.traces.ops import (
+    function_duration_cdf,
+    invocation_duration_cdf,
+    relative_load_series,
+    sample_functions,
+)
+
+
+def tiny_trace(n=4, minutes=10, seed=0):
+    rng = np.random.default_rng(seed)
+    return Trace(
+        name="tiny",
+        function_ids=np.array([f"f{i}" for i in range(n)]),
+        app_ids=np.array([f"a{i % 2}" for i in range(n)]),
+        durations_ms=rng.uniform(10, 1000, n),
+        per_minute=rng.integers(0, 5, (n, minutes)).astype(np.int32),
+        app_memory_mb={"a0": 128.0, "a1": 256.0},
+    )
+
+
+class TestTraceValidation:
+    def test_valid_roundtrip(self):
+        t = tiny_trace()
+        assert t.n_functions == 4
+        assert t.n_minutes == 10
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one function"):
+            Trace("x", np.array([]), np.array([]), np.array([]),
+                  np.zeros((0, 5), dtype=np.int32))
+
+    def test_rejects_misaligned_apps(self):
+        t = tiny_trace()
+        with pytest.raises(ValueError, match="app_ids"):
+            Trace("x", t.function_ids, t.app_ids[:2], t.durations_ms,
+                  t.per_minute)
+
+    def test_rejects_nonpositive_duration(self):
+        t = tiny_trace()
+        bad = t.durations_ms.copy()
+        bad[0] = 0.0
+        with pytest.raises(ValueError, match="strictly positive"):
+            Trace("x", t.function_ids, t.app_ids, bad, t.per_minute)
+
+    def test_rejects_negative_counts(self):
+        t = tiny_trace()
+        bad = t.per_minute.copy()
+        bad[0, 0] = -1
+        with pytest.raises(ValueError, match="non-negative"):
+            Trace("x", t.function_ids, t.app_ids, t.durations_ms, bad)
+
+    def test_rejects_duplicate_ids(self):
+        t = tiny_trace()
+        dup = t.function_ids.copy()
+        dup[1] = dup[0]
+        with pytest.raises(ValueError, match="unique"):
+            Trace("x", dup, t.app_ids, t.durations_ms, t.per_minute)
+
+    def test_rejects_float_matrix(self):
+        t = tiny_trace()
+        with pytest.raises(ValueError, match="integer"):
+            Trace("x", t.function_ids, t.app_ids, t.durations_ms,
+                  t.per_minute.astype(np.float64))
+
+    def test_rejects_1d_matrix(self):
+        t = tiny_trace()
+        with pytest.raises(ValueError, match="n_minutes"):
+            Trace("x", t.function_ids, t.app_ids, t.durations_ms,
+                  t.per_minute[:, 0])
+
+
+class TestTraceDerived:
+    def test_totals_consistent(self):
+        t = tiny_trace()
+        assert t.total_invocations == int(t.per_minute.sum())
+        assert t.invocations_per_function.sum() == t.total_invocations
+        assert t.aggregate_per_minute.sum() == t.total_invocations
+
+    def test_busiest_minute(self):
+        t = tiny_trace()
+        assert t.busiest_minute_rate == t.aggregate_per_minute.max()
+
+    def test_memory_array(self):
+        t = tiny_trace()
+        np.testing.assert_allclose(
+            np.sort(t.memory_per_app_array()), [128.0, 256.0]
+        )
+
+    def test_memory_array_empty_raises(self):
+        t = tiny_trace()
+        t.app_memory_mb = {}
+        with pytest.raises(ValueError, match="no memory"):
+            t.memory_per_app_array()
+
+
+class TestTraceTransforms:
+    def test_select_subset(self):
+        t = tiny_trace()
+        s = t.select([0, 2])
+        assert s.n_functions == 2
+        assert list(s.function_ids) == ["f0", "f2"]
+        np.testing.assert_array_equal(s.per_minute, t.per_minute[[0, 2]])
+
+    def test_select_prunes_memory(self):
+        t = tiny_trace()
+        s = t.select([0])  # f0 belongs to app a0 only
+        assert set(s.app_memory_mb) == {"a0"}
+
+    def test_select_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            tiny_trace().select([])
+
+    def test_minute_range(self):
+        t = tiny_trace()
+        s = t.minute_range(2, 7)
+        assert s.n_minutes == 5
+        np.testing.assert_array_equal(s.per_minute, t.per_minute[:, 2:7])
+
+    def test_minute_range_validation(self):
+        t = tiny_trace()
+        for bad in [(-1, 5), (5, 5), (0, 11)]:
+            with pytest.raises(ValueError, match="minute range"):
+                t.minute_range(*bad)
+
+    def test_nonzero_functions(self):
+        t = tiny_trace()
+        t.per_minute[1, :] = 0
+        s = t.nonzero_functions()
+        assert "f1" not in set(s.function_ids)
+
+
+class TestMultiDaySummary:
+    def test_shapes(self):
+        s = MultiDaySummary(np.ones((5, 14)), np.ones((5, 14)))
+        assert s.n_functions == 5 and s.n_days == 14
+
+    def test_rejects_single_day(self):
+        with pytest.raises(ValueError, match="two days"):
+            MultiDaySummary(np.ones((5, 1)), np.ones((5, 1)))
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError, match="align"):
+            MultiDaySummary(np.ones((5, 3)), np.ones((4, 3)))
+
+
+class TestOps:
+    def test_function_cdf_unweighted(self):
+        t = tiny_trace()
+        cdf = function_duration_cdf(t)
+        assert cdf.n_points == 4
+
+    def test_invocation_cdf_weighted(self):
+        t = tiny_trace(seed=3)
+        cdf = invocation_duration_cdf(t)
+        counts = t.invocations_per_function
+        expected = np.average(t.durations_ms, weights=counts)
+        assert cdf.mean() == pytest.approx(expected)
+
+    def test_invocation_cdf_needs_invocations(self):
+        t = tiny_trace()
+        t.per_minute[:] = 0
+        with pytest.raises(ValueError, match="no invocations"):
+            invocation_duration_cdf(t)
+
+    def test_relative_load_peak_is_one(self):
+        rel = relative_load_series(np.array([1, 4, 2]))
+        np.testing.assert_allclose(rel, [0.25, 1.0, 0.5])
+
+    def test_relative_load_zero_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            relative_load_series(np.zeros(5))
+
+    def test_sample_functions_uniform(self):
+        t = tiny_trace()
+        s = sample_functions(t, 2, np.random.default_rng(0))
+        assert s.n_functions == 2
+
+    def test_sample_functions_bounds(self):
+        t = tiny_trace()
+        with pytest.raises(ValueError):
+            sample_functions(t, 0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            sample_functions(t, 5, np.random.default_rng(0))
+
+    def test_sample_weighted_prefers_popular(self):
+        rng = np.random.default_rng(0)
+        n = 50
+        per_minute = np.zeros((n, 10), dtype=np.int32)
+        per_minute[0, :] = 1000  # f0 hugely popular
+        per_minute[1:, 0] = 1
+        t = Trace(
+            "w", np.array([f"f{i}" for i in range(n)]),
+            np.array(["a"] * n), np.full(n, 100.0), per_minute
+        )
+        hits = sum(
+            "f0" in set(sample_functions(t, 1, np.random.default_rng(i),
+                                         weighted=True).function_ids)
+            for i in range(20)
+        )
+        assert hits >= 18

@@ -1,0 +1,86 @@
+"""Tests for multi-day trace windows and day selection."""
+
+import numpy as np
+import pytest
+
+from repro.stats import coefficient_of_variation
+from repro.traces import (
+    pick_representative_day,
+    summarize_days,
+    synthetic_azure_week,
+)
+
+
+@pytest.fixture(scope="module")
+def week():
+    return synthetic_azure_week(n_functions=400, n_days=7, seed=3)
+
+
+class TestWeekSynthesis:
+    def test_shared_population(self, week):
+        for day in week[1:]:
+            np.testing.assert_array_equal(day.function_ids,
+                                          week[0].function_ids)
+            assert day.app_memory_mb == week[0].app_memory_mb
+
+    def test_weekend_lighter_than_weekdays(self):
+        week = synthetic_azure_week(n_functions=600, n_days=7, seed=9,
+                                    start_weekday=0)
+        totals = np.array([d.total_invocations for d in week], dtype=float)
+        weekday_mean = totals[:5].mean()
+        weekend_mean = totals[5:].mean()
+        assert weekend_mean < weekday_mean
+
+    def test_durations_wobble_but_stay_close(self, week):
+        base = week[0].durations_ms
+        other = week[3].durations_ms
+        ratio = other / base
+        assert 0.5 < np.median(ratio) < 2.0
+        assert not np.allclose(base, other)
+
+    def test_each_day_has_full_minute_resolution(self, week):
+        for day in week:
+            assert day.n_minutes == 1440
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_azure_week(n_days=0)
+        with pytest.raises(ValueError):
+            synthetic_azure_week(start_weekday=7)
+
+    def test_deterministic(self):
+        a = synthetic_azure_week(n_functions=50, n_days=2, seed=5)
+        b = synthetic_azure_week(n_functions=50, n_days=2, seed=5)
+        np.testing.assert_array_equal(a[1].per_minute, b[1].per_minute)
+
+
+class TestSummaries:
+    def test_summarize_days_matches_figure3_band(self, week):
+        md = summarize_days(week)
+        assert md.n_days == 7
+        cv_dur = coefficient_of_variation(md.daily_avg_duration_ms)
+        # the synthesis noise (sigma 0.15) keeps typical CVs well below 1
+        assert (cv_dur < 1.0).mean() > 0.95
+
+    def test_summarize_needs_two_days(self, week):
+        with pytest.raises(ValueError):
+            summarize_days(week[:1])
+
+
+class TestDaySelection:
+    def test_returns_valid_index(self, week):
+        d = pick_representative_day(week)
+        assert 0 <= d < len(week)
+
+    def test_single_day_is_zero(self, week):
+        assert pick_representative_day(week[:1]) == 0
+
+    def test_prefers_typical_volume(self):
+        week = synthetic_azure_week(n_functions=300, n_days=5, seed=13)
+        # make day 2 wildly atypical
+        week[2].per_minute = (week[2].per_minute * 50).astype(np.int32)
+        assert pick_representative_day(week) != 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pick_representative_day([])

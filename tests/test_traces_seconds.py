@@ -1,0 +1,161 @@
+"""Tests for second-resolution trace refinement."""
+
+import numpy as np
+import pytest
+
+from repro.stats import index_of_dispersion
+from repro.traces import SecondTrace, Trace, expand_to_seconds
+
+
+def small_trace(n=5, minutes=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return Trace(
+        name="s",
+        function_ids=np.array([f"f{i}" for i in range(n)]),
+        app_ids=np.array(["a"] * n),
+        durations_ms=rng.uniform(5, 500, n),
+        per_minute=rng.integers(0, 200, (n, minutes)).astype(np.int32),
+    )
+
+
+class TestExpansion:
+    def test_folds_back_exactly(self):
+        trace = small_trace()
+        st = expand_to_seconds(trace, seed=1)
+        folded = st.per_second.reshape(
+            trace.n_functions, trace.n_minutes, 60
+        ).sum(axis=2)
+        np.testing.assert_array_equal(folded, trace.per_minute)
+
+    def test_shape(self):
+        trace = small_trace(minutes=3)
+        st = expand_to_seconds(trace, seed=0)
+        assert st.n_seconds == 180
+        assert st.per_second.shape == (5, 180)
+
+    def test_small_gamma_is_burstier(self):
+        trace = small_trace(n=1, minutes=30, seed=4)
+        trace.per_minute[:] = 300  # plenty of requests per minute
+        bursty = expand_to_seconds(trace, seed=2, burst_gamma_shape=0.2)
+        smooth = expand_to_seconds(trace, seed=2, burst_gamma_shape=50.0)
+        iod_b = index_of_dispersion(bursty.aggregate_per_second)
+        iod_s = index_of_dispersion(smooth.aggregate_per_second)
+        assert iod_b > 3 * iod_s
+
+    def test_deterministic(self):
+        trace = small_trace()
+        a = expand_to_seconds(trace, seed=9)
+        b = expand_to_seconds(trace, seed=9)
+        np.testing.assert_array_equal(a.per_second, b.per_second)
+
+    def test_size_guard(self):
+        trace = small_trace(n=3, minutes=5)
+        import repro.traces.seconds as mod
+
+        old = mod._MAX_CELLS
+        try:
+            mod._MAX_CELLS = 10
+            with pytest.raises(ValueError, match="cells"):
+                expand_to_seconds(trace)
+        finally:
+            mod._MAX_CELLS = old
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError, match="positive"):
+            expand_to_seconds(small_trace(), burst_gamma_shape=0.0)
+
+
+class TestSecondTraceModel:
+    def test_validation_shape(self):
+        trace = small_trace(minutes=2)
+        with pytest.raises(ValueError, match="per_second must be"):
+            SecondTrace(trace, np.zeros((5, 60), dtype=np.int32))
+
+    def test_validation_consistency(self):
+        trace = small_trace(minutes=2)
+        bad = np.zeros((5, 120), dtype=np.int32)  # doesn't fold back
+        trace.per_minute[0, 0] = 7
+        with pytest.raises(ValueError, match="fold back"):
+            SecondTrace(trace, bad)
+
+    def test_validation_dtype(self):
+        trace = small_trace(minutes=1)
+        good = expand_to_seconds(trace, seed=0).per_second
+        with pytest.raises(ValueError, match="integer"):
+            SecondTrace(trace, good.astype(np.float64))
+
+    def test_busiest_second(self):
+        trace = small_trace()
+        st = expand_to_seconds(trace, seed=3)
+        assert st.busiest_second_rate == st.aggregate_per_second.max()
+
+    def test_window(self):
+        trace = small_trace(minutes=10)
+        st = expand_to_seconds(trace, seed=0)
+        w = st.second_window(2, 3)
+        assert w.shape == (5, 180)
+        np.testing.assert_array_equal(w, st.per_second[:, 120:300])
+
+    def test_window_validation(self):
+        trace = small_trace(minutes=4)
+        st = expand_to_seconds(trace, seed=0)
+        with pytest.raises(ValueError):
+            st.second_window(0, 0)
+        with pytest.raises(ValueError):
+            st.second_window(3, 2)
+
+
+class TestSecondsLoadgen:
+    def test_generate_from_second_matrix(self):
+        from repro.core import SpecEntry
+        from repro.loadgen import generate_from_second_matrix
+
+        trace = small_trace(n=2, minutes=4, seed=7)
+        st = expand_to_seconds(trace, seed=7)
+        entries = [
+            SpecEntry(f"f{i}", f"w:{i}", "pyaes", 5.0, 32.0)
+            for i in range(2)
+        ]
+        req = generate_from_second_matrix(st.per_second, entries, seed=7)
+        assert req.n_requests == trace.total_invocations
+        # every request lands inside its recorded second
+        per_sec = req.per_second_rate(st.n_seconds)
+        np.testing.assert_array_equal(
+            per_sec[: st.n_seconds], st.aggregate_per_second
+        )
+
+    def test_validation(self):
+        from repro.core import SpecEntry
+        from repro.loadgen import generate_from_second_matrix
+
+        entries = [SpecEntry("f", "w", "fam", 1.0, 1.0)]
+        with pytest.raises(ValueError, match="2-D"):
+            generate_from_second_matrix(np.zeros(5), entries)
+        with pytest.raises(ValueError, match="match entries"):
+            generate_from_second_matrix(
+                np.zeros((2, 5), dtype=np.int64), entries)
+        with pytest.raises(ValueError, match="no requests"):
+            generate_from_second_matrix(
+                np.zeros((1, 5), dtype=np.int64), entries)
+        with pytest.raises(ValueError, match="non-negative"):
+            generate_from_second_matrix(
+                np.full((1, 5), -1, dtype=np.int64), entries)
+
+    def test_preserves_second_scale_burstiness(self):
+        """The point of the feature: recorded bursts survive replay."""
+        from repro.core import SpecEntry
+        from repro.loadgen import generate_from_second_matrix
+        from repro.traces import synthetic_huawei_trace
+
+        hw = synthetic_huawei_trace(total_invocations=500_000, seed=3)
+        window = hw.minute_range(0, 5)
+        st = expand_to_seconds(window, seed=3, burst_gamma_shape=0.3)
+        entries = [
+            SpecEntry(str(f), f"w:{i}", "pyaes", 5.0, 32.0)
+            for i, f in enumerate(window.function_ids)
+        ]
+        req = generate_from_second_matrix(st.per_second, entries, seed=3)
+        iod_recorded = index_of_dispersion(st.aggregate_per_second)
+        iod_replayed = index_of_dispersion(
+            req.per_second_rate(st.n_seconds)[: st.n_seconds])
+        assert iod_replayed == pytest.approx(iod_recorded, rel=0.01)

@@ -1,0 +1,301 @@
+"""Tests for the synthetic trace generators and their calibration.
+
+The calibration assertions encode the statistical facts the paper relies on
+(DESIGN.md section 1); tolerances are loose enough to be seed-robust but
+tight enough to catch drift in the generators.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import coefficient_of_variation
+from repro.traces import (
+    MINUTES_PER_DAY,
+    invocation_duration_cdf,
+    synthetic_azure_multiday,
+    synthetic_azure_trace,
+    synthetic_huawei_trace,
+)
+from repro.traces.synth import (
+    LognormalComponent,
+    correlate_popularity_with_duration,
+    diurnal_profile,
+    sample_duration_mixture,
+    spread_over_minutes,
+    synth_app_memory,
+    zipf_invocation_counts,
+)
+
+
+class TestMixture:
+    def test_sample_in_bounds(self):
+        comps = [LognormalComponent(1.0, 100.0, 1.0)]
+        d = sample_duration_mixture(5000, comps, np.random.default_rng(0),
+                                    lo_ms=10.0, hi_ms=1000.0)
+        assert d.min() >= 10.0 and d.max() <= 1000.0
+
+    def test_component_median_respected(self):
+        comps = [LognormalComponent(1.0, 50.0, 0.5)]
+        d = sample_duration_mixture(20000, comps, np.random.default_rng(1))
+        assert np.median(d) == pytest.approx(50.0, rel=0.05)
+
+    def test_rejects_empty_components(self):
+        with pytest.raises(ValueError):
+            sample_duration_mixture(10, [], np.random.default_rng(0))
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            sample_duration_mixture(
+                10, [LognormalComponent(0.0, 10.0, 1.0)],
+                np.random.default_rng(0),
+            )
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            sample_duration_mixture(
+                0, [LognormalComponent(1.0, 10.0, 1.0)],
+                np.random.default_rng(0),
+            )
+
+
+class TestZipfCounts:
+    def test_sum_exact(self):
+        c = zipf_invocation_counts(1000, 123_456, np.random.default_rng(0))
+        assert c.sum() == 123_456
+
+    def test_descending(self):
+        c = zipf_invocation_counts(500, 100_000, np.random.default_rng(1))
+        assert np.all(np.diff(c) <= 0)
+
+    def test_min_invocations_respected(self):
+        c = zipf_invocation_counts(100, 10_000, np.random.default_rng(2),
+                                   min_invocations=5)
+        assert c.min() >= 5
+
+    def test_rejects_impossible_total(self):
+        with pytest.raises(ValueError, match="cannot give"):
+            zipf_invocation_counts(100, 50, np.random.default_rng(0))
+
+    def test_heavier_exponent_more_skew(self):
+        rng1, rng2 = np.random.default_rng(3), np.random.default_rng(3)
+        light = zipf_invocation_counts(2000, 10**7, rng1, exponent=1.1)
+        heavy = zipf_invocation_counts(2000, 10**7, rng2, exponent=1.9)
+        top_light = light[:20].sum() / light.sum()
+        top_heavy = heavy[:20].sum() / heavy.sum()
+        assert top_heavy > top_light
+
+
+class TestPopularityDurationCoupling:
+    def test_preserves_multiset_of_counts(self):
+        rng = np.random.default_rng(0)
+        d = rng.lognormal(5, 1, 300)
+        sc = zipf_invocation_counts(300, 10**6, rng)
+        c = correlate_popularity_with_duration(d, sc, rng)
+        assert sorted(c.tolist()) == sorted(sc.tolist())
+
+    def test_beta_zero_is_independent(self):
+        rng = np.random.default_rng(0)
+        d = np.sort(rng.lognormal(5, 1, 2000))
+        sc = zipf_invocation_counts(2000, 10**7, rng)
+        c = correlate_popularity_with_duration(d, sc, rng, beta=0.0, sigma=1.0)
+        # no systematic preference for short durations
+        weighted_mean = np.average(np.log(d), weights=c)
+        assert abs(weighted_mean - np.log(d).mean()) < 1.0
+
+    def test_high_beta_prefers_short(self):
+        rng = np.random.default_rng(0)
+        d = rng.lognormal(5, 1.5, 2000)
+        sc = zipf_invocation_counts(2000, 10**7, rng)
+        c = correlate_popularity_with_duration(d, sc, rng, beta=2.0, sigma=0.1)
+        weighted_mean = np.average(np.log(d), weights=c)
+        assert weighted_mean < np.log(d).mean() - 1.0
+
+    def test_rejects_negative_params(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            correlate_popularity_with_duration(
+                np.ones(3), np.ones(3, dtype=np.int64), rng, beta=-1
+            )
+        with pytest.raises(ValueError):
+            correlate_popularity_with_duration(
+                np.ones(3), np.ones(3, dtype=np.int64), rng, sigma=-1
+            )
+
+
+class TestSpreadOverMinutes:
+    def test_row_sums_exact(self):
+        rng = np.random.default_rng(0)
+        counts = np.array([0, 1, 100, 50_000], dtype=np.int64)
+        m = spread_over_minutes(counts, rng, n_minutes=60)
+        np.testing.assert_array_equal(m.sum(axis=1), counts)
+
+    def test_shape_and_dtype(self):
+        rng = np.random.default_rng(0)
+        m = spread_over_minutes(np.array([10]), rng, n_minutes=30)
+        assert m.shape == (1, 30) and m.dtype == np.int32
+
+    def test_sparse_functions_concentrated(self):
+        rng = np.random.default_rng(1)
+        counts = np.full(50, 30, dtype=np.int64)
+        m = spread_over_minutes(counts, rng, n_minutes=MINUTES_PER_DAY,
+                                sparse_threshold=1000)
+        active_minutes = (m > 0).sum(axis=1)
+        # 30 invocations land in at most 32 active minutes by construction
+        assert np.all(active_minutes <= 32)
+
+    def test_popular_functions_follow_profile(self):
+        rng = np.random.default_rng(2)
+        prof = diurnal_profile(240, amplitude=0.5)
+        counts = np.array([10**6], dtype=np.int64)
+        m = spread_over_minutes(counts, rng, n_minutes=240, profile=prof,
+                                burst_gamma_shape=50.0, sparse_threshold=10)
+        corr = np.corrcoef(m[0].astype(float), prof)[0, 1]
+        assert corr > 0.9
+
+    def test_gamma_shape_array_per_function(self):
+        rng = np.random.default_rng(3)
+        counts = np.array([10**5, 10**5], dtype=np.int64)
+        m = spread_over_minutes(
+            counts, rng, n_minutes=720,
+            burst_gamma_shape=np.array([100.0, 0.1]), sparse_threshold=10,
+        )
+        cv = m.std(axis=1) / m.mean(axis=1)
+        assert cv[1] > 3 * cv[0]  # small shape => much burstier
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spread_over_minutes(np.array([-1]), np.random.default_rng(0))
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError, match="positive"):
+            spread_over_minutes(np.array([1]), np.random.default_rng(0),
+                                burst_gamma_shape=0.0)
+
+    def test_rejects_profile_mismatch(self):
+        with pytest.raises(ValueError, match="profile"):
+            spread_over_minutes(np.array([1]), np.random.default_rng(0),
+                                n_minutes=10, profile=np.ones(5))
+
+    @given(st.integers(0, 10_000), st.integers(2, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_property_count_conservation(self, count, minutes):
+        rng = np.random.default_rng(count + minutes)
+        m = spread_over_minutes(np.array([count], dtype=np.int64), rng,
+                                n_minutes=minutes)
+        assert int(m.sum()) == count
+
+
+class TestDiurnalProfile:
+    def test_mean_one(self):
+        p = diurnal_profile()
+        assert p.mean() == pytest.approx(1.0)
+        assert p.shape == (MINUTES_PER_DAY,)
+
+    def test_positive(self):
+        p = diurnal_profile(amplitude=0.9, secondary=0.5)
+        assert np.all(p > 0)
+
+
+class TestAppMemory:
+    def test_bounds_and_coverage(self):
+        apps = np.array(["a", "b", "a", "c"])
+        mem = synth_app_memory(apps, np.random.default_rng(0))
+        assert set(mem) == {"a", "b", "c"}
+        assert all(16.0 <= v <= 4096.0 for v in mem.values())
+
+
+class TestAzureCalibration:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return synthetic_azure_trace(n_functions=8000, seed=42)
+
+    def test_half_functions_subsecond(self, trace):
+        frac = (trace.durations_ms < 1000.0).mean()
+        assert 0.40 <= frac <= 0.60
+
+    def test_invocations_skew_short(self, trace):
+        w = invocation_duration_cdf(trace)(1000.0)
+        assert 0.70 <= w <= 0.95
+        # and strictly left of the per-function CDF
+        assert w > (trace.durations_ms < 1000.0).mean()
+
+    def test_popularity_extremely_skewed(self, trace):
+        c = np.sort(trace.invocations_per_function)[::-1]
+        top8 = c[: int(0.08 * c.size)].sum() / c.sum()
+        assert top8 >= 0.95
+
+    def test_ninety_percent_low_rate(self, trace):
+        low = (trace.invocations_per_function <= MINUTES_PER_DAY).mean()
+        assert 0.80 <= low <= 0.97
+
+    def test_durations_span_orders_of_magnitude(self, trace):
+        assert trace.durations_ms.max() / trace.durations_ms.min() >= 100.0
+
+    def test_diurnal_aggregate(self, trace):
+        rel = trace.aggregate_per_minute / trace.aggregate_per_minute.max()
+        assert rel.min() >= 0.3  # load varies but never collapses
+        from repro.traces.synth import diurnal_profile as dp
+
+        corr = np.corrcoef(rel, dp(amplitude=0.18, secondary=0.08))[0, 1]
+        assert corr > 0.8
+
+    def test_total_matches_request(self):
+        t = synthetic_azure_trace(n_functions=500, total_invocations=100_000,
+                                  seed=0)
+        assert t.total_invocations == 100_000
+
+    def test_deterministic(self):
+        a = synthetic_azure_trace(n_functions=300, seed=9)
+        b = synthetic_azure_trace(n_functions=300, seed=9)
+        np.testing.assert_array_equal(a.per_minute, b.per_minute)
+        np.testing.assert_allclose(a.durations_ms, b.durations_ms)
+
+    def test_memory_reported(self, trace):
+        mem = trace.memory_per_app_array()
+        assert mem.size > 1000
+        assert np.median(mem) == pytest.approx(120.0, rel=0.5)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            synthetic_azure_trace(n_functions=0)
+
+
+class TestAzureMultiday:
+    def test_cv_mostly_below_one(self):
+        trace = synthetic_azure_trace(n_functions=3000, seed=3)
+        md = synthetic_azure_multiday(trace, n_days=14, seed=3)
+        cv_dur = coefficient_of_variation(md.daily_avg_duration_ms)
+        cv_inv = coefficient_of_variation(md.daily_invocations)
+        assert 0.80 <= (cv_dur < 1.0).mean() <= 0.97
+        assert 0.80 <= (cv_inv < 1.0).mean() <= 0.97
+
+    def test_shapes(self):
+        trace = synthetic_azure_trace(n_functions=100, seed=0)
+        md = synthetic_azure_multiday(trace, n_days=5, seed=0)
+        assert md.n_functions == 100 and md.n_days == 5
+
+
+class TestHuaweiCalibration:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return synthetic_huawei_trace(seed=7)
+
+    def test_cardinality(self, trace):
+        assert trace.n_functions == 104
+
+    def test_much_faster_than_azure(self, trace):
+        assert np.median(trace.durations_ms) < 100.0
+        assert (trace.durations_ms < 1000.0).mean() > 0.9
+
+    def test_weighted_cdf_fast(self, trace):
+        w = invocation_duration_cdf(trace)
+        assert w(100.0) > 0.8
+
+    def test_high_invocation_volume(self, trace):
+        # orders of magnitude more invocations per function than Azure
+        assert trace.total_invocations / trace.n_functions > 10_000
+
+    def test_no_memory_data(self, trace):
+        assert trace.app_memory_mb == {}

@@ -1,0 +1,160 @@
+"""Tests for workload families: correctness of the runnable bodies."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import default_registry
+from repro.workloads.functionbench._aes import AES128, ctr_encrypt
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+class TestAES:
+    def test_fips197_vector(self):
+        # FIPS-197 appendix C.1 known-answer test
+        key = bytes(range(16))
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_ctr_roundtrip(self):
+        key = b"0123456789abcdef"
+        data = b"the quick brown fox jumps over the lazy dog"
+        enc = ctr_encrypt(key, data)
+        assert enc != data
+        assert ctr_encrypt(key, enc) == data  # CTR is an involution
+
+    def test_ctr_handles_partial_block(self):
+        key = b"k" * 16
+        for size in (1, 15, 16, 17, 33):
+            data = bytes(range(size % 256)) * (size // max(size % 256, 1) + 1)
+            data = data[:size]
+            assert len(ctr_encrypt(key, data)) == size
+
+    def test_bad_key_rejected(self):
+        with pytest.raises(ValueError, match="16 bytes"):
+            AES128(b"short")
+
+    def test_bad_block_rejected(self):
+        with pytest.raises(ValueError, match="16 bytes"):
+            AES128(b"k" * 16).encrypt_block(b"x")
+
+
+class TestFamilyContracts:
+    """Every family satisfies the WorkloadFamily contract."""
+
+    def test_ten_families_registered(self, registry):
+        assert len(registry) == 10
+        assert registry.names() == sorted(
+            ["chameleon", "cnn_serving", "image_processing", "json_serdes",
+             "matmul", "lr_serving", "lr_training", "pyaes", "rnn_serving",
+             "video_processing"]
+        )
+
+    def test_grids_nonempty_and_unique(self, registry):
+        for family in registry:
+            grid = list(family.input_grid())
+            assert grid, f"{family.name} grid is empty"
+            keys = [tuple(sorted(p.items())) for p in grid]
+            assert len(set(keys)) == len(keys), f"{family.name} grid repeats"
+
+    def test_estimates_positive_and_monotone_in_units(self, registry):
+        for family in registry:
+            grid = list(family.input_grid())
+            units = np.array([family.work_units(**p) for p in grid])
+            est = np.array([family.estimated_runtime_ms(**p) for p in grid])
+            assert np.all(est > 0), family.name
+            order = np.argsort(units)
+            assert np.all(np.diff(est[order]) >= 0), (
+                f"{family.name}: estimate not monotone in work units"
+            )
+
+    def test_memory_estimates_positive(self, registry):
+        for family in registry:
+            for p in family.input_grid():
+                assert family.estimated_memory_mb(**p) > 0
+
+    def test_workloads_have_unique_ids(self, registry):
+        for family in registry:
+            ws = family.workloads()
+            ids = {w.workload_id for w in ws}
+            assert len(ids) == len(ws)
+
+    def test_registry_rejects_duplicates(self, registry):
+        from repro.workloads import FamilyRegistry
+        from repro.workloads.functionbench import PyAES
+
+        r = FamilyRegistry()
+        r.register(PyAES())
+        with pytest.raises(ValueError, match="duplicate"):
+            r.register(PyAES())
+
+    def test_registry_unknown_name(self, registry):
+        with pytest.raises(KeyError, match="unknown workload family"):
+            registry.get("nope")
+
+
+SMALL_PARAMS = {
+    "chameleon": {"rows": 20, "cols": 4},
+    "cnn_serving": {"side": 16, "channels": 4},
+    "image_processing": {"side": 32, "ops": 4},
+    "json_serdes": {"n_records": 16, "fields": 4, "roundtrips": 2},
+    "matmul": {"n": 16, "reps": 2},
+    "lr_serving": {"batch": 32, "features": 8},
+    "lr_training": {"n_samples": 64, "features": 8, "iterations": 10},
+    "pyaes": {"length": 64, "rounds": 2},
+    "rnn_serving": {"seq_len": 4, "hidden": 16},
+    "video_processing": {"frames": 3, "side": 16},
+}
+
+
+class TestExecution:
+    """The bodies genuinely run and are deterministic under a seed."""
+
+    @pytest.mark.parametrize("name", sorted(SMALL_PARAMS))
+    def test_runs(self, registry, name):
+        family = registry.get(name)
+        result = family.run(np.random.default_rng(0), **SMALL_PARAMS[name])
+        assert result is not None
+
+    @pytest.mark.parametrize("name", sorted(SMALL_PARAMS))
+    def test_deterministic(self, registry, name):
+        family = registry.get(name)
+        a = family.run(np.random.default_rng(5), **SMALL_PARAMS[name])
+        b = family.run(np.random.default_rng(5), **SMALL_PARAMS[name])
+        assert a == b
+
+    @pytest.mark.parametrize("name", sorted(SMALL_PARAMS))
+    def test_rejects_nonpositive_params(self, registry, name):
+        family = registry.get(name)
+        params = dict(SMALL_PARAMS[name])
+        key = next(iter(params))
+        params[key] = 0
+        with pytest.raises(ValueError):
+            family.prepare(np.random.default_rng(0), **params)
+
+    def test_lr_training_converges(self, registry):
+        # GD on separable data should find a usable separator.
+        family = registry.get("lr_training")
+        rng = np.random.default_rng(0)
+        x, y, iters = family.prepare(rng, n_samples=500, features=8,
+                                     iterations=300)
+        norm = family.execute((x, y, iters))
+        assert norm > 0.1  # weights moved away from zero
+
+    def test_json_serdes_roundtrip_preserves(self, registry):
+        family = registry.get("json_serdes")
+        payload = family.prepare(np.random.default_rng(1), n_records=8,
+                                 fields=4, roundtrips=1)
+        doc, _ = payload
+        size = family.execute(payload)
+        assert size > 0
+
+    def test_image_processing_preserves_shape_through_rot(self, registry):
+        family = registry.get("image_processing")
+        payload = family.prepare(np.random.default_rng(2), side=24, ops=8)
+        total = family.execute(payload)
+        assert total > 0

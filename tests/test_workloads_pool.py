@@ -1,0 +1,248 @@
+"""Tests for the workload pool and calibration harness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import EmpiricalCDF, ks_distance
+from repro.workloads import (
+    Workload,
+    WorkloadPool,
+    build_default_pool,
+    calibrate_family,
+    default_registry,
+    measure_runtime_ms,
+    vanilla_functionbench,
+)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return build_default_pool()
+
+
+def make_pool(runtimes):
+    return WorkloadPool([
+        Workload(f"w:{i}", "fam", {"i": i}, rt, 32.0)
+        for i, rt in enumerate(runtimes)
+    ])
+
+
+class TestPoolStructure:
+    def test_paper_scale_cardinality(self, pool):
+        # the paper reports ~2300 distinct Workloads from the 10 benchmarks
+        assert 1900 <= len(pool) <= 2600
+
+    def test_all_ten_families_present(self, pool):
+        assert len(pool.families()) == 10
+
+    def test_sorted_runtimes(self, pool):
+        assert np.all(np.diff(pool.runtimes_ms) >= 0)
+
+    def test_runtime_span_covers_trace_range(self, pool):
+        r = pool.runtimes_ms
+        assert r.min() < 5.0           # short-running end: a few ms
+        assert r.max() > 30_000.0      # long tail: tens of seconds
+
+    def test_pyaes_dominates_pool(self, pool):
+        # paper section 4.4: pyaes dominates the pool, especially short end
+        counts = pool.count_by_family()
+        assert counts["pyaes"] == max(counts.values())
+        short = [w.family for w in pool if w.runtime_ms < 50.0]
+        from collections import Counter
+
+        assert Counter(short).most_common(1)[0][0] == "pyaes"
+
+    def test_cnn_serving_barely_augmented(self, pool):
+        assert pool.count_by_family()["cnn_serving"] <= 6
+
+    def test_lr_training_slowest_family_floor(self, pool):
+        lr = [w.runtime_ms for w in pool if w.family == "lr_training"]
+        assert min(lr) > 3_000.0  # quickest variation needs >3s (paper 4.4)
+
+    def test_pool_tracks_azure_shape(self, pool):
+        from repro.traces import synthetic_azure_trace
+
+        az = synthetic_azure_trace(n_functions=4000, seed=11)
+        ks = ks_distance(
+            EmpiricalCDF.from_samples(pool.runtimes_ms),
+            EmpiricalCDF.from_samples(az.durations_ms),
+        )
+        # pool is visibly left-shifted from Azure (as in the paper's Fig 6)
+        # but far closer than the 10-point vanilla suite
+        vanilla = vanilla_functionbench()
+        ks_vanilla = ks_distance(
+            EmpiricalCDF.from_samples(vanilla.runtimes_ms),
+            EmpiricalCDF.from_samples(az.durations_ms),
+        )
+        assert ks < 0.45
+        assert ks < ks_vanilla
+
+    def test_memory_in_plausible_band(self, pool):
+        mem = pool.memories_mb
+        assert mem.min() >= 16.0
+        assert np.median(mem) < 1024.0
+
+    def test_getitem_and_unknown(self, pool):
+        w = pool.workloads[0]
+        assert pool[w.workload_id] is w
+        with pytest.raises(KeyError, match="unknown workload"):
+            pool["nope:0"]
+
+    def test_index_of(self, pool):
+        for k in (0, len(pool) // 2, len(pool) - 1):
+            w = pool.workloads[k]
+            assert pool.index_of(w.workload_id) == k
+
+    def test_duplicate_ids_rejected(self):
+        w = Workload("x:0", "fam", {}, 1.0, 32.0)
+        with pytest.raises(ValueError, match="unique"):
+            WorkloadPool([w, Workload("x:0", "fam", {}, 2.0, 32.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            WorkloadPool([])
+
+
+class TestPoolQueries:
+    def test_within_threshold_basic(self):
+        p = make_pool([10.0, 50.0, 100.0, 110.0, 500.0])
+        idx = p.within_threshold(100.0, 15.0)  # [85, 115]
+        got = p.runtimes_ms[idx]
+        np.testing.assert_allclose(got, [100.0, 110.0])
+
+    def test_within_threshold_empty(self):
+        p = make_pool([10.0, 1000.0])
+        assert p.within_threshold(100.0, 5.0).size == 0
+
+    def test_within_threshold_validation(self):
+        p = make_pool([10.0])
+        with pytest.raises(ValueError):
+            p.within_threshold(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            p.within_threshold(10.0, -1.0)
+
+    def test_nearest_exact_and_between(self):
+        p = make_pool([10.0, 100.0, 1000.0])
+        assert p.runtimes_ms[p.nearest(100.0)] == 100.0
+        assert p.runtimes_ms[p.nearest(40.0)] == 10.0
+        assert p.runtimes_ms[p.nearest(70.0)] == 100.0
+
+    def test_nearest_clamps_to_ends(self):
+        p = make_pool([10.0, 100.0])
+        assert p.nearest(0.001) == 0
+        assert p.nearest(10**9) == 1
+
+    @given(st.lists(st.floats(0.1, 1e6), min_size=1, max_size=50),
+           st.floats(0.1, 1e6))
+    @settings(max_examples=60)
+    def test_nearest_is_argmin(self, runtimes, target):
+        p = make_pool(runtimes)
+        k = p.nearest(target)
+        dists = np.abs(p.runtimes_ms - target)
+        assert dists[k] == pytest.approx(dists.min())
+
+    @given(st.lists(st.floats(0.1, 1e6), min_size=1, max_size=50),
+           st.floats(0.1, 1e6), st.floats(0, 100))
+    @settings(max_examples=60)
+    def test_threshold_window_exact(self, runtimes, target, pct):
+        p = make_pool(runtimes)
+        idx = p.within_threshold(target, pct)
+        lo, hi = target * (1 - pct / 100), target * (1 + pct / 100)
+        inside = (p.runtimes_ms >= lo) & (p.runtimes_ms <= hi)
+        np.testing.assert_array_equal(np.flatnonzero(inside), idx)
+
+
+class TestVanilla:
+    def test_ten_workloads(self):
+        v = vanilla_functionbench()
+        assert len(v) == 10
+        assert len(v.families()) == 10
+
+    def test_staircase_spans_three_orders(self):
+        v = vanilla_functionbench()
+        r = v.runtimes_ms
+        assert r.max() / r.min() > 1000.0
+
+
+class TestCalibration:
+    def test_measure_returns_positive(self):
+        reg = default_registry()
+        ms = measure_runtime_ms(reg.get("matmul"), {"n": 32, "reps": 1},
+                                repeats=2, warmups=1)
+        assert ms > 0
+
+    def test_measure_validates(self):
+        reg = default_registry()
+        fam = reg.get("matmul")
+        with pytest.raises(ValueError):
+            measure_runtime_ms(fam, {"n": 8, "reps": 1}, repeats=0)
+        with pytest.raises(ValueError):
+            measure_runtime_ms(fam, {"n": 8, "reps": 1}, warmups=-1)
+
+    def test_calibrate_fits_linear_model(self):
+        reg = default_registry()
+        fam = reg.get("pyaes")
+        res = calibrate_family(
+            fam,
+            [{"length": 256, "rounds": 1}, {"length": 2048, "rounds": 2},
+             {"length": 8192, "rounds": 2}],
+            repeats=2,
+        )
+        assert res.family == "pyaes"
+        assert res.ms_per_unit > 0
+        assert res.r_squared > 0.9  # pyaes is very linear in blocks*rounds
+
+    def test_calibrate_apply(self):
+        reg = default_registry()
+        fam = reg.get("json_serdes")
+        res = calibrate_family(
+            fam,
+            [{"n_records": 64, "fields": 4, "roundtrips": 1},
+             {"n_records": 1024, "fields": 8, "roundtrips": 1}],
+            repeats=1,
+        )
+        res.apply(fam)
+        assert fam.ms_per_unit == res.ms_per_unit
+
+    def test_calibrate_apply_wrong_family(self):
+        reg = default_registry()
+        res = calibrate_family(
+            reg.get("pyaes"),
+            [{"length": 64, "rounds": 1}, {"length": 512, "rounds": 1}],
+            repeats=1,
+        )
+        with pytest.raises(ValueError, match="cannot apply"):
+            res.apply(reg.get("matmul"))
+
+    def test_calibrate_needs_spread(self):
+        reg = default_registry()
+        with pytest.raises(ValueError, match="at least two"):
+            calibrate_family(reg.get("pyaes"), [{"length": 64, "rounds": 1}])
+        with pytest.raises(ValueError, match="distinct work"):
+            calibrate_family(
+                reg.get("pyaes"),
+                [{"length": 64, "rounds": 1}, {"length": 64, "rounds": 1}],
+            )
+
+    def test_estimates_track_measurements(self):
+        """Shipped cost models predict real runtimes within ~4x either way.
+
+        (Loose band: CI machines differ from the reference host; the pool
+        only needs relative ordering and rough magnitude.)
+        """
+        reg = default_registry()
+        checks = [
+            ("pyaes", {"length": 2048, "rounds": 2}),
+            ("matmul", {"n": 256, "reps": 1}),
+            ("chameleon", {"rows": 2000, "cols": 8}),
+            ("json_serdes", {"n_records": 2048, "fields": 8, "roundtrips": 1}),
+        ]
+        for name, params in checks:
+            fam = reg.get(name)
+            est = fam.estimated_runtime_ms(**params)
+            meas = measure_runtime_ms(fam, params, repeats=2, warmups=1)
+            assert est / 4 <= meas <= est * 4, (
+                f"{name}: estimated {est:.2f}ms vs measured {meas:.2f}ms"
+            )

@@ -1,0 +1,159 @@
+"""Tests for the vSwarm-style suite, pool IO, and pool composition."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    build_default_pool,
+    build_extended_pool,
+    load_pool,
+    merge_pools,
+    save_pool,
+)
+from repro.workloads.vswarm import (
+    VSWARM_FAMILIES,
+    extended_registry,
+)
+
+SMALL_PARAMS = {
+    "compression": {"size_bytes": 4096, "rounds": 1},
+    "graph_analytics": {"n_nodes": 50, "iterations": 3},
+    "sorting": {"n_records": 100, "n_keys": 2},
+    "text_parsing": {"n_lines": 50, "passes": 1},
+}
+
+
+class TestVswarmFamilies:
+    def test_registry_has_fourteen(self):
+        reg = extended_registry()
+        assert len(reg) == 14
+        for cls in VSWARM_FAMILIES:
+            assert cls().name in reg.names()
+
+    @pytest.mark.parametrize("name", sorted(SMALL_PARAMS))
+    def test_runs_and_deterministic(self, name):
+        reg = extended_registry()
+        fam = reg.get(name)
+        a = fam.run(np.random.default_rng(3), **SMALL_PARAMS[name])
+        b = fam.run(np.random.default_rng(3), **SMALL_PARAMS[name])
+        assert a == b
+
+    @pytest.mark.parametrize("name", sorted(SMALL_PARAMS))
+    def test_rejects_nonpositive(self, name):
+        reg = extended_registry()
+        params = dict(SMALL_PARAMS[name])
+        params[next(iter(params))] = 0
+        with pytest.raises(ValueError):
+            reg.get(name).prepare(np.random.default_rng(0), **params)
+
+    def test_compression_roundtrip_is_lossless(self):
+        reg = extended_registry()
+        fam = reg.get("compression")
+        data, rounds = fam.prepare(np.random.default_rng(1),
+                                   size_bytes=2048, rounds=1)
+        import zlib
+
+        assert zlib.decompress(zlib.compress(data)) == data
+
+    def test_graph_bfs_reaches_connected_component(self):
+        reg = extended_registry()
+        fam = reg.get("graph_analytics")
+        adjacency, source, iters = fam.prepare(
+            np.random.default_rng(2), n_nodes=40, iterations=2)
+        reachable, top = fam.execute((adjacency, source, iters))
+        # barabasi-albert graphs are connected
+        assert reachable == 40
+        assert 0 <= top < 40
+
+    def test_sorting_actually_sorts(self):
+        reg = extended_registry()
+        fam = reg.get("sorting")
+        records, n_keys = fam.prepare(np.random.default_rng(3),
+                                      n_records=200, n_keys=1)
+        smallest = fam.execute((records, n_keys))
+        assert smallest == min(r[0] for r in records)
+
+    def test_text_parsing_counts_slow_lines(self):
+        reg = extended_registry()
+        fam = reg.get("text_parsing")
+        payload = fam.prepare(np.random.default_rng(4), n_lines=500,
+                              passes=1)
+        slow = fam.execute(payload)
+        # ms ~ U(1, 5000): roughly half the lines exceed 2500ms
+        assert 150 < slow < 350
+
+
+class TestExtendedPool:
+    def test_larger_and_more_diverse(self):
+        base = build_default_pool()
+        ext = build_extended_pool()
+        assert len(ext) > len(base)
+        assert len(ext.families()) == 14
+
+    def test_extended_pool_not_worse_vs_azure(self):
+        from repro.stats import EmpiricalCDF, ks_distance
+        from repro.traces import synthetic_azure_trace
+
+        azure = synthetic_azure_trace(n_functions=2000, seed=55)
+        target = EmpiricalCDF.from_samples(azure.durations_ms)
+        ks_base = ks_distance(
+            EmpiricalCDF.from_samples(build_default_pool().runtimes_ms),
+            target)
+        ks_ext = ks_distance(
+            EmpiricalCDF.from_samples(build_extended_pool().runtimes_ms),
+            target)
+        assert ks_ext <= ks_base + 0.05
+
+    def test_pipeline_works_with_extended_pool(self):
+        from repro.core import shrink
+        from repro.traces import synthetic_azure_trace
+
+        azure = synthetic_azure_trace(n_functions=800, seed=56)
+        spec = shrink(azure, build_extended_pool(), max_rps=5.0,
+                      duration_minutes=10, seed=56)
+        families = {e.family for e in spec.entries}
+        # new suites actually get mapped
+        assert families & {"compression", "graph_analytics", "sorting",
+                           "text_parsing"}
+
+
+class TestPoolIO:
+    def test_roundtrip(self, tmp_path):
+        pool = build_default_pool()
+        path = tmp_path / "pool.json"
+        save_pool(pool, path)
+        loaded = load_pool(path)
+        assert len(loaded) == len(pool)
+        np.testing.assert_allclose(loaded.runtimes_ms, pool.runtimes_ms)
+        w = pool.workloads[100]
+        assert loaded[w.workload_id].params == w.params
+
+    def test_version_guard(self, tmp_path):
+        path = tmp_path / "pool.json"
+        path.write_text('{"version": 99, "workloads": []}')
+        with pytest.raises(ValueError, match="version"):
+            load_pool(path)
+
+    def test_empty_pool_file_rejected(self, tmp_path):
+        path = tmp_path / "pool.json"
+        path.write_text('{"version": 1, "workloads": []}')
+        with pytest.raises(ValueError, match="no workloads"):
+            load_pool(path)
+
+    def test_merge_disjoint_suites(self):
+        from repro.workloads import Workload, WorkloadPool
+
+        a = WorkloadPool([Workload("a:0", "fa", {}, 1.0, 30.0)])
+        b = WorkloadPool([Workload("b:0", "fb", {}, 2.0, 30.0)])
+        merged = merge_pools(a, b)
+        assert len(merged) == 2
+        assert merged.families() == ["fa", "fb"]
+
+    def test_merge_rejects_duplicates(self):
+        pool = build_default_pool()
+        with pytest.raises(ValueError, match="multiple pools"):
+            merge_pools(pool, pool)
+
+    def test_merge_needs_input(self):
+        with pytest.raises(ValueError):
+            merge_pools()
