@@ -5,8 +5,6 @@ Huawei per-second data motivates; uniform matches it in distribution;
 equidistant flattens it (paper section 3.2.1.3).
 """
 
-import numpy as np
-
 from repro.loadgen import generate_request_trace
 
 

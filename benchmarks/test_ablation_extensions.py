@@ -14,7 +14,7 @@ from repro.baselines import invitro_spec, random_sampling_spec
 from repro.core import ShrinkRay, shrink
 from repro.core.spec_ops import fidelity_report
 from repro.loadgen import generate_request_trace
-from repro.stats import EmpiricalCDF, ks_distance, wasserstein
+from repro.stats import EmpiricalCDF, wasserstein
 from repro.workloads import build_extended_pool
 
 

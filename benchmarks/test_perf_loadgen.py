@@ -53,6 +53,52 @@ def test_perf_smirnov_sampling(benchmark, ctx):
     assert sample.n_requests == 120_408
 
 
+class _NullBackend:
+    """Accepts everything instantly: isolates the replay loop itself."""
+
+    def invoke(self, timestamp_s, workload_id):
+        pass
+
+    def drain(self):
+        return []
+
+
+def test_perf_replay_hot_loop(benchmark, ctx):
+    """The submission loop's own overhead, backend cost excluded.
+
+    Guards the hoisted per-request float()/str() conversions: the loop
+    must stay a bare zip-iterate-call, well above 1M requests/s.
+    """
+    spec = ctx.spec
+    trace = generate_request_trace(spec, seed=4)
+
+    def run():
+        return replay(trace, _NullBackend())
+
+    result = benchmark(run)
+    rate = result.n_requests / benchmark.stats["mean"]
+    benchmark.extra_info["replayed_requests_per_cpu_second"] = rate
+    assert rate > 1_000_000
+
+
+def test_perf_replay_resilient_overhead(benchmark, ctx):
+    """The resilient path (outcome taxonomy, no faults firing) must stay
+    within ~20x of raw submission -- cheap enough to leave on."""
+    from repro.loadgen import RetryPolicy
+
+    spec = ctx.spec
+    trace = generate_request_trace(spec, seed=5)
+
+    def run():
+        return replay(trace, _NullBackend(),
+                      retry=RetryPolicy(max_attempts=3))
+
+    result = benchmark(run)
+    rate = result.n_requests / benchmark.stats["mean"]
+    benchmark.extra_info["resilient_requests_per_cpu_second"] = rate
+    assert rate > 300_000
+
+
 def test_perf_arrival_models(benchmark, ctx):
     """Arrival-offset generation is O(n) array work for any mode."""
     from repro.loadgen import minute_offsets

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Fault-tolerance study: error rate vs retry policy on representative load.
+
+The scenario the fault-injection subsystem exists for: how much client-side
+resilience (retries, circuit breaking) buys back as the platform degrades.
+We replay the same FaaSRail-generated load through a simulated cluster
+wrapped in a ``FaultyBackend`` at increasing injected error rates, under
+three client policies, and report the delivered fraction and latency tax.
+
+Everything is seed-driven, so every cell of the table is reproducible.
+
+Run:  python examples/fault_tolerance_study.py
+"""
+
+from repro.core import shrink
+from repro.loadgen import CircuitBreaker, RetryPolicy, generate_request_trace, replay
+from repro.platform import (
+    FaaSCluster,
+    FaultProfile,
+    FaultyBackend,
+    OutageWindow,
+    breaker_uptime,
+    outcome_summary,
+    profiles_from_spec,
+)
+from repro.traces import synthetic_azure_trace
+from repro.workloads import build_default_pool
+
+ERROR_RATES = (0.0, 0.02, 0.05, 0.10, 0.20)
+
+POLICIES = {
+    "no-retry": lambda: dict(retry=RetryPolicy(max_attempts=1)),
+    "retry-3x": lambda: dict(retry=RetryPolicy(max_attempts=3,
+                                               base_delay_s=0.05)),
+    "retry+breaker": lambda: dict(
+        retry=RetryPolicy(max_attempts=3, base_delay_s=0.05),
+        breaker=CircuitBreaker(failure_threshold=10, reset_timeout_s=5.0),
+    ),
+}
+
+
+def run_cell(trace, profiles, error_rate, policy_kwargs):
+    cluster = FaaSCluster(profiles, n_nodes=8, node_memory_mb=16_384.0)
+    profile = FaultProfile(error_rate=error_rate,
+                           latency_spike_rate=error_rate / 2,
+                           seed=17)
+    backend = FaultyBackend(cluster, profile)
+    result = replay(trace, backend, **policy_kwargs)
+    summary = outcome_summary(result)
+    counts = summary["counts"]
+    return {
+        "delivered": summary["delivered_fraction"],
+        "shed": counts["shed"],
+        "failed": counts["error"] + counts["timeout"] + counts["dropped"],
+        "mean_attempts": summary["mean_attempts"],
+    }
+
+
+def main() -> None:
+    print("building load: 2000 fns -> 15 min @ 10 rps ...")
+    azure = synthetic_azure_trace(n_functions=2000, seed=17)
+    pool = build_default_pool()
+    spec = shrink(azure, pool, max_rps=10.0, duration_minutes=15, seed=17)
+    trace = generate_request_trace(spec, seed=17)
+    profiles = profiles_from_spec(spec)
+    print(f"{trace.n_requests} requests over {trace.duration_s:.0f}s\n")
+
+    header = (f"{'policy':<15} {'err rate':>9} {'delivered':>10} "
+              f"{'failed':>7} {'shed':>6} {'attempts':>9}")
+    print(header)
+    print("-" * len(header))
+    for name, make_kwargs in POLICIES.items():
+        for err in ERROR_RATES:
+            cell = run_cell(trace, profiles, err, make_kwargs())
+            print(f"{name:<15} {err:>8.0%} {cell['delivered']:>9.2%} "
+                  f"{cell['failed']:>7} {cell['shed']:>6} "
+                  f"{cell['mean_attempts']:>9.2f}")
+        print()
+
+    # ------------------------------------------------------------------
+    # where the breaker earns its keep: a 90-second platform outage
+    # ------------------------------------------------------------------
+    print("scenario 2: total outage during t in [300, 390) ...\n")
+    outage = FaultProfile(outages=[OutageWindow(300.0, 390.0)], seed=17)
+    header = (f"{'policy':<15} {'delivered':>10} {'failed':>7} "
+              f"{'shed':>6} {'wasted attempts':>16}")
+    print(header)
+    print("-" * len(header))
+    for name, kwargs in (
+        ("retry-3x", dict(retry=RetryPolicy(max_attempts=3,
+                                            base_delay_s=0.05))),
+        ("retry+breaker", dict(
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.05),
+            breaker=CircuitBreaker(failure_threshold=10,
+                                   reset_timeout_s=10.0),
+        )),
+    ):
+        cluster = FaaSCluster(profiles, n_nodes=8,
+                              node_memory_mb=16_384.0)
+        result = replay(trace, FaultyBackend(cluster, outage), **kwargs)
+        counts = result.outcome_counts()
+        wasted = (int(result.attempts.sum())
+                  - int((result.attempts > 0).sum()))
+        print(f"{name:<15} "
+              f"{outcome_summary(result)['delivered_fraction']:>9.2%} "
+              f"{counts['error'] + counts['timeout']:>7} "
+              f"{counts['shed']:>6} {wasted:>16}")
+        br = kwargs.get("breaker")
+        if br is not None:
+            up = breaker_uptime(br, trace.duration_s)
+            print(f"{'':<15} breaker open {up['open']:.1%} of the trace, "
+                  f"{up['n_transitions']} transitions")
+    print()
+
+    print(
+        "reading: without retries the delivered fraction tracks\n"
+        "1 - error_rate exactly -- every injected fault is a lost\n"
+        "request.  Three backoff attempts push delivery above 99% until\n"
+        "the error rate reaches tens of percent (surviving probability\n"
+        "decays as error_rate^attempts).  Adding the circuit breaker\n"
+        "trades a little availability (shed requests during open\n"
+        "windows) for bounded attempt volume when the platform is\n"
+        "persistently unhealthy -- the classic resilience trade-off,\n"
+        "now measurable under representative load."
+    )
+
+
+if __name__ == "__main__":
+    main()

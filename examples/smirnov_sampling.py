@@ -9,8 +9,6 @@ sample at a constant rate with each arrival model.
 Run:  python examples/smirnov_sampling.py
 """
 
-import numpy as np
-
 from repro.core import smirnov_request_sample
 from repro.loadgen import generate_smirnov_trace
 from repro.stats.distance import ks_relative_band

@@ -90,9 +90,16 @@ def _cmd_generate(args) -> int:
 
 def _cmd_replay(args) -> int:
     from repro.core import ExperimentSpec
-    from repro.loadgen import generate_request_trace, replay
+    from repro.loadgen import (
+        CircuitBreaker,
+        RetryPolicy,
+        generate_request_trace,
+        replay,
+    )
     from repro.platform import (
         FaaSCluster,
+        FaultProfile,
+        FaultyBackend,
         FixedKeepAlive,
         HashAffinityScheduler,
         HistogramKeepAlive,
@@ -116,23 +123,81 @@ def _cmd_replay(args) -> int:
         "fixed": FixedKeepAlive(args.keepalive_ttl),
         "histogram": HistogramKeepAlive(),
     }[args.keepalive]
+
+    profile = None
+    if args.fault_profile is not None:
+        try:
+            profile = FaultProfile.from_json(args.fault_profile)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot load fault profile: {exc}")
+    if args.error_rate is not None:
+        if not 0 <= args.error_rate <= 1:
+            raise SystemExit("--error-rate must be in [0, 1]")
+        profile = profile or FaultProfile()
+        profile.error_rate = args.error_rate
+
     backend = FaaSCluster(
         profiles_from_spec(spec),
         n_nodes=args.nodes,
         node_memory_mb=args.node_memory,
         scheduler=scheduler,
         keepalive=keepalive,
+        fault_hook=(profile.simulator_hook()
+                    if profile is not None else None),
     )
-    result = replay(trace, backend)
-    summary = summarize(result.records)
-    print(f"replayed {summary['n_invocations']} invocations on "
-          f"{args.nodes} nodes ({args.scheduler} / {args.keepalive})")
-    print(f"  cold-start fraction : {summary['cold_fraction']:.4f}")
-    lat = summary["latency_ms"]
-    print(f"  latency p50/p90/p99 : {lat['p50']:.1f} / {lat['p90']:.1f} / "
-          f"{lat['p99']:.1f} ms")
-    print(f"  mean queueing       : {summary['queueing_ms_mean']:.2f} ms")
-    print(f"  node imbalance      : {summary['node_imbalance']:.2f}x")
+    if profile is not None:
+        backend = FaultyBackend(backend, profile)
+
+    retry = None
+    if args.retry is not None:
+        if args.retry < 1:
+            raise SystemExit("--retry must be at least 1")
+        retry = RetryPolicy(
+            max_attempts=args.retry,
+            base_delay_s=args.retry_base_delay,
+            deadline_s=args.retry_deadline,
+            seed=args.seed,
+        )
+    breaker = CircuitBreaker(
+        failure_threshold=args.breaker_threshold,
+        reset_timeout_s=args.breaker_reset,
+    ) if args.breaker else None
+
+    result = replay(
+        trace, backend,
+        retry=retry,
+        breaker=breaker,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+    )
+    if not result.records:
+        print("no invocations reached the backend (all requests shed, "
+              "or the replay was already complete at resume)")
+    else:
+        summary = summarize(result.records)
+        print(f"replayed {summary['n_invocations']} invocations on "
+              f"{args.nodes} nodes ({args.scheduler} / {args.keepalive})")
+        print(f"  cold-start fraction : {summary['cold_fraction']:.4f}")
+        lat = summary["latency_ms"]
+        print(f"  latency p50/p90/p99 : {lat['p50']:.1f} / "
+              f"{lat['p90']:.1f} / {lat['p99']:.1f} ms")
+        print(f"  mean queueing       : {summary['queueing_ms_mean']:.2f} "
+              f"ms")
+        print(f"  node imbalance      : {summary['node_imbalance']:.2f}x")
+        if summary["ok_fraction"] < 1.0:
+            print(f"  ok fraction         : {summary['ok_fraction']:.4f}")
+    if result.outcomes is not None:
+        counts = result.outcome_counts()
+        shown = ", ".join(f"{k}={v}" for k, v in counts.items() if v)
+        print(f"  request outcomes    : {shown}")
+    if profile is not None and backend.n_injected:
+        shown = ", ".join(f"{k}={v}"
+                          for k, v in backend.injected.items() if v)
+        print(f"  injected faults     : {shown}")
+    if breaker is not None and breaker.transitions:
+        print(f"  breaker transitions : {len(breaker.transitions)} "
+              f"(final state {breaker.state})")
     return 0
 
 
@@ -353,6 +418,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--arrival-mode", default="poisson",
                    choices=["poisson", "uniform", "equidistant"])
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--fault-profile", default=None, metavar="JSON",
+                   help="inject faults from a FaultProfile JSON file")
+    p.add_argument("--error-rate", type=float, default=None,
+                   help="shortcut: inject this invocation error "
+                        "probability (overrides the profile's)")
+    p.add_argument("--retry", type=int, default=None, metavar="N",
+                   help="retry failed invocations up to N attempts "
+                        "(exponential backoff)")
+    p.add_argument("--retry-base-delay", type=float, default=0.1,
+                   help="backoff base delay in seconds")
+    p.add_argument("--retry-deadline", type=float, default=None,
+                   help="per-request cumulative backoff deadline (s)")
+    p.add_argument("--breaker", action="store_true",
+                   help="shed load through a circuit breaker")
+    p.add_argument("--breaker-threshold", type=int, default=5,
+                   help="consecutive failures before the breaker opens")
+    p.add_argument("--breaker-reset", type=float, default=30.0,
+                   help="trace seconds before half-open probing")
+    p.add_argument("--checkpoint", default=None, metavar="NPZ",
+                   help="checkpoint replay progress to this file")
+    p.add_argument("--checkpoint-every", type=int, default=1000,
+                   help="requests between checkpoints")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from --checkpoint if it exists")
     p.set_defaults(func=_cmd_replay)
 
     p = sub.add_parser("figures", help="rebuild evaluation figures")

@@ -14,20 +14,32 @@ from repro.loadgen.io import (
 )
 from repro.loadgen.replay import Backend, ReplayResult, replay
 from repro.loadgen.requests import RequestTrace
+from repro.loadgen.resilience import (
+    OUTCOMES,
+    CircuitBreaker,
+    RetryPolicy,
+    load_checkpoint,
+    save_checkpoint,
+)
 
 __all__ = [
     "ARRIVAL_MODES",
     "Backend",
+    "CircuitBreaker",
+    "OUTCOMES",
     "ReplayResult",
     "RequestTrace",
+    "RetryPolicy",
     "cell_counts",
     "generate_from_second_matrix",
     "generate_request_trace",
     "generate_smirnov_trace",
+    "load_checkpoint",
     "load_request_trace_csv",
     "load_request_trace_npz",
     "minute_offsets",
     "replay",
+    "save_checkpoint",
     "save_request_trace_csv",
     "save_request_trace_npz",
 ]

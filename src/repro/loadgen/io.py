@@ -29,6 +29,15 @@ _CSV_HEADER = ["timestamp_s", "workload_id", "function_id", "runtime_ms",
                "family"]
 
 
+def _build_trace(path: Path, **columns) -> RequestTrace:
+    """Construct a RequestTrace, prefixing validation errors with the
+    source file so unsorted/NaN/misaligned data names its origin."""
+    try:
+        return RequestTrace(**columns)
+    except ValueError as exc:
+        raise ValueError(f"{path}: invalid request trace: {exc}") from exc
+
+
 def save_request_trace_csv(trace: RequestTrace, path: Path | str) -> None:
     """Write a request trace as CSV (rows in timestamp order)."""
     with Path(path).open("w", newline="") as fh:
@@ -55,16 +64,28 @@ def load_request_trace_csv(path: Path | str) -> RequestTrace:
                 f"{path}: unexpected header {reader.fieldnames}; "
                 f"expected {_CSV_HEADER}"
             )
-        for row in reader:
+        for lineno, row in enumerate(reader, start=2):
+            if any(row.get(name) is None for name in _CSV_HEADER):
+                raise ValueError(
+                    f"{path}:{lineno}: row has missing columns"
+                )
             for name in _CSV_HEADER:
                 cols[name].append(row[name])
     if not cols["timestamp_s"]:
         raise ValueError(f"{path}: no requests")
-    return RequestTrace(
-        timestamps_s=np.array(cols["timestamp_s"], dtype=np.float64),
+    try:
+        timestamps = np.array(cols["timestamp_s"], dtype=np.float64)
+        runtimes = np.array(cols["runtime_ms"], dtype=np.float64)
+    except ValueError as exc:
+        raise ValueError(
+            f"{path}: non-numeric timestamp_s/runtime_ms column: {exc}"
+        ) from exc
+    return _build_trace(
+        path,
+        timestamps_s=timestamps,
         workload_ids=np.array(cols["workload_id"]),
         function_ids=np.array(cols["function_id"]),
-        runtimes_ms=np.array(cols["runtime_ms"], dtype=np.float64),
+        runtimes_ms=runtimes,
         families=np.array(cols["family"]),
     )
 
@@ -89,7 +110,13 @@ def load_request_trace_npz(path: Path | str) -> RequestTrace:
         missing = required - set(data.files)
         if missing:
             raise ValueError(f"{path}: missing arrays {sorted(missing)}")
-        return RequestTrace(
+        lengths = {name: data[name].shape for name in sorted(required)}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(
+                f"{path}: arrays have mismatched lengths {lengths}"
+            )
+        return _build_trace(
+            Path(path),
             timestamps_s=data["timestamps_s"],
             workload_ids=data["workload_ids"],
             function_ids=data["function_ids"],

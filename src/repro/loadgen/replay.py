@@ -4,17 +4,39 @@ The backend protocol is deliberately tiny so both the discrete-event
 simulator (:mod:`repro.platform`) and the in-process live executor satisfy
 it; the replayer itself is backend-agnostic, as in the paper's design
 ("replay such specifications against a backend FaaS system").
+
+Two execution paths share one entry point:
+
+- the **fast path** (no resilience options) is a bare submission loop,
+  tuned for simulator throughput -- per-request type conversions are
+  hoisted out of the loop;
+- the **resilient path** (any of ``retry`` / ``breaker`` /
+  ``checkpoint_path`` set) catches per-invocation failures, applies the
+  :class:`~repro.loadgen.resilience.RetryPolicy` and
+  :class:`~repro.loadgen.resilience.CircuitBreaker`, records a
+  per-request outcome from the
+  :data:`~repro.loadgen.resilience.OUTCOMES` taxonomy, and periodically
+  checkpoints progress so a killed replay can resume.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Protocol
 
 import numpy as np
 
 from repro.loadgen.requests import RequestTrace
+from repro.loadgen.resilience import (
+    OUTCOME_CODES,
+    OUTCOMES,
+    CircuitBreaker,
+    RetryPolicy,
+    load_checkpoint,
+    save_checkpoint,
+)
 
 __all__ = ["Backend", "ReplayResult", "replay"]
 
@@ -31,11 +53,19 @@ class Backend(Protocol):
 
 @dataclass
 class ReplayResult:
-    """Outcome of one replay run."""
+    """Outcome of one replay run.
+
+    ``outcomes`` and ``attempts`` are populated only by the resilient
+    path: one outcome code (index into
+    :data:`~repro.loadgen.resilience.OUTCOMES`) and one attempt count per
+    trace request, in trace order.
+    """
 
     n_requests: int
     wall_clock_s: float
     records: list
+    outcomes: np.ndarray | None = field(default=None, repr=False)
+    attempts: np.ndarray | None = field(default=None, repr=False)
 
     def latencies_ms(self) -> np.ndarray:
         """End-to-end latency per request, for records exposing one."""
@@ -50,12 +80,33 @@ class ReplayResult:
             raise ValueError("backend records carry no cold-start flags")
         return float(np.mean(flags))
 
+    def outcome_counts(self) -> dict[str, int]:
+        """Requests per outcome; values sum to ``n_requests``."""
+        if self.outcomes is None:
+            raise ValueError(
+                "no outcomes recorded; replay with retry/breaker/"
+                "checkpointing to get the outcome taxonomy"
+            )
+        counts = np.bincount(self.outcomes, minlength=len(OUTCOMES))
+        return {name: int(counts[i]) for i, name in enumerate(OUTCOMES)}
+
+    def retry_counts(self) -> np.ndarray:
+        """Attempts made per request (0 for shed requests)."""
+        if self.attempts is None:
+            raise ValueError("no attempt counts recorded")
+        return self.attempts
+
 
 def replay(
     trace: RequestTrace,
     backend: Backend,
     *,
     speed: float = float("inf"),
+    retry: RetryPolicy | None = None,
+    breaker: CircuitBreaker | None = None,
+    checkpoint_path: Path | str | None = None,
+    checkpoint_every: int = 1000,
+    resume: bool = False,
 ) -> ReplayResult:
     """Feed every request of ``trace`` to ``backend`` in timestamp order.
 
@@ -70,21 +121,159 @@ def replay(
         backend accepts (correct for simulators, which keep their own
         virtual clock); ``1.0`` paces submissions in real time; ``60`` runs
         a 1-hour trace in a minute.  Only finite speeds sleep.
+    retry:
+        Per-request retry policy.  Failed invocations are re-submitted at
+        their *original* timestamp (backend clocks stay monotone); the
+        backoff delay counts against the policy deadline and, at finite
+        speed, is slept scaled by ``speed``.
+    breaker:
+        Circuit breaker consulted before every submission; requests
+        arriving while it is open are shed, not submitted.
+    checkpoint_path:
+        When set, replay progress is checkpointed here every
+        ``checkpoint_every`` completed requests (and once at the end).
+        With ``resume=True`` and an existing checkpoint, the replay
+        continues from the stored offset instead of request 0; the
+        backend must still hold its earlier state (a live deployment, or
+        the same in-process backend object).  Requests completed after
+        the last checkpoint but before a kill are re-submitted on resume
+        (at-least-once delivery between checkpoints).
+    resume:
+        Continue from ``checkpoint_path`` if it exists (no-op when it
+        does not).
+
+    Any of ``retry`` / ``breaker`` / ``checkpoint_path`` switches to the
+    resilient path: invocation failures no longer propagate, and the
+    result carries per-request ``outcomes`` and ``attempts``.
     """
     if speed <= 0:
         raise ValueError("speed must be positive")
+    if checkpoint_every <= 0:
+        raise ValueError("checkpoint_every must be positive")
+    resilient = (retry is not None or breaker is not None
+                 or checkpoint_path is not None)
+    # hoist per-request conversions out of the hot loop: one vectorised
+    # pass instead of n_requests float()/str() calls
+    timestamps = trace.timestamps_s.tolist()
+    workload_ids = [str(w) for w in trace.workload_ids.tolist()]
+    if resilient:
+        return _replay_resilient(
+            trace, backend, timestamps, workload_ids, speed=speed,
+            retry=retry, breaker=breaker, checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every, resume=resume,
+        )
     t_start = time.perf_counter()
-    pace = np.isfinite(speed)
-    for ts, wid in zip(trace.timestamps_s, trace.workload_ids):
-        if pace:
-            target = t_start + ts / speed
-            delay = target - time.perf_counter()
+    if np.isfinite(speed):
+        for ts, wid in zip(timestamps, workload_ids):
+            delay = t_start + ts / speed - time.perf_counter()
             if delay > 0:
                 time.sleep(delay)
-        backend.invoke(float(ts), str(wid))
+            backend.invoke(ts, wid)
+    else:
+        invoke = backend.invoke
+        for ts, wid in zip(timestamps, workload_ids):
+            invoke(ts, wid)
     records = backend.drain()
     return ReplayResult(
         n_requests=trace.n_requests,
         wall_clock_s=time.perf_counter() - t_start,
         records=records,
+    )
+
+
+def _replay_resilient(
+    trace: RequestTrace,
+    backend: Backend,
+    timestamps: list[float],
+    workload_ids: list[str],
+    *,
+    speed: float,
+    retry: RetryPolicy | None,
+    breaker: CircuitBreaker | None,
+    checkpoint_path: Path | str | None,
+    checkpoint_every: int,
+    resume: bool,
+) -> ReplayResult:
+    n = trace.n_requests
+    fingerprint = (n, float(timestamps[0]), float(timestamps[-1]))
+    outcomes = np.zeros(n, dtype=np.uint8)
+    attempts = np.zeros(n, dtype=np.int32)
+    start = 0
+    if (resume and checkpoint_path is not None
+            and Path(checkpoint_path).exists()):
+        start, done_outcomes, done_attempts = load_checkpoint(
+            checkpoint_path, fingerprint
+        )
+        outcomes[:start] = done_outcomes
+        attempts[:start] = done_attempts
+
+    code_ok = OUTCOME_CODES["ok"]
+    code_retried = OUTCOME_CODES["retried"]
+    code_error = OUTCOME_CODES["error"]
+    code_timeout = OUTCOME_CODES["timeout"]
+    code_shed = OUTCOME_CODES["shed"]
+    code_dropped = OUTCOME_CODES["dropped"]
+    max_attempts = retry.max_attempts if retry is not None else 1
+    pace = np.isfinite(speed)
+    t_start = time.perf_counter()
+
+    for i in range(start, n):
+        ts = timestamps[i]
+        wid = workload_ids[i]
+        if pace:
+            delay = t_start + ts / speed - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+        if breaker is not None and not breaker.allow(ts):
+            outcomes[i] = code_shed
+            attempts[i] = 0
+        else:
+            attempt = 0
+            waited_s = 0.0
+            while True:
+                attempt += 1
+                try:
+                    backend.invoke(ts, wid)
+                except Exception as exc:
+                    if breaker is not None:
+                        breaker.record_failure(ts)
+                    if not getattr(exc, "retryable", True):
+                        outcome = code_dropped
+                        break
+                    if attempt >= max_attempts:
+                        outcome = code_error
+                        break
+                    backoff = retry.backoff_s(attempt, i)
+                    if (retry.deadline_s is not None
+                            and waited_s + backoff > retry.deadline_s):
+                        outcome = code_timeout
+                        break
+                    waited_s += backoff
+                    if pace and backoff > 0:
+                        time.sleep(backoff / speed)
+                    if breaker is not None and not breaker.allow(ts):
+                        outcome = code_shed
+                        break
+                else:
+                    if breaker is not None:
+                        breaker.record_success(ts)
+                    outcome = code_ok if attempt == 1 else code_retried
+                    break
+            outcomes[i] = outcome
+            attempts[i] = attempt
+        if checkpoint_path is not None and (i + 1) % checkpoint_every == 0:
+            save_checkpoint(checkpoint_path, offset=i + 1,
+                            outcomes=outcomes, attempts=attempts,
+                            trace_fingerprint=fingerprint)
+
+    if checkpoint_path is not None:
+        save_checkpoint(checkpoint_path, offset=n, outcomes=outcomes,
+                        attempts=attempts, trace_fingerprint=fingerprint)
+    records = backend.drain()
+    return ReplayResult(
+        n_requests=n,
+        wall_clock_s=time.perf_counter() - t_start,
+        records=records,
+        outcomes=outcomes,
+        attempts=attempts,
     )

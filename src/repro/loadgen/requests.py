@@ -47,10 +47,15 @@ class RequestTrace:
             if arr.shape != (n,):
                 raise ValueError(f"{name} must align with timestamps")
             setattr(self, name, arr)
+        if not np.all(np.isfinite(self.timestamps_s)):
+            raise ValueError("timestamps must be finite (no NaN/inf)")
         if np.any(np.diff(self.timestamps_s) < 0):
             raise ValueError("timestamps must be ascending")
         if np.any(self.timestamps_s < 0):
             raise ValueError("timestamps must be non-negative")
+        self.runtimes_ms = np.asarray(self.runtimes_ms, dtype=np.float64)
+        if np.any(~np.isfinite(self.runtimes_ms) | (self.runtimes_ms < 0)):
+            raise ValueError("runtimes_ms must be finite and non-negative")
 
     # ------------------------------------------------------------------
     @property

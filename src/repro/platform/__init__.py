@@ -6,6 +6,17 @@ three-line affair (see ``examples/coldstart_study.py``).
 """
 
 from repro.platform.autoscaler import ReactiveAutoscaler
+from repro.platform.faults import (
+    CrashHook,
+    FaultError,
+    FaultProfile,
+    FaultyBackend,
+    InvocationFault,
+    MemoryExhaustedFault,
+    NodeOutageFault,
+    OutageWindow,
+    SandboxCrashFault,
+)
 from repro.platform.keepalive import (
     FixedKeepAlive,
     HistogramKeepAlive,
@@ -14,8 +25,11 @@ from repro.platform.keepalive import (
 from repro.platform.live import LiveBackend
 from repro.platform.metrics import (
     InvocationRecord,
+    breaker_uptime,
     memory_utilization,
+    outcome_summary,
     per_workload_cold_rates,
+    retry_histogram,
     summarize,
 )
 from repro.platform.schedulers import (
@@ -38,27 +52,39 @@ from repro.platform.simulator import (
 )
 
 __all__ = [
+    "CrashHook",
     "FaaSCluster",
+    "FaultError",
+    "FaultProfile",
+    "FaultyBackend",
     "FixedKeepAlive",
     "HashAffinityScheduler",
     "HistogramKeepAlive",
+    "InvocationFault",
     "InvocationRecord",
     "LeastLoadedScheduler",
     "LiveBackend",
     "LocalityAwareScheduler",
+    "MemoryExhaustedFault",
     "NoKeepAlive",
     "Node",
+    "NodeOutageFault",
+    "OutageWindow",
     "PlatformEvent",
     "PlatformTracer",
     "PowerOfTwoScheduler",
-    "lifecycle_summary",
-    "memory_utilization",
-    "per_workload_cold_rates",
     "RandomScheduler",
     "ReactiveAutoscaler",
+    "SandboxCrashFault",
     "WorkloadProfile",
+    "breaker_uptime",
     "default_cold_start_s",
+    "lifecycle_summary",
+    "memory_utilization",
+    "outcome_summary",
+    "per_workload_cold_rates",
     "profiles_from_spec",
+    "retry_histogram",
     "summarize",
 ]
 

@@ -51,11 +51,18 @@ class LiveBackend:
         entry = self._cache.get(workload_id)
         cold = entry is None
         t0 = time.perf_counter()
-        if cold:
-            payload = family.prepare(self._rng, **workload.params)
-            entry = _CacheEntry(payload=payload, family_name=workload.family)
-            self._cache[workload_id] = entry
-        family.execute(entry.payload)
+        ok = True
+        try:
+            if cold:
+                payload = family.prepare(self._rng, **workload.params)
+                entry = _CacheEntry(payload=payload,
+                                    family_name=workload.family)
+                self._cache[workload_id] = entry
+            family.execute(entry.payload)
+        except Exception:
+            # A workload body blowing up must not abort a multi-hour
+            # replay: record the failed invocation and keep going.
+            ok = False
         elapsed = time.perf_counter() - t0
         # Live runs are sequential: service begins at submission.
         self.records.append(
@@ -66,6 +73,7 @@ class LiveBackend:
                 start_s=timestamp_s,
                 end_s=timestamp_s + elapsed,
                 cold=cold,
+                ok=ok,
             )
         )
 

@@ -8,15 +8,23 @@ import numpy as np
 
 __all__ = [
     "InvocationRecord",
+    "breaker_uptime",
     "memory_utilization",
+    "outcome_summary",
     "per_workload_cold_rates",
+    "retry_histogram",
     "summarize",
 ]
 
 
 @dataclass(frozen=True)
 class InvocationRecord:
-    """One completed invocation, as observed by the backend."""
+    """One completed invocation, as observed by the backend.
+
+    ``ok`` is False when the invocation ran but failed -- a workload
+    exception in the live executor, or an injected sandbox crash in the
+    simulator; its latency then covers the time until the failure.
+    """
 
     workload_id: str
     node: int
@@ -24,6 +32,7 @@ class InvocationRecord:
     start_s: float
     end_s: float
     cold: bool
+    ok: bool = True
 
     def __post_init__(self) -> None:
         if not self.arrival_s <= self.start_s <= self.end_s:
@@ -54,9 +63,11 @@ def summarize(records: list[InvocationRecord]) -> dict:
     queue = np.array([r.queueing_ms for r in records])
     cold = np.array([r.cold for r in records])
     nodes = np.array([r.node for r in records])
+    ok = np.array([getattr(r, "ok", True) for r in records])
     node_ids, node_counts = np.unique(nodes, return_counts=True)
     return {
         "n_invocations": len(records),
+        "ok_fraction": float(ok.mean()),
         "cold_fraction": float(cold.mean()),
         "latency_ms": {
             "p50": float(np.percentile(lat, 50)),
@@ -90,6 +101,61 @@ def per_workload_cold_rates(
         for wid, n in totals.items()
         if n >= min_invocations
     }
+
+
+def outcome_summary(result) -> dict:
+    """Resilient-replay outcome counters a fault-tolerance study reports.
+
+    Takes a :class:`~repro.loadgen.replay.ReplayResult` produced by the
+    resilient path.  ``delivered_fraction`` counts requests that reached
+    the backend and succeeded (``ok`` + ``retried``); ``failed`` groups
+    everything else.
+    """
+    counts = result.outcome_counts()
+    n = sum(counts.values())
+    delivered = counts["ok"] + counts["retried"]
+    return {
+        "counts": counts,
+        "n_requests": n,
+        "delivered_fraction": delivered / n if n else 0.0,
+        "shed_fraction": counts["shed"] / n if n else 0.0,
+        "mean_attempts": (
+            float(result.attempts[result.attempts > 0].mean())
+            if result.attempts is not None and np.any(result.attempts > 0)
+            else 0.0
+        ),
+    }
+
+
+def retry_histogram(attempts: np.ndarray) -> dict[int, int]:
+    """How many requests needed k attempts (k=0: shed, never submitted)."""
+    attempts = np.asarray(attempts)
+    if attempts.size == 0:
+        raise ValueError("no attempt counts")
+    ks, counts = np.unique(attempts, return_counts=True)
+    return {int(k): int(c) for k, c in zip(ks, counts)}
+
+
+def breaker_uptime(breaker, horizon_s: float) -> dict:
+    """Fraction of trace time a circuit breaker spent in each state.
+
+    ``breaker`` is a :class:`~repro.loadgen.resilience.CircuitBreaker`
+    after a replay; ``horizon_s`` the trace duration.  States are
+    piecewise-constant between recorded transitions (initial state:
+    closed at t=0).
+    """
+    if horizon_s <= 0:
+        raise ValueError("horizon_s must be positive")
+    spans = {"closed": 0.0, "open": 0.0, "half-open": 0.0}
+    prev_t, prev_state = 0.0, "closed"
+    for t, state in breaker.transitions:
+        t = min(max(t, 0.0), horizon_s)
+        spans[prev_state] += t - prev_t
+        prev_t, prev_state = t, state
+    spans[prev_state] += horizon_s - prev_t
+    return {
+        state: span / horizon_s for state, span in spans.items()
+    } | {"n_transitions": len(breaker.transitions)}
 
 
 def memory_utilization(

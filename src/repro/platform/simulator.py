@@ -118,6 +118,7 @@ class FaaSCluster:
         queue_timeout_s: float | None = None,
         autoscaler=None,
         tracer=None,
+        fault_hook=None,
         seed: int = 0,
     ):
         """See class docstring; the optional realism knobs:
@@ -147,6 +148,13 @@ class FaaSCluster:
         tracer:
             Optional :class:`~repro.platform.tracing.PlatformTracer`
             receiving one event per sandbox lifecycle transition.
+        fault_hook:
+            Optional sandbox-crash model (anything with
+            ``crash_fraction(now_s, node_id, workload_id) -> float |
+            None``, e.g. :class:`~repro.platform.faults.CrashHook`).
+            A non-None fraction ends the invocation after that share of
+            its service time with ``ok=False``; the sandbox is destroyed
+            (memory freed, no keep-alive reuse).
         """
         if n_nodes <= 0:
             raise ValueError("n_nodes must be positive")
@@ -174,6 +182,7 @@ class FaaSCluster:
         self.queue_timeout_s = queue_timeout_s
         self.autoscaler = autoscaler
         self.tracer = tracer
+        self.fault_hook = fault_hook
         #: (arrival_s, workload_id) of requests dropped on queue timeout.
         self.dropped: list[tuple[float, str]] = []
         self._node_memory_mb = node_memory_mb
@@ -280,6 +289,8 @@ class FaaSCluster:
             self._clock = when
             if kind == "end":
                 self._on_completion(when, *payload)
+            elif kind == "crash":
+                self._on_crash(when, *payload)
             else:  # "expire"
                 self._on_expiry(when, *payload)
         self._clock = max(self._clock, until)
@@ -335,6 +346,14 @@ class FaaSCluster:
             if concurrent > self.cores_per_node:
                 service_s *= concurrent / self.cores_per_node
         end = start + service_s
+        ok = True
+        if self.fault_hook is not None:
+            frac = self.fault_hook.crash_fraction(
+                now, node.node_id, workload_id
+            )
+            if frac is not None:
+                end = start + service_s * min(max(frac, 0.0), 1.0)
+                ok = False
         node.busy_count += 1
         self.records.append(
             InvocationRecord(
@@ -344,11 +363,12 @@ class FaaSCluster:
                 start_s=start,
                 end_s=end,
                 cold=cold,
+                ok=ok,
             )
         )
         # Events carry the Node object itself: under autoscaling the
         # nodes list mutates, so positional ids are not stable handles.
-        self._push(end, "end", (node, sandbox))
+        self._push(end, "end" if ok else "crash", (node, sandbox))
         return True
 
     def _on_completion(self, now: float, node: Node,
@@ -363,6 +383,20 @@ class FaaSCluster:
         else:
             self._push(now + ttl, "expire",
                        (node, sandbox, sandbox.expire_generation))
+        self._serve_pending(node)
+
+    def _on_crash(self, now: float, node: Node,
+                  sandbox: _Sandbox) -> None:
+        """The sandbox died mid-invocation: destroy it outright."""
+        del now
+        node.busy_count -= 1
+        sandbox.expire_generation += 1
+        node.used_memory_mb -= sandbox.memory_mb
+        self._trace("sandbox_crashed", node.node_id, sandbox.workload_id)
+        if self.track_memory:
+            self.memory_samples.append(
+                (self._clock, node.node_id, node.used_memory_mb)
+            )
         self._serve_pending(node)
 
     def _on_expiry(self, now: float, node: Node, sandbox: _Sandbox,

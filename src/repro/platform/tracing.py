@@ -14,14 +14,22 @@ from dataclasses import dataclass
 
 __all__ = ["PlatformEvent", "PlatformTracer", "lifecycle_summary"]
 
-#: Event kinds, in lifecycle order.
+#: Event kinds, in lifecycle order.  The ``fault_injected`` /
+#: ``sandbox_crashed`` kinds come from the fault-injection layer
+#: (:mod:`repro.platform.faults`); the ``breaker_*`` kinds from the
+#: replay engine's circuit breaker (node -1: not tied to a node).
 EVENT_KINDS = (
     "sandbox_created",
     "sandbox_reused",
     "sandbox_expired",
     "sandbox_evicted",
+    "sandbox_crashed",
     "request_queued",
     "request_dropped",
+    "fault_injected",
+    "breaker_open",
+    "breaker_half_open",
+    "breaker_closed",
 )
 
 

@@ -74,6 +74,48 @@ class TestCommands:
         assert "cold-start fraction" in out
         assert "latency p50/p90/p99" in out
 
+    def test_replay_with_faults_retry_and_checkpoint(
+            self, spec_path, tmp_path, capsys):
+        import json
+
+        profile = tmp_path / "faults.json"
+        profile.write_text(json.dumps({"error_rate": 0.05, "seed": 7}))
+        ckpt = tmp_path / "replay.ckpt.npz"
+        rc = main([
+            "replay", "--spec", str(spec_path), "--nodes", "4",
+            "--fault-profile", str(profile), "--retry", "3",
+            "--breaker", "--checkpoint", str(ckpt),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "request outcomes" in out
+        assert "injected faults" in out
+        assert ckpt.exists()
+        # resuming the finished replay restores outcomes, submits nothing
+        rc = main([
+            "replay", "--spec", str(spec_path), "--nodes", "4",
+            "--retry", "3", "--checkpoint", str(ckpt), "--resume",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "already complete at resume" in out
+
+    def test_replay_error_rate_shortcut(self, spec_path, capsys):
+        rc = main(["replay", "--spec", str(spec_path), "--nodes", "4",
+                   "--error-rate", "0.1", "--retry", "2"])
+        assert rc == 0
+        assert "request outcomes" in capsys.readouterr().out
+
+    def test_replay_bad_fault_profile_rejected(self, spec_path, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"error_rate": 2.0}')
+        with pytest.raises(SystemExit, match="fault profile"):
+            main(["replay", "--spec", str(spec_path),
+                  "--fault-profile", str(bad)])
+        with pytest.raises(SystemExit, match="error-rate"):
+            main(["replay", "--spec", str(spec_path),
+                  "--error-rate", "3.0"])
+
     def test_figures_subset(self, capsys):
         rc = main(["figures", "fig3", "--functions", "500", "--seed", "3"])
         assert rc == 0

@@ -1,7 +1,5 @@
 """Tests for the extended CLI subcommands."""
 
-import pytest
-
 from repro.cli import main
 
 

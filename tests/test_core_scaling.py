@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import scale_request_rate, thumbnail_scale, minute_range_scale
-from repro.traces import Trace, synthetic_azure_trace
+from repro.traces import synthetic_azure_trace
 
 
 class TestRateScaling:

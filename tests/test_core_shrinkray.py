@@ -5,11 +5,7 @@ import pytest
 
 from repro.core import ShrinkRay, shrink, smirnov_request_sample
 from repro.stats.distance import ks_relative_band
-from repro.traces import (
-    invocation_duration_cdf,
-    synthetic_azure_trace,
-    synthetic_huawei_trace,
-)
+from repro.traces import synthetic_azure_trace, synthetic_huawei_trace
 from repro.workloads import build_default_pool
 
 

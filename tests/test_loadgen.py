@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import ExperimentSpec, SpecEntry, shrink, smirnov_request_sample
+from repro.core import ExperimentSpec, SpecEntry, smirnov_request_sample
 from repro.loadgen import (
     RequestTrace,
     cell_counts,
@@ -226,6 +226,17 @@ class TestReplay:
         with pytest.raises(ValueError, match="speed"):
             replay(t, _RecordingBackend(), speed=0.0)
 
+    def test_replay_finite_speed_bounds_wall_clock(self):
+        # 12 virtual seconds at speed 60 -> at least 0.2s wall clock,
+        # and nowhere near real time
+        t = RequestTrace(np.linspace(0.0, 12.0, 8),
+                         np.array(["a"] * 8), np.array(["f"] * 8),
+                         np.full(8, 1.0), np.array(["x"] * 8))
+        backend = _RecordingBackend()
+        result = replay(t, backend, speed=60.0)
+        assert len(backend.calls) == 8
+        assert 0.15 <= result.wall_clock_s <= 3.0
+
     def test_result_metric_guards(self):
         spec = small_spec()
         trace = generate_request_trace(spec, seed=0, arrival_mode="uniform")
@@ -234,3 +245,23 @@ class TestReplay:
             result.latencies_ms()
         with pytest.raises(ValueError, match="cold"):
             result.cold_start_fraction()
+
+    def test_result_metrics_on_empty_records(self):
+        from repro.loadgen import ReplayResult
+
+        result = ReplayResult(n_requests=0, wall_clock_s=0.0, records=[])
+        with pytest.raises(ValueError, match="latencies"):
+            result.latencies_ms()
+        with pytest.raises(ValueError, match="cold"):
+            result.cold_start_fraction()
+
+    def test_result_metrics_on_mixed_records(self):
+        """Records lacking latency/cold fields are skipped, not fatal."""
+        from repro.loadgen import ReplayResult
+        from repro.platform import InvocationRecord
+
+        full = InvocationRecord("w", 0, 0.0, 0.0, 0.1, True)
+        result = ReplayResult(n_requests=2, wall_clock_s=0.0,
+                              records=[full, "opaque-record"])
+        np.testing.assert_allclose(result.latencies_ms(), [100.0])
+        assert result.cold_start_fraction() == 1.0

@@ -1,0 +1,281 @@
+"""Tests for the resilient replay engine: retries, breaker, checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.loadgen import (
+    OUTCOMES,
+    CircuitBreaker,
+    RequestTrace,
+    RetryPolicy,
+    load_checkpoint,
+    replay,
+    save_checkpoint,
+)
+from repro.platform import (
+    FaultProfile,
+    FaultyBackend,
+    PlatformTracer,
+    outcome_summary,
+    retry_histogram,
+)
+
+
+def make_trace(n=200, horizon=60.0, seed=0):
+    ts = np.sort(np.random.default_rng(seed).uniform(0, horizon, n))
+    return RequestTrace(ts, np.array(["w"] * n), np.array([""] * n),
+                        np.full(n, 10.0), np.array(["f"] * n))
+
+
+class _FlakyBackend:
+    """Fails the first ``fail_first`` attempts of every request."""
+
+    def __init__(self, fail_first=1, retryable=True):
+        self.fail_first = fail_first
+        self.retryable = retryable
+        self.attempts_seen: dict[float, int] = {}
+        self.completed = 0
+
+    def invoke(self, timestamp_s, workload_id):
+        seen = self.attempts_seen.get(timestamp_s, 0)
+        self.attempts_seen[timestamp_s] = seen + 1
+        if seen < self.fail_first:
+            exc = RuntimeError("flaky")
+            exc.retryable = self.retryable
+            raise exc
+        self.completed += 1
+
+    def drain(self):
+        return []
+
+
+class _DeadBackend:
+    def invoke(self, timestamp_s, workload_id):
+        raise RuntimeError("always down")
+
+    def drain(self):
+        return []
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError, match="deadline"):
+            RetryPolicy(deadline_s=0.0)
+
+    def test_exponential_growth_and_cap(self):
+        p = RetryPolicy(base_delay_s=1.0, multiplier=2.0, max_delay_s=5.0,
+                        jitter=0.0)
+        assert p.backoff_s(1) == 1.0
+        assert p.backoff_s(2) == 2.0
+        assert p.backoff_s(3) == 4.0
+        assert p.backoff_s(4) == 5.0  # capped
+
+    def test_jitter_is_deterministic_per_request_and_attempt(self):
+        p = RetryPolicy(jitter=0.5, seed=1)
+        a = p.backoff_s(1, request_index=10)
+        assert a == p.backoff_s(1, request_index=10)
+        assert a != p.backoff_s(1, request_index=11)
+        assert a != p.backoff_s(2, request_index=10)
+
+    def test_retries_recover_flaky_requests(self):
+        backend = _FlakyBackend(fail_first=1)
+        trace = make_trace(n=50)
+        result = replay(trace, backend,
+                        retry=RetryPolicy(max_attempts=3, jitter=0.0))
+        counts = result.outcome_counts()
+        assert counts["retried"] == 50
+        assert backend.completed == 50
+        assert np.all(result.attempts == 2)
+
+    def test_attempts_exhausted_yields_error(self):
+        trace = make_trace(n=10)
+        result = replay(trace, _DeadBackend(),
+                        retry=RetryPolicy(max_attempts=3, jitter=0.0))
+        assert result.outcome_counts()["error"] == 10
+        assert np.all(result.attempts == 3)
+
+    def test_non_retryable_yields_dropped_immediately(self):
+        backend = _FlakyBackend(fail_first=99, retryable=False)
+        trace = make_trace(n=10)
+        result = replay(trace, backend,
+                        retry=RetryPolicy(max_attempts=5))
+        assert result.outcome_counts()["dropped"] == 10
+        assert np.all(result.attempts == 1)
+
+    def test_deadline_yields_timeout(self):
+        # backoff 1s + 2s + ... with a 2.5s budget: second retry busts it
+        trace = make_trace(n=5)
+        result = replay(
+            trace, _DeadBackend(),
+            retry=RetryPolicy(max_attempts=10, base_delay_s=1.0,
+                              jitter=0.0, deadline_s=2.5),
+        )
+        assert result.outcome_counts()["timeout"] == 5
+        assert np.all(result.attempts == 2)
+
+    def test_outcome_taxonomy_is_complete(self):
+        assert OUTCOMES == ("ok", "retried", "error", "timeout", "shed",
+                            "dropped")
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError, match="reset_timeout_s"):
+            CircuitBreaker(reset_timeout_s=0.0)
+
+    def test_trips_after_consecutive_failures_then_recovers(self):
+        br = CircuitBreaker(failure_threshold=3, reset_timeout_s=10.0)
+        for t in (0.0, 1.0, 2.0):
+            assert br.allow(t)
+            br.record_failure(t)
+        assert br.state == "open"
+        assert not br.allow(5.0)          # still open
+        assert br.allow(12.5)             # timeout elapsed -> half-open
+        assert br.state == "half-open"
+        br.record_success(12.5)
+        assert br.state == "closed"
+
+    def test_half_open_failure_reopens(self):
+        br = CircuitBreaker(failure_threshold=1, reset_timeout_s=5.0)
+        br.record_failure(0.0)
+        assert br.allow(6.0)
+        br.record_failure(6.0)
+        assert br.state == "open"
+        assert not br.allow(10.0)
+
+    def test_breaker_sheds_load_during_dead_period(self):
+        trace = make_trace(n=200, horizon=60.0)
+        br = CircuitBreaker(failure_threshold=5, reset_timeout_s=5.0)
+        result = replay(trace, _DeadBackend(),
+                        retry=RetryPolicy(max_attempts=1), breaker=br)
+        counts = result.outcome_counts()
+        assert counts["shed"] > 100           # most load shed, not hammered
+        assert counts["shed"] + counts["error"] == 200
+        assert br.transitions  # went open at least once
+
+    def test_transitions_traced(self):
+        tracer = PlatformTracer()
+        br = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0,
+                            tracer=tracer)
+        br.record_failure(0.0)
+        br.allow(2.0)
+        br.record_success(2.0)
+        kinds = [e.kind for e in tracer.events]
+        assert kinds == ["breaker_open", "breaker_half_open",
+                         "breaker_closed"]
+
+
+class TestOutcomeMetrics:
+    def test_outcome_summary_and_retry_histogram(self):
+        backend = _FlakyBackend(fail_first=1)
+        trace = make_trace(n=40)
+        result = replay(trace, backend,
+                        retry=RetryPolicy(max_attempts=3, jitter=0.0))
+        s = outcome_summary(result)
+        assert s["n_requests"] == 40
+        assert s["delivered_fraction"] == 1.0
+        assert s["mean_attempts"] == pytest.approx(2.0)
+        assert retry_histogram(result.attempts) == {2: 40}
+
+    def test_fast_path_has_no_outcomes(self):
+        class _Null:
+            def invoke(self, t, w):
+                pass
+
+            def drain(self):
+                return []
+
+        result = replay(make_trace(n=5), _Null())
+        assert result.outcomes is None
+        with pytest.raises(ValueError, match="no outcomes"):
+            result.outcome_counts()
+
+
+class TestCheckpoints:
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "c.npz"
+        outcomes = np.array([0, 1, 2], dtype=np.uint8)
+        attempts = np.array([1, 2, 3], dtype=np.int32)
+        save_checkpoint(path, offset=3, outcomes=outcomes,
+                        attempts=attempts,
+                        trace_fingerprint=(10, 0.0, 9.0))
+        off, o, a = load_checkpoint(path, (10, 0.0, 9.0))
+        assert off == 3
+        np.testing.assert_array_equal(o, outcomes)
+        np.testing.assert_array_equal(a, attempts)
+
+    def test_load_rejects_wrong_trace(self, tmp_path):
+        path = tmp_path / "c.npz"
+        save_checkpoint(path, offset=1,
+                        outcomes=np.zeros(1, np.uint8),
+                        attempts=np.ones(1, np.int32),
+                        trace_fingerprint=(10, 0.0, 9.0))
+        with pytest.raises(ValueError, match="different trace"):
+            load_checkpoint(path, (11, 0.0, 9.0))
+
+    def test_killed_replay_resumes_to_identical_result(self, tmp_path):
+        """Acceptance: kill at a checkpoint boundary, resume, and get the
+        same final records and outcomes as an uninterrupted run."""
+        trace = make_trace(n=400, horizon=120.0)
+        policy = RetryPolicy(max_attempts=3, seed=5)
+
+        from repro.platform import FaaSCluster, WorkloadProfile
+
+        def make_backend():
+            cluster = FaaSCluster(
+                {"w": WorkloadProfile("w", 10.0, 128.0)}, n_nodes=2)
+            return FaultyBackend(
+                cluster, FaultProfile(error_rate=0.05, seed=5))
+
+        reference = replay(trace, make_backend(), retry=policy)
+
+        class _KillAtRequest:
+            """Client dies when request number ``n`` is submitted."""
+
+            def __init__(self, inner, n):
+                self.inner = inner
+                self.seen = set()
+                self.n = n
+
+            def invoke(self, timestamp_s, workload_id):
+                self.seen.add(timestamp_s)
+                if len(self.seen) > self.n:
+                    raise KeyboardInterrupt
+                self.inner.invoke(timestamp_s, workload_id)
+
+            def drain(self):
+                return self.inner.drain()
+
+        path = tmp_path / "replay.ckpt.npz"
+        backend = make_backend()
+        with pytest.raises(KeyboardInterrupt):
+            replay(trace, _KillAtRequest(backend, 200), retry=policy,
+                   checkpoint_path=path, checkpoint_every=100)
+        # the backend (the "cluster") survived the client's death;
+        # resume from the checkpoint with the same backend state
+        resumed = replay(trace, backend, retry=policy,
+                         checkpoint_path=path, checkpoint_every=100,
+                         resume=True)
+        assert resumed.outcomes.tobytes() == reference.outcomes.tobytes()
+        assert resumed.attempts.tobytes() == reference.attempts.tobytes()
+        assert resumed.records == reference.records
+
+    def test_resume_without_checkpoint_starts_fresh(self, tmp_path):
+        trace = make_trace(n=20)
+        backend = _FlakyBackend(fail_first=0)
+        result = replay(trace, backend,
+                        retry=RetryPolicy(max_attempts=2),
+                        checkpoint_path=tmp_path / "none.npz",
+                        resume=True)
+        assert result.outcome_counts()["ok"] == 20
+
+    def test_checkpoint_every_validated(self):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            replay(make_trace(n=5), _DeadBackend(),
+                   checkpoint_path="x.npz", checkpoint_every=0)

@@ -240,3 +240,65 @@ class TestRequestTraceIO:
         np.savez_compressed(path, timestamps_s=np.array([1.0]))
         with pytest.raises(ValueError, match="missing arrays"):
             load_request_trace_npz(path)
+
+    def test_csv_rejects_unsorted_timestamps_with_path(self, tmp_path):
+        from repro.loadgen import load_request_trace_csv
+
+        path = tmp_path / "unsorted.csv"
+        path.write_text(
+            "timestamp_s,workload_id,function_id,runtime_ms,family\n"
+            "2.0,w,f,1.0,x\n"
+            "1.0,w,f,1.0,x\n"
+        )
+        with pytest.raises(ValueError, match="unsorted.csv.*ascending"):
+            load_request_trace_csv(path)
+
+    def test_csv_rejects_nan_and_negative_timestamps(self, tmp_path):
+        from repro.loadgen import load_request_trace_csv
+
+        header = "timestamp_s,workload_id,function_id,runtime_ms,family\n"
+        path = tmp_path / "nan.csv"
+        path.write_text(header + "nan,w,f,1.0,x\n")
+        with pytest.raises(ValueError, match="finite"):
+            load_request_trace_csv(path)
+        path = tmp_path / "neg.csv"
+        path.write_text(header + "-1.0,w,f,1.0,x\n")
+        with pytest.raises(ValueError, match="non-negative"):
+            load_request_trace_csv(path)
+
+    def test_csv_rejects_non_numeric_columns(self, tmp_path):
+        from repro.loadgen import load_request_trace_csv
+
+        path = tmp_path / "junk.csv"
+        path.write_text(
+            "timestamp_s,workload_id,function_id,runtime_ms,family\n"
+            "soon,w,f,1.0,x\n"
+        )
+        with pytest.raises(ValueError, match="non-numeric"):
+            load_request_trace_csv(path)
+
+    def test_csv_rejects_short_rows(self, tmp_path):
+        from repro.loadgen import load_request_trace_csv
+
+        path = tmp_path / "short.csv"
+        path.write_text(
+            "timestamp_s,workload_id,function_id,runtime_ms,family\n"
+            "1.0,w\n"
+        )
+        with pytest.raises(ValueError, match="missing columns"):
+            load_request_trace_csv(path)
+
+    def test_npz_rejects_mismatched_lengths(self, tmp_path):
+        from repro.loadgen import load_request_trace_npz
+
+        path = tmp_path / "mismatch.npz"
+        np.savez_compressed(
+            path,
+            timestamps_s=np.array([1.0, 2.0]),
+            workload_ids=np.array(["w"]),
+            function_ids=np.array(["f"]),
+            runtimes_ms=np.array([1.0]),
+            families=np.array(["x"]),
+        )
+        with pytest.raises(ValueError, match="mismatched lengths"):
+            load_request_trace_npz(path)
