@@ -34,9 +34,19 @@ Quickstart
 
 from repro._version import __version__
 
-__all__ = ["ExperimentSpec", "ShrinkRay", "__version__", "generate", "shrink"]
+__all__ = [
+    "ContentCache",
+    "ExperimentSpec",
+    "ShrinkRay",
+    "__version__",
+    "fingerprint",
+    "generate",
+    "resolve_cache",
+    "shrink",
+]
 
 _CORE_EXPORTS = {"ExperimentSpec", "ShrinkRay", "generate", "shrink"}
+_CACHE_EXPORTS = {"ContentCache", "fingerprint", "resolve_cache"}
 
 
 def __getattr__(name: str):
@@ -46,4 +56,8 @@ def __getattr__(name: str):
         from repro import core
 
         return getattr(core, name)
+    if name in _CACHE_EXPORTS:
+        from repro import cache
+
+        return getattr(cache, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

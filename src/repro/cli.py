@@ -18,45 +18,73 @@ from pathlib import Path
 __all__ = ["main", "build_parser"]
 
 
-def _load_trace(source: str, n_functions: int, seed: int):
+def _load_trace(source: str, n_functions: int, seed: int, cache=None):
     from repro.traces import (
         load_azure_day,
+        memoized_trace,
         synthetic_azure_trace,
         synthetic_huawei_public_trace,
         synthetic_huawei_trace,
     )
 
     if source == "azure":
-        return synthetic_azure_trace(n_functions=n_functions, seed=seed)
+        return memoized_trace(
+            lambda: synthetic_azure_trace(n_functions=n_functions,
+                                          seed=seed),
+            cache, "azure", n_functions, seed,
+        )
     if source == "huawei":
-        return synthetic_huawei_trace(seed=seed)
+        return memoized_trace(
+            lambda: synthetic_huawei_trace(seed=seed),
+            cache, "huawei", seed,
+        )
     if source == "huawei-public":
-        return synthetic_huawei_public_trace(n_functions=n_functions,
-                                             seed=seed)
+        return memoized_trace(
+            lambda: synthetic_huawei_public_trace(n_functions=n_functions,
+                                                  seed=seed),
+            cache, "huawei-public", n_functions, seed,
+        )
     path = Path(source)
     if path.is_dir():
         return load_azure_day(path)
+    if path.exists():
+        raise SystemExit(
+            f"trace path {source!r} is not a directory of Azure-layout "
+            "CSVs (expected a directory, found a file)"
+        )
+    if any(sep in source for sep in ("/", "\\")) or path.suffix:
+        raise SystemExit(f"trace path {source!r} does not exist")
     raise SystemExit(
         f"unknown trace source {source!r}: expected 'azure', 'huawei', "
         "'huawei-public', or a directory of Azure-layout CSVs"
     )
 
 
+def _resolve_cache(args):
+    from repro.cache import resolve_cache
+
+    return resolve_cache(getattr(args, "cache_dir", None),
+                         getattr(args, "no_cache", False))
+
+
 def _cmd_shrinkray(args) -> int:
     from repro.core import ShrinkRay
     from repro.workloads import build_default_pool
 
-    trace = _load_trace(args.trace, args.functions, args.seed)
+    cache = _resolve_cache(args)
+    trace = _load_trace(args.trace, args.functions, args.seed, cache=cache)
     pool = build_default_pool()
     spec = ShrinkRay(
         error_threshold_pct=args.threshold,
         time_mode=args.time_mode,
         range_start_minute=args.range_start,
+        jobs=args.jobs,
     ).run(
         trace, pool,
         max_rps=args.max_rps,
         duration_minutes=args.duration,
         seed=args.seed,
+        cache=cache,
     )
     spec.save(args.out)
     print(
@@ -77,7 +105,8 @@ def _cmd_generate(args) -> int:
 
     spec = ExperimentSpec.load(args.spec)
     trace = generate_request_trace(
-        spec, seed=args.seed, arrival_mode=args.arrival_mode
+        spec, seed=args.seed, arrival_mode=args.arrival_mode,
+        jobs=args.jobs, cache=_resolve_cache(args),
     )
     if str(args.out).endswith(".npz"):
         save_request_trace_npz(trace, args.out)
@@ -373,6 +402,19 @@ def _cmd_calibrate(args) -> int:
     return 0
 
 
+def _add_parallel_cache_flags(p) -> None:
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes for the sharded pipeline "
+                        "stages (default sequential; 0 = all cores; "
+                        "results are identical for any value)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed artifact cache (default: "
+                        "$REPRO_CACHE_DIR if set, else caching is off)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the cache even if REPRO_CACHE_DIR or "
+                        "--cache-dir is set")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -396,6 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--range-start", type=int, default=0)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default="spec.json")
+    _add_parallel_cache_flags(p)
     p.set_defaults(func=_cmd_shrinkray)
 
     p = sub.add_parser("generate", help="spec -> request CSV")
@@ -404,6 +447,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["poisson", "uniform", "equidistant"])
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default="requests.csv")
+    _add_parallel_cache_flags(p)
     p.set_defaults(func=_cmd_generate)
 
     p = sub.add_parser("replay", help="drive a spec through the simulator")

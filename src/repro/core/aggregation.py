@@ -17,10 +17,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.parallel import auto_shards, map_shards, shard_bounds
 from repro.stats.popularity import popularity_change_cdf, popularity_shares
 from repro.traces.model import Trace
 
 __all__ = ["AggregationAudit", "aggregate_functions"]
+
+#: Functions per shard below which sharding is pointless (the segment
+#: sums are a handful of vector ops).  Shard count is derived from the
+#: trace size only -- never from ``jobs`` -- so results are identical for
+#: any worker count (see :mod:`repro.parallel`).
+_MIN_FUNCTIONS_PER_SHARD = 256
 
 
 @dataclass(frozen=True)
@@ -56,10 +63,33 @@ class AggregationAudit:
         )
 
 
+def _aggregate_shard(args):
+    """Segment-sum one contiguous slice of functions by duration key.
+
+    Module-level so it pickles into pool workers.  Returns the shard's
+    own unique keys plus its partial sums, merged key-wise by the caller
+    in shard order.
+    """
+    keys, per_minute, durations, counts = args
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    matrix = np.zeros((uniq.size, per_minute.shape[1]), dtype=np.int64)
+    np.add.at(matrix, inverse, per_minute)
+    group_counts = np.zeros(uniq.size)
+    np.add.at(group_counts, inverse, counts)
+    weighted_dur = np.zeros(uniq.size)
+    np.add.at(weighted_dur, inverse, durations * counts)
+    plain_sum = np.zeros(uniq.size)
+    np.add.at(plain_sum, inverse, durations)
+    sizes = np.bincount(inverse, minlength=uniq.size)
+    return uniq, matrix, group_counts, weighted_dur, plain_sum, sizes
+
+
 def aggregate_functions(
     trace: Trace,
     *,
     quantize_ms: float = 1.0,
+    jobs: int | None = None,
+    shards: int | None = None,
 ) -> tuple[Trace, AggregationAudit]:
     """Merge functions sharing a (quantised) mean execution duration.
 
@@ -71,6 +101,14 @@ def aggregate_functions(
         Duration quantisation step.  Azure reports millisecond-granularity
         averages, so 1.0 reproduces the paper's grouping; pass a smaller
         step to aggregate less aggressively (ablation knob).
+    jobs:
+        Worker processes for the sharded segment sums (``None``/1 =
+        sequential, 0 = all cores).  The result is identical for any
+        value: shard layout depends only on the trace and ``shards``.
+    shards:
+        Shard-count override (defaults to a data-sized choice).  Part of
+        the deterministic contract: the same ``shards`` always yields
+        bit-identical output, whatever ``jobs`` is.
 
     Returns
     -------
@@ -88,25 +126,41 @@ def aggregate_functions(
         np.round(trace.durations_ms / quantize_ms), 1.0
     ).astype(np.int64)
 
-    uniq_keys, inverse = np.unique(keys, return_inverse=True)
-    n_groups = uniq_keys.size
-
-    # Segment-sum the per-minute matrix: one scatter-add, no Python loop
-    # over functions.
-    agg_matrix = np.zeros((n_groups, trace.n_minutes), dtype=np.int64)
-    np.add.at(agg_matrix, inverse, trace.per_minute.astype(np.int64))
-
     counts = trace.invocations_per_function.astype(np.float64)
+    per_minute = trace.per_minute.astype(np.int64)
+
+    n_shards = shards if shards is not None else auto_shards(
+        trace.n_functions, min_per_shard=_MIN_FUNCTIONS_PER_SHARD
+    ) or 1
+    results = map_shards(
+        _aggregate_shard,
+        [
+            (keys[lo:hi], per_minute[lo:hi],
+             trace.durations_ms[lo:hi], counts[lo:hi])
+            for lo, hi in shard_bounds(trace.n_functions, n_shards)
+        ],
+        jobs=jobs,
+    )
+
+    uniq_keys = np.unique(np.concatenate([r[0] for r in results]))
+    n_groups = uniq_keys.size
+    agg_matrix = np.zeros((n_groups, trace.n_minutes), dtype=np.int64)
     group_counts = np.zeros(n_groups)
-    np.add.at(group_counts, inverse, counts)
+    weighted_dur = np.zeros(n_groups)
+    plain_sum = np.zeros(n_groups)
+    group_sizes = np.zeros(n_groups, dtype=np.int64)
+    # Ordered reduction: shard partials land in shard order, keeping the
+    # floating-point accumulation order fixed for a given shard layout.
+    for uniq, matrix, gc, wd, ps, sz in results:
+        idx = np.searchsorted(uniq_keys, uniq)
+        agg_matrix[idx] += matrix
+        group_counts[idx] += gc
+        weighted_dur[idx] += wd
+        plain_sum[idx] += ps
+        group_sizes[idx] += sz
 
     # Invocation-weighted mean duration per group (falls back to the plain
     # mean for groups that were never invoked).
-    weighted_dur = np.zeros(n_groups)
-    np.add.at(weighted_dur, inverse, trace.durations_ms * counts)
-    plain_sum = np.zeros(n_groups)
-    np.add.at(plain_sum, inverse, trace.durations_ms)
-    group_sizes = np.bincount(inverse, minlength=n_groups)
     durations = np.where(
         group_counts > 0,
         weighted_dur / np.where(group_counts > 0, group_counts, 1.0),

@@ -27,10 +27,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.parallel import auto_shards, map_shards, shard_bounds
 from repro.traces.model import Trace
 from repro.workloads.pool import WorkloadPool
 
 __all__ = ["FunctionMapping", "map_functions"]
+
+#: Functions per shard below which the candidate precompute runs as one
+#: batch.  Like every sharded stage, the shard count derives from the
+#: data only, so any ``jobs`` value yields identical candidates.
+_MIN_FUNCTIONS_PER_SHARD = 256
 
 
 @dataclass
@@ -67,6 +73,31 @@ class FunctionMapping:
         return out
 
 
+def _candidate_shard(args):
+    """Candidate ranges + nearest fallback for one slice of Functions.
+
+    Replicates :meth:`WorkloadPool.within_threshold` /
+    :meth:`WorkloadPool.nearest` as vectorised ``searchsorted`` queries
+    against the sorted runtime array, so the precompute can fan out over
+    workers while the greedy selection stays serial (it carries the
+    balance counters).  Module-level for picklability.
+    """
+    durations, runtimes, pct = args
+    lo = durations * (1.0 - pct / 100.0)
+    hi = durations * (1.0 + pct / 100.0)
+    cand_lo = np.searchsorted(runtimes, lo, side="left")
+    cand_hi = np.searchsorted(runtimes, hi, side="right")
+
+    j = np.searchsorted(runtimes, durations)
+    jc = np.clip(j, 1, runtimes.size - 1)
+    left, right = runtimes[jc - 1], runtimes[jc]
+    closer_left = durations - left <= right - durations
+    nearest = np.where(closer_left, jc - 1, jc)
+    nearest[j == 0] = 0
+    nearest[j >= runtimes.size] = runtimes.size - 1
+    return cand_lo, cand_hi, nearest
+
+
 def map_functions(
     trace: Trace,
     pool: WorkloadPool,
@@ -76,6 +107,8 @@ def map_functions(
     memory_targets: np.ndarray | None = None,
     memory_weight: float = 2.0,
     memory_protect_top: int = 64,
+    jobs: int | None = None,
+    shards: int | None = None,
 ) -> FunctionMapping:
     """Map every Function of ``trace`` to one Workload of ``pool``.
 
@@ -111,11 +144,21 @@ def map_functions(
         the weighted duration CDF, while the memory comparison (paper
         Figure 7) is over *distinct* workloads, where N functions are
         negligible.
+    jobs:
+        Worker processes for the candidate-set precompute (``None``/1 =
+        sequential, 0 = all cores).  Selection itself stays serial -- it
+        threads the family balance counters -- so the mapping is
+        identical for any ``jobs`` value.
+    shards:
+        Shard-count override for the precompute (defaults to a
+        data-sized choice); any value yields the same mapping.
     """
     if error_threshold_pct < 0:
         raise ValueError("error_threshold_pct must be non-negative")
 
     durations = trace.durations_ms
+    if np.any(durations <= 0):
+        raise ValueError("runtime must be positive")
     popularity = trace.invocations_per_function.astype(np.float64)
     n = durations.size
     runtimes = pool.runtimes_ms
@@ -142,6 +185,23 @@ def map_functions(
             memory_targets[i]
         return int(in_band[np.argmin(mem_err)])
 
+    # Candidate ranges are pure per-Function lookups against the sorted
+    # runtime array: fan them out over shards, reduce in shard order.
+    n_shards = shards if shards is not None else auto_shards(
+        n, min_per_shard=_MIN_FUNCTIONS_PER_SHARD
+    ) or 1
+    parts = map_shards(
+        _candidate_shard,
+        [
+            (durations[lo:hi], np.asarray(runtimes), error_threshold_pct)
+            for lo, hi in shard_bounds(n, n_shards)
+        ],
+        jobs=jobs,
+    )
+    cand_lo = np.concatenate([p[0] for p in parts])
+    cand_hi = np.concatenate([p[1] for p in parts])
+    nearest = np.concatenate([p[2] for p in parts])
+
     chosen = np.empty(n, dtype=np.int64)
     fallback = np.zeros(n, dtype=bool)
     # Functions already assigned to each family; the balancing signal.
@@ -149,10 +209,9 @@ def map_functions(
 
     order = np.argsort(popularity)[::-1]  # most popular Functions first
     for rank, i in enumerate(order):
-        target = durations[i]
-        cand = pool.within_threshold(target, error_threshold_pct)
+        cand = np.arange(cand_lo[i], cand_hi[i])
         if cand.size == 0:
-            k = pool.nearest(target)
+            k = int(nearest[i])
             fallback[i] = True
         elif cand.size == 1 or not balance:
             k = _best(cand, i, rank)

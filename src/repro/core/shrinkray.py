@@ -73,6 +73,13 @@ class ShrinkRay:
     memory_weight:
         Near-closest runtime band width (percentage points) for the
         memory tie-break; see :func:`repro.core.mapping.map_functions`.
+    jobs:
+        Worker processes for the sharded aggregation and mapping stages
+        (``None``/1 = sequential, 0 = all cores).  Purely an execution
+        knob: the spec is byte-identical for any value.
+    shards:
+        Shard-count override for those stages (default: data-sized).
+        Same ``shards`` = same spec, whatever ``jobs`` is.
     """
 
     error_threshold_pct: float = 10.0
@@ -85,6 +92,8 @@ class ShrinkRay:
     max_variants: int = 4
     memory_aware: bool = False
     memory_weight: float = 2.0
+    jobs: int | None = None
+    shards: int | None = None
     _last_report: ShrinkReport | None = field(
         default=None, init=False, repr=False
     )
@@ -103,6 +112,35 @@ class ShrinkRay:
             raise RuntimeError("run() has not been called yet")
         return self._last_report
 
+    def _cache_key(
+        self,
+        trace: Trace,
+        pool: WorkloadPool,
+        max_rps: float,
+        duration_minutes: int,
+        seed: int,
+    ) -> str:
+        from repro.cache import code_version, fingerprint
+
+        config = {
+            "error_threshold_pct": self.error_threshold_pct,
+            "quantize_ms": self.quantize_ms,
+            "time_mode": self.time_mode,
+            "range_start_minute": self.range_start_minute,
+            "aggregate": self.aggregate,
+            "balance": self.balance,
+            "variable_input": self.variable_input,
+            "max_variants": self.max_variants,
+            "memory_aware": self.memory_aware,
+            "memory_weight": self.memory_weight,
+            "shards": self.shards,
+        }
+        return fingerprint(
+            "shrinkray", code_version(), config, trace,
+            pool.fingerprint_parts(),
+            max_rps, duration_minutes, seed,
+        )
+
     def run(
         self,
         trace: Trace,
@@ -111,22 +149,45 @@ class ShrinkRay:
         max_rps: float,
         duration_minutes: int,
         seed: int | np.random.Generator = 0,
+        cache=None,
     ) -> ExperimentSpec:
         """Produce an experiment spec for ``trace`` against ``pool``.
 
         ``max_rps`` and ``duration_minutes`` are the two user inputs of the
         paper's interface: the target maximum request rate and the target
         total experiment duration.
+
+        ``cache`` -- a :class:`repro.cache.ContentCache` -- memoises the
+        finished spec under a fingerprint of trace content, pool,
+        configuration, inputs, seed, and code version.  A warm hit
+        returns the stored spec byte-identical to a cold run but skips
+        every stage, so :attr:`last_report` diagnostics are unavailable
+        for cached results.  Generator seeds bypass the cache (their
+        state is not fingerprintable); integer seeds use it.
         """
         if duration_minutes <= 0:
             raise ValueError("duration_minutes must be positive")
+
+        key = None
+        if cache is not None and isinstance(seed, (int, np.integer)):
+            key = self._cache_key(trace, pool, max_rps, duration_minutes,
+                                  int(seed))
+            try:
+                spec = cache.get(key)
+            except KeyError:
+                pass
+            else:
+                self._last_report = None
+                return spec
+
         rng = np.random.default_rng(seed)
 
         working = trace.nonzero_functions()
 
         if self.aggregate:
             working, audit = aggregate_functions(
-                working, quantize_ms=self.quantize_ms
+                working, quantize_ms=self.quantize_ms,
+                jobs=self.jobs, shards=self.shards,
             )
         else:
             counts = working.invocations_per_function.astype(np.float64)
@@ -175,6 +236,8 @@ class ShrinkRay:
             balance=self.balance,
             memory_targets=memory_targets,
             memory_weight=self.memory_weight,
+            jobs=self.jobs,
+            shards=self.shards,
         )
 
         entries = [
@@ -223,6 +286,8 @@ class ShrinkRay:
             mapping=mapping,
             aggregated_trace=working,
         )
+        if key is not None:
+            cache.put(key, spec)
         return spec
 
 
@@ -233,10 +298,11 @@ def shrink(
     max_rps: float,
     duration_minutes: int,
     seed: int | np.random.Generator = 0,
+    cache=None,
     **config,
 ) -> ExperimentSpec:
     """One-call convenience over :class:`ShrinkRay` with default config."""
     return ShrinkRay(**config).run(
         trace, pool, max_rps=max_rps, duration_minutes=duration_minutes,
-        seed=seed,
+        seed=seed, cache=cache,
     )

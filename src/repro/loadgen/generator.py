@@ -8,6 +8,13 @@ Everything is array work: realised per-cell counts, within-minute offsets,
 one global ordering -- no per-request Python loop, which is what lets the
 generator emit millions of requests per second of CPU (measured by the
 ``test_perf_loadgen`` benchmark).
+
+Spec-mode materialisation is sharded over contiguous minute ranges, each
+shard drawing from its own spawned child generator (see
+:mod:`repro.parallel`): the shard layout and every draw depend only on
+the spec, the seed, and the shard count -- never on ``jobs`` -- so
+parallel generation is byte-identical to sequential generation, and the
+result can be memoised in a :class:`repro.cache.ContentCache`.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from repro.core.smirnov import SmirnovSample
 from repro.core.spec import ExperimentSpec
 from repro.loadgen.arrivals import cell_counts, minute_offsets
 from repro.loadgen.requests import RequestTrace
+from repro.parallel import auto_shards, map_shards, shard_bounds, spawn_rngs
 
 __all__ = [
     "generate_from_second_matrix",
@@ -26,12 +34,33 @@ __all__ = [
 ]
 
 
+def _materialize_shard(args):
+    """Realise one contiguous minute range of the spec matrix.
+
+    Returns (timestamps, function indices), unsorted.  Module-level so it
+    pickles into pool workers; all randomness comes from the shard's own
+    child generator, so scheduling cannot perturb the draws.
+    """
+    matrix, minute_lo, mode, rng = args
+    n_minutes = matrix.shape[1]
+    realised = cell_counts(matrix, mode, rng)
+    flat = realised.ravel()  # cell-major: function-major then minute
+    offsets = minute_offsets(flat, mode, rng)
+    cell_idx = np.repeat(np.arange(flat.size), flat)
+    fn_idx = cell_idx // n_minutes
+    minute_idx = cell_idx % n_minutes + minute_lo
+    return minute_idx * 60.0 + offsets, fn_idx
+
+
 def generate_request_trace(
     spec: ExperimentSpec,
     seed: int | np.random.Generator = 0,
     *,
     arrival_mode: str = "poisson",
     variable_input: str | bool = "auto",
+    jobs: int | None = None,
+    shards: int | None = None,
+    cache=None,
 ) -> RequestTrace:
     """Realise a spec into concrete, timestamped requests (Spec mode).
 
@@ -39,6 +68,14 @@ def generate_request_trace(
     extension: ``"auto"`` (default) uses the spec's variant table when one
     was attached by ``ShrinkRay(variable_input=True)``; ``True`` requires
     one; ``False`` ignores it and replays each Function's fixed input.
+
+    ``jobs`` fans the per-minute materialisation out over worker
+    processes (``None``/1 = sequential, 0 = all cores) without changing
+    the result; ``shards`` overrides the minute-shard count and *does*
+    participate in the draws (same shards = same trace).  ``cache`` -- a
+    :class:`repro.cache.ContentCache` -- memoises the finished trace
+    under a fingerprint of spec + seed + parameters (integer seeds only;
+    generator seeds bypass the cache).
     """
     if variable_input not in ("auto", True, False):
         raise ValueError("variable_input must be 'auto', True, or False")
@@ -49,22 +86,40 @@ def generate_request_trace(
             "ShrinkRay(variable_input=True)"
         )
     use_variants = variants is not None and variable_input in ("auto", True)
-    rng = np.random.default_rng(seed)
     matrix = spec.per_minute  # (n_functions, n_minutes)
     n_functions, n_minutes = matrix.shape
+    n_shards = shards if shards is not None else auto_shards(n_minutes) or 1
 
-    realised = cell_counts(matrix, arrival_mode, rng)  # (n, m)
-    flat = realised.ravel()  # cell-major: function-major then minute
-    total = int(flat.sum())
-    if total == 0:
+    key = None
+    if cache is not None and isinstance(seed, (int, np.integer)):
+        from repro.cache import code_version, fingerprint
+
+        key = fingerprint(
+            "generate-request-trace", code_version(), spec,
+            int(seed), arrival_mode, str(variable_input), n_shards,
+        )
+        try:
+            return cache.get(key)
+        except KeyError:
+            pass
+
+    rng, children = spawn_rngs(seed, n_shards)
+    results = map_shards(
+        _materialize_shard,
+        [
+            (matrix[:, lo:hi], lo, arrival_mode, child)
+            for (lo, hi), child in zip(shard_bounds(n_minutes, n_shards),
+                                       children)
+        ],
+        jobs=jobs,
+    )
+    times = np.concatenate([r[0] for r in results])
+    fn_idx = np.concatenate([r[1] for r in results])
+    if times.size == 0:
         raise ValueError("spec realised zero requests; raise max_rps")
 
-    offsets = minute_offsets(flat, arrival_mode, rng)
-    cell_idx = np.repeat(np.arange(flat.size), flat)
-    fn_idx = cell_idx // n_minutes
-    minute_idx = cell_idx % n_minutes
-    times = minute_idx * 60.0 + offsets
-
+    # One global ordering; the stable sort keeps equal timestamps in
+    # shard order, which is itself deterministic.
     order = np.argsort(times, kind="stable")
     times = times[order]
     fn_idx = fn_idx[order]
@@ -81,13 +136,16 @@ def generate_request_trace(
         req_wids = workload_ids[fn_idx]
         req_rt = runtimes[fn_idx]
         req_fam = families[fn_idx]
-    return RequestTrace(
+    trace = RequestTrace(
         timestamps_s=times,
         workload_ids=req_wids,
         function_ids=function_ids[fn_idx],
         runtimes_ms=req_rt,
         families=req_fam,
     )
+    if key is not None:
+        cache.put(key, trace)
+    return trace
 
 
 def generate_from_second_matrix(

@@ -1,0 +1,128 @@
+"""Deterministic process-pool fan-out for the pipeline's hot paths.
+
+The contract every parallelised stage in this repo honours:
+
+1. **Shard count is a function of the data, never of the worker count.**
+   :func:`auto_shards` sizes the shard list from the number of items
+   alone, so ``jobs=1`` and ``jobs=8`` execute the *same* shards.
+2. **Randomness is drawn per shard from spawned child generators.**
+   :func:`spawn_rngs` derives one independent ``numpy`` generator per
+   shard from the root seed (``SeedSequence`` spawning), so no shard's
+   draws depend on how work was scheduled.
+3. **Reduction is ordered.** :func:`map_shards` returns results in shard
+   order regardless of completion order, and reducers combine them in
+   that order (floating-point accumulation order stays fixed).
+
+Together these make ``jobs=N`` byte-identical to the sequential
+``jobs=1`` path -- the property ``tests/test_determinism.py`` pins.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+__all__ = [
+    "auto_shards",
+    "effective_jobs",
+    "map_shards",
+    "shard_bounds",
+    "spawn_rngs",
+]
+
+#: Upper bound on automatically chosen shard counts.  Small enough that
+#: per-shard batches stay cache-friendly, large enough to feed a typical
+#: worker pool.
+DEFAULT_MAX_SHARDS = 8
+
+
+def effective_jobs(jobs: int | None) -> int:
+    """Resolve a user-facing ``jobs`` value to a worker count.
+
+    ``None`` means sequential (1); ``0`` or a negative value means "all
+    cores"; anything else is taken literally.
+    """
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def auto_shards(
+    n_items: int,
+    *,
+    max_shards: int = DEFAULT_MAX_SHARDS,
+    min_per_shard: int = 1,
+) -> int:
+    """Shard count for ``n_items`` work items -- data-dependent only.
+
+    Never exceeds ``max_shards`` or ``n_items``, and never produces
+    shards smaller than ``min_per_shard`` items (tiny inputs collapse to
+    a single shard, where the parallel path degenerates to the plain
+    sequential implementation).
+    """
+    if n_items <= 0:
+        return 0
+    by_size = max(1, n_items // max(min_per_shard, 1))
+    return max(1, min(int(max_shards), by_size, n_items))
+
+
+def shard_bounds(n_items: int, n_shards: int) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` bounds covering ``range(n_items)``.
+
+    Shard sizes differ by at most one; the layout depends only on the two
+    arguments, so it is stable across runs and worker counts.
+    """
+    if n_items < 0:
+        raise ValueError("n_items must be non-negative")
+    if n_shards <= 0:
+        raise ValueError("n_shards must be positive")
+    n_shards = min(n_shards, n_items) or 1
+    base, extra = divmod(n_items, n_shards)
+    bounds = []
+    lo = 0
+    for s in range(n_shards):
+        hi = lo + base + (1 if s < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def spawn_rngs(
+    seed: int | np.random.Generator,
+    n: int,
+) -> tuple[np.random.Generator, list[np.random.Generator]]:
+    """Root generator plus ``n`` independent children.
+
+    Children are derived through ``SeedSequence`` spawning: the ``i``-th
+    child is a pure function of the root seed and ``i``, independent of
+    worker scheduling.  The returned root is valid for further draws
+    (spawning advances only its spawn counter, not its stream).
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    rng = (seed if isinstance(seed, np.random.Generator)
+           else np.random.default_rng(seed))
+    return rng, rng.spawn(n) if n else []
+
+
+def map_shards(fn, shard_args: list, *, jobs: int | None = None) -> list:
+    """Apply ``fn`` to every shard argument, in order.
+
+    ``jobs`` <= 1 (or a single shard) runs inline; otherwise shards fan
+    out over a process pool (``fn`` must therefore be a module-level,
+    picklable callable).  Results always come back in input order, and a
+    worker exception propagates to the caller.
+    """
+    n = len(shard_args)
+    if n == 0:
+        return []
+    workers = min(effective_jobs(jobs), n)
+    if workers <= 1:
+        return [fn(arg) for arg in shard_args]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, shard_args))

@@ -25,6 +25,7 @@ from repro.traces.fit import (
     fit_popularity_exponent,
 )
 from repro.traces.io import dump_azure_day, load_azure_day
+from repro.traces.synth import memoized_trace
 from repro.traces.model import MINUTES_PER_DAY, MultiDaySummary, Trace
 from repro.traces.multiday import (
     pick_representative_day,
@@ -65,6 +66,7 @@ __all__ = [
     "function_duration_cdf",
     "invocation_duration_cdf",
     "load_azure_day",
+    "memoized_trace",
     "pick_representative_day",
     "relative_load_series",
     "sample_functions",

@@ -55,6 +55,7 @@ def fit_generator_from_trace(
     n_components: int = 3,
     *,
     seed: int | np.random.Generator = 0,
+    cache=None,
 ) -> dict:
     """Generator parameters fitted from an observed trace day.
 
@@ -62,16 +63,30 @@ def fit_generator_from_trace(
     ``popularity_exponent``, and the fitted :class:`MixtureFit` -- ready
     to feed :func:`repro.traces.azure.synthetic_azure_trace`'s knobs or a
     custom call into :mod:`repro.traces.synth`.
+
+    ``cache`` -- a :class:`repro.cache.ContentCache` -- memoises the EM
+    fit under a fingerprint of the trace content, ``n_components``, and
+    the (integer) seed; generator seeds bypass the cache.
     """
-    fit: MixtureFit = fit_lognormal_mixture(
-        trace.durations_ms, n_components=n_components, seed=seed
-    )
-    exponent = fit_popularity_exponent(trace.invocations_per_function)
-    return {
-        "duration_mixture": fit.to_components(),
-        "popularity_exponent": exponent,
-        "mixture_fit": fit,
-    }
+
+    def compute() -> dict:
+        fit: MixtureFit = fit_lognormal_mixture(
+            trace.durations_ms, n_components=n_components, seed=seed
+        )
+        exponent = fit_popularity_exponent(trace.invocations_per_function)
+        return {
+            "duration_mixture": fit.to_components(),
+            "popularity_exponent": exponent,
+            "mixture_fit": fit,
+        }
+
+    if cache is None or not isinstance(seed, (int, np.integer)):
+        return compute()
+    from repro.cache import code_version, fingerprint
+
+    key = fingerprint("fit-generator", code_version(), trace,
+                      n_components, int(seed))
+    return cache.memoize(key, compute)
 
 
 def characterize_trace(trace: Trace) -> dict:

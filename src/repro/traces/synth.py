@@ -20,6 +20,7 @@ from repro.traces.model import MINUTES_PER_DAY, MultiDaySummary
 
 __all__ = [
     "LognormalComponent",
+    "memoized_trace",
     "sample_duration_mixture",
     "zipf_invocation_counts",
     "correlate_popularity_with_duration",
@@ -28,6 +29,24 @@ __all__ = [
     "synth_multiday_summary",
     "synth_app_memory",
 ]
+
+
+def memoized_trace(builder, cache, *key_parts):
+    """Build a synthetic trace through a content-addressed cache.
+
+    ``builder`` is a zero-argument callable returning a
+    :class:`~repro.traces.model.Trace`; ``key_parts`` must capture every
+    input that shapes its output (source kind, size, seed, knobs) -- the
+    cache key is their fingerprint plus the code version, so cached days
+    invalidate automatically on upgrades.  With ``cache=None`` this is
+    just ``builder()``.
+    """
+    if cache is None:
+        return builder()
+    from repro.cache import code_version, fingerprint
+
+    key = fingerprint("synthetic-trace", code_version(), *key_parts)
+    return cache.memoize(key, builder)
 
 
 @dataclass(frozen=True)

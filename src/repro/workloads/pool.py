@@ -92,6 +92,24 @@ class WorkloadPool:
             out[w.family] = out.get(w.family, 0) + 1
         return out
 
+    def fingerprint_parts(self) -> tuple:
+        """Compact identity of the pool for content-addressed cache keys.
+
+        Everything the pipeline's output can depend on -- ids, families,
+        runtimes, memories, input parameters -- flattened into strings
+        and arrays that hash in a handful of updates instead of one
+        traversal per Workload (the pool holds thousands).
+        """
+        return (
+            "\x1f".join(w.workload_id for w in self.workloads),
+            "\x1f".join(w.family for w in self.workloads),
+            "\x1f".join(
+                repr(sorted(w.params.items())) for w in self.workloads
+            ),
+            self._runtimes,
+            self.memories_mb,
+        )
+
     # ------------------------------------------------------------------
     # queries used by the mapping stage
     # ------------------------------------------------------------------

@@ -1,0 +1,238 @@
+"""The content-addressed cache: fingerprint stability, invalidation,
+corruption recovery, and concurrent-writer safety."""
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    CACHE_DIR_ENV,
+    ContentCache,
+    code_version,
+    fingerprint,
+    resolve_cache,
+)
+from repro.core.spec import ExperimentSpec, SpecEntry
+
+
+def small_spec():
+    return ExperimentSpec(
+        name="s", source_trace="t", max_rps=2.0,
+        entries=[SpecEntry("f0", "pyaes:1", "pyaes", 5.0, 64.0)],
+        per_minute=np.array([[3, 4]]),
+        metadata={"threshold": 10.0},
+    )
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        parts = ("stage", {"a": 1, "b": [1.5, None]}, np.arange(6))
+        assert fingerprint(*parts) == fingerprint(*parts)
+
+    def test_dict_order_irrelevant(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_parameter_change_invalidates(self):
+        base = ("shrinkray", code_version(), {"threshold": 10.0}, 5)
+        changed = ("shrinkray", code_version(), {"threshold": 12.5}, 5)
+        assert fingerprint(*base) != fingerprint(*changed)
+
+    def test_code_version_change_invalidates(self):
+        assert fingerprint("v1", {"x": 1}) != fingerprint("v2", {"x": 1})
+
+    def test_types_do_not_collide(self):
+        assert fingerprint(1) != fingerprint("1")
+        assert fingerprint(1) != fingerprint(1.0)
+        assert fingerprint(True) != fingerprint(1)
+        assert fingerprint(None) != fingerprint("None")
+        assert fingerprint(["ab", "c"]) != fingerprint(["a", "bc"])
+
+    def test_arrays_hash_content_dtype_and_shape(self):
+        a = np.arange(6, dtype=np.int64)
+        assert fingerprint(a) == fingerprint(a.copy())
+        assert fingerprint(a) != fingerprint(a.astype(np.int32))
+        assert fingerprint(a) != fingerprint(a.reshape(2, 3))
+        assert fingerprint(a) != fingerprint(a.tolist())
+        # non-contiguous views hash like their contiguous copies
+        m = np.arange(12).reshape(3, 4)
+        assert fingerprint(m[:, ::2]) == fingerprint(m[:, ::2].copy())
+
+    def test_object_arrays_and_dataclasses(self):
+        obj = np.array(["x", None, 3], dtype=object)
+        assert fingerprint(obj) == fingerprint(obj.copy())
+        spec = small_spec()
+        assert fingerprint(spec) == fingerprint(small_spec())
+        spec.metadata["threshold"] = 99.0
+        assert fingerprint(spec) != fingerprint(small_spec())
+
+    def test_bytes_and_sets(self):
+        assert fingerprint(b"ab") == fingerprint(b"ab")
+        assert fingerprint(b"ab") != fingerprint("ab")
+        assert fingerprint({1, 2, 3}) == fingerprint({3, 2, 1})
+        assert fingerprint({1, 2}) != fingerprint([1, 2])
+        assert fingerprint(frozenset({"a"})) == fingerprint({"a"})
+
+    def test_unfingerprintable_type_rejected(self):
+        with pytest.raises(TypeError, match="cannot fingerprint"):
+            fingerprint(object())
+
+
+class TestContentCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ContentCache(tmp_path)
+        key = fingerprint("artifact", 1)
+        spec = small_spec()
+        cache.put(key, spec)
+        assert key in cache
+        got = cache.get(key)
+        assert got.to_dict() == spec.to_dict()
+        assert cache.hits == 1
+
+    def test_miss_raises_keyerror(self, tmp_path):
+        cache = ContentCache(tmp_path)
+        with pytest.raises(KeyError):
+            cache.get(fingerprint("nothing"))
+        assert cache.misses == 1
+
+    def test_memoize_computes_once(self, tmp_path):
+        cache = ContentCache(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"x": np.arange(3)}
+
+        key = fingerprint("memo")
+        v1 = cache.memoize(key, compute)
+        v2 = cache.memoize(key, compute)
+        assert len(calls) == 1
+        np.testing.assert_array_equal(v1["x"], v2["x"])
+
+    def test_corrupted_entry_recovers(self, tmp_path):
+        cache = ContentCache(tmp_path)
+        key = fingerprint("will-corrupt")
+        cache.put(key, [1, 2, 3])
+        path = cache._path(key)
+        path.write_bytes(b"\x80garbage not a pickle")
+        # corrupted entry is a miss, never a crash...
+        assert cache.memoize(key, lambda: "recomputed") == "recomputed"
+        # ...and the slot is repaired on the way out
+        assert cache.get(key) == "recomputed"
+
+    def test_truncated_entry_recovers(self, tmp_path):
+        cache = ContentCache(tmp_path)
+        key = fingerprint("will-truncate")
+        cache.put(key, list(range(1000)))
+        path = cache._path(key)
+        path.write_bytes(path.read_bytes()[:20])  # torn write survivor
+        with pytest.raises(KeyError):
+            cache.get(key)
+        assert not path.exists()  # bad file removed best-effort
+
+    def test_mis_keyed_payload_rejected(self, tmp_path):
+        """A payload stored under the wrong key can't satisfy a lookup."""
+        cache = ContentCache(tmp_path)
+        good, evil = fingerprint("good"), fingerprint("evil")
+        cache.put(good, "value")
+        path = cache._path(evil)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(cache._path(good).read_bytes())
+        with pytest.raises(KeyError):
+            cache.get(evil)
+
+    def test_concurrent_writers_atomic(self, tmp_path):
+        """Racing writers publish via atomic rename: readers always see a
+        complete entry and the final value is one of the written ones."""
+        key = fingerprint("contended")
+        errors = []
+
+        def writer(i):
+            try:
+                cache = ContentCache(tmp_path)  # own handle, same dir
+                for _ in range(20):
+                    cache.put(key, ("payload", i, np.arange(500)))
+                    value = cache.get(key)
+                    assert value[0] == "payload"
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(i,))
+                   for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        final = ContentCache(tmp_path).get(key)
+        assert final[0] == "payload" and final[1] in range(6)
+        # no temp-file litter left behind
+        assert not list(tmp_path.glob("**/*.tmp"))
+
+    def test_clear(self, tmp_path):
+        cache = ContentCache(tmp_path)
+        for i in range(4):
+            cache.put(fingerprint("entry", i), i)
+        assert cache.clear() == 4
+        with pytest.raises(KeyError):
+            cache.get(fingerprint("entry", 0))
+
+    def test_put_failure_leaves_no_temp_litter(self, tmp_path, monkeypatch):
+        cache = ContentCache(tmp_path)
+
+        def broken_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.cache.os.replace", broken_replace)
+        with pytest.raises(OSError, match="disk full"):
+            cache.put(fingerprint("doomed"), "value")
+        assert not list(tmp_path.glob("**/*.tmp"))
+
+    def test_corrupt_entry_unremovable_still_a_miss(self, tmp_path,
+                                                    monkeypatch):
+        cache = ContentCache(tmp_path)
+        key = fingerprint("stuck")
+        cache.put(key, "v")
+        cache._path(key).write_bytes(b"garbage")
+        monkeypatch.setattr(
+            "pathlib.Path.unlink",
+            lambda self, *a, **k: (_ for _ in ()).throw(OSError("busy")),
+        )
+        with pytest.raises(KeyError):  # unlink failure never escalates
+            cache.get(key)
+
+    def test_clear_skips_undeletable_entries(self, tmp_path, monkeypatch):
+        cache = ContentCache(tmp_path)
+        cache.put(fingerprint("pinned"), 1)
+        monkeypatch.setattr(
+            "pathlib.Path.unlink",
+            lambda self, *a, **k: (_ for _ in ()).throw(OSError("busy")),
+        )
+        assert cache.clear() == 0  # nothing removed, nothing raised
+
+    def test_entry_payload_is_keyed_pickle(self, tmp_path):
+        """The on-disk format embeds the key (defence for get())."""
+        cache = ContentCache(tmp_path)
+        key = fingerprint("layout")
+        cache.put(key, 42)
+        stored_key, value = pickle.loads(cache._path(key).read_bytes())
+        assert stored_key == key and value == 42
+
+
+class TestResolveCache:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert resolve_cache(None) is None
+
+    def test_explicit_dir_wins(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        cache = resolve_cache(tmp_path / "c")
+        assert isinstance(cache, ContentCache)
+        assert cache.root == tmp_path / "c"
+
+    def test_env_fallback_and_no_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env"))
+        assert isinstance(resolve_cache(None), ContentCache)
+        assert resolve_cache(None, no_cache=True) is None
+        assert resolve_cache(tmp_path / "x", no_cache=True) is None

@@ -149,3 +149,82 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "pyaes" in out and "ms_per_unit" in out
+
+
+class TestTracePathErrors:
+    """Path-like trace sources get path-specific diagnostics, not the
+    generic 'unknown trace source' message."""
+
+    def test_missing_path_reported_as_missing(self, tmp_path):
+        missing = tmp_path / "no" / "such" / "day"
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["shrinkray", "--trace", str(missing),
+                  "--max-rps", "1", "--duration", "10"])
+
+    def test_file_instead_of_directory(self, tmp_path):
+        a_file = tmp_path / "trace.csv"
+        a_file.write_text("not,a,directory\n")
+        with pytest.raises(SystemExit, match="not a directory"):
+            main(["shrinkray", "--trace", str(a_file),
+                  "--max-rps", "1", "--duration", "10"])
+
+    def test_bare_name_still_unknown_source(self):
+        with pytest.raises(SystemExit, match="unknown trace source"):
+            main(["shrinkray", "--trace", "nope",
+                  "--max-rps", "1", "--duration", "10"])
+
+
+class TestParallelCacheFlags:
+    def test_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(
+            ["shrinkray", "--max-rps", "5", "--duration", "30"]
+        )
+        assert args.jobs is None
+        assert args.cache_dir is None
+        assert args.no_cache is False
+
+    def test_shrinkray_jobs_and_cache_byte_identical(self, tmp_path):
+        """Two cached runs (the second warm) and an uncached run all
+        produce byte-identical spec files."""
+        cache_dir = tmp_path / "cache"
+        outs = []
+        for name in ("cold.json", "warm.json", "nocache.json"):
+            out = tmp_path / name
+            argv = ["shrinkray", "--trace", "azure", "--functions", "600",
+                    "--max-rps", "2", "--duration", "8", "--seed", "3",
+                    "--jobs", "2", "--out", str(out)]
+            argv += (["--no-cache"] if name == "nocache.json"
+                     else ["--cache-dir", str(cache_dir)])
+            assert main(argv) == 0
+            outs.append(out.read_bytes())
+        assert outs[0] == outs[1] == outs[2]
+        assert list(cache_dir.glob("**/*.pkl"))  # cache actually populated
+
+    def test_generate_cache_and_jobs_byte_identical(self, tmp_path):
+        spec = tmp_path / "spec.json"
+        assert main(["shrinkray", "--trace", "azure", "--functions", "600",
+                     "--max-rps", "2", "--duration", "8", "--seed", "3",
+                     "--out", str(spec)]) == 0
+        cache_dir = tmp_path / "gcache"
+        outs = []
+        for i, extra in enumerate((
+            ["--jobs", "1", "--cache-dir", str(cache_dir)],
+            ["--jobs", "3", "--cache-dir", str(cache_dir)],
+            ["--no-cache"],
+        )):
+            out = tmp_path / f"req{i}.csv"
+            assert main(["generate", "--spec", str(spec), "--seed", "5",
+                         "--out", str(out)] + extra) == 0
+            outs.append(out.read_bytes())
+        assert outs[0] == outs[1] == outs[2]
+
+    def test_env_var_enables_cache(self, tmp_path, monkeypatch):
+        from repro.cache import CACHE_DIR_ENV
+
+        cache_dir = tmp_path / "envcache"
+        monkeypatch.setenv(CACHE_DIR_ENV, str(cache_dir))
+        out = tmp_path / "spec.json"
+        assert main(["shrinkray", "--trace", "azure", "--functions", "600",
+                     "--max-rps", "2", "--duration", "8",
+                     "--out", str(out)]) == 0
+        assert list(cache_dir.glob("**/*.pkl"))

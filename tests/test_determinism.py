@@ -1,0 +1,121 @@
+"""Golden end-to-end determinism: the parallel / cached pipeline must be
+byte-identical to the sequential cold path.
+
+The contract (ISSUE 2 tentpole): for any seed and trace source,
+``shrinkray -> generate -> replay`` produces identical spec JSON,
+identical request CSV bytes, and identical replay outcome counts across
+
+- ``jobs=1`` (sequential) vs ``jobs=4`` (process-pool fan-out),
+- cold cache (miss + store) vs warm cache (hit).
+
+Shard counts derive from the data, randomness from per-shard spawned
+generators, and reductions are ordered -- so the equality here is exact,
+not statistical.
+"""
+
+import json
+
+import pytest
+
+from repro.cache import ContentCache
+from repro.core import ShrinkRay
+from repro.loadgen import generate_request_trace, replay, save_request_trace_csv
+from repro.platform import FaaSCluster, profiles_from_spec, summarize
+from repro.traces import synthetic_azure_trace, synthetic_huawei_public_trace
+from repro.workloads import build_default_pool
+
+SOURCES = {
+    "azure": lambda seed: synthetic_azure_trace(n_functions=700, seed=seed),
+    "huawei-public": lambda seed: synthetic_huawei_public_trace(
+        n_functions=700, seed=seed
+    ),
+}
+SEEDS = (0, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return build_default_pool()
+
+
+def _csv_bytes(req) -> bytes:
+    # Same columns and formatting save_request_trace_csv writes, built
+    # in memory so runs can be compared without touching disk.
+    rows = ["timestamp_s,workload_id,function_id,runtime_ms,family"]
+    for i in range(req.n_requests):
+        rows.append(
+            f"{req.timestamps_s[i]:.6f},{req.workload_ids[i]},"
+            f"{req.function_ids[i]},{req.runtimes_ms[i]:.6g},"
+            f"{req.families[i]}"
+        )
+    return ("\n".join(rows) + "\n").encode()
+
+
+def _run_pipeline(trace, pool, seed, *, jobs=None, cache=None):
+    """shrinkray -> generate -> replay; returns comparable artifacts."""
+    spec = ShrinkRay(jobs=jobs).run(
+        trace, pool, max_rps=4.0, duration_minutes=5, seed=seed,
+        cache=cache,
+    )
+    req = generate_request_trace(spec, seed=seed, jobs=jobs, cache=cache)
+    backend = FaaSCluster(
+        profiles_from_spec(spec), n_nodes=4, node_memory_mb=8_192.0
+    )
+    result = replay(req, backend)
+    summary = summarize(result.records)
+    outcomes = {
+        "n_invocations": summary["n_invocations"],
+        "ok_fraction": summary["ok_fraction"],
+        "cold_fraction": summary["cold_fraction"],
+    }
+    spec_json = json.dumps(spec.to_dict(), sort_keys=True)
+    return spec_json, _csv_bytes(req), outcomes
+
+
+@pytest.mark.parametrize("source", sorted(SOURCES))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_parallel_and_cached_runs_byte_identical(source, seed, pool,
+                                                 tmp_path):
+    trace = SOURCES[source](seed)
+
+    sequential_cold = _run_pipeline(trace, pool, seed, jobs=1)
+    parallel = _run_pipeline(trace, pool, seed, jobs=4)
+
+    cache = ContentCache(tmp_path / "cache")
+    cache_cold = _run_pipeline(trace, pool, seed, jobs=1, cache=cache)
+    assert cache.misses > 0 and cache.hits == 0
+    cache_warm = _run_pipeline(trace, pool, seed, jobs=1, cache=cache)
+    assert cache.hits >= 2  # spec + request trace both served from disk
+
+    for label, run in (("jobs=4", parallel), ("cold cache", cache_cold),
+                       ("warm cache", cache_warm)):
+        assert run[0] == sequential_cold[0], f"{label}: spec JSON differs"
+        assert run[1] == sequential_cold[1], f"{label}: request CSV differs"
+        assert run[2] == sequential_cold[2], f"{label}: outcomes differ"
+
+
+def test_csv_on_disk_matches_across_jobs(pool, tmp_path):
+    """The actual CSV files the CLI writes are byte-identical too."""
+    trace = SOURCES["azure"](7)
+    spec = ShrinkRay().run(trace, pool, max_rps=4.0, duration_minutes=4,
+                           seed=7)
+    paths = []
+    for jobs in (1, 3):
+        req = generate_request_trace(spec, seed=7, jobs=jobs)
+        path = tmp_path / f"requests-jobs{jobs}.csv"
+        save_request_trace_csv(req, path)
+        paths.append(path)
+    assert paths[0].read_bytes() == paths[1].read_bytes()
+
+
+def test_explicit_shards_part_of_the_contract(pool):
+    """Same shards = same trace for any jobs; different shards = a
+    different (but equally valid) realisation."""
+    trace = SOURCES["azure"](5)
+    spec = ShrinkRay(shards=3).run(trace, pool, max_rps=4.0,
+                                   duration_minutes=6, seed=5)
+    a = generate_request_trace(spec, seed=5, shards=3, jobs=1)
+    b = generate_request_trace(spec, seed=5, shards=3, jobs=2)
+    c = generate_request_trace(spec, seed=5, shards=2, jobs=1)
+    assert a.timestamps_s.tobytes() == b.timestamps_s.tobytes()
+    assert a.timestamps_s.tobytes() != c.timestamps_s.tobytes()

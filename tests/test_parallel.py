@@ -1,0 +1,166 @@
+"""Unit tests for the deterministic fan-out primitives and the
+jobs/shards equivalence of the parallelised core stages."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import aggregate_functions
+from repro.core.mapping import map_functions
+from repro.parallel import (
+    DEFAULT_MAX_SHARDS,
+    auto_shards,
+    effective_jobs,
+    map_shards,
+    shard_bounds,
+    spawn_rngs,
+)
+from repro.traces import synthetic_azure_trace
+from repro.workloads import build_default_pool
+
+
+class TestEffectiveJobs:
+    def test_none_is_sequential(self):
+        assert effective_jobs(None) == 1
+
+    def test_literal_counts(self):
+        assert effective_jobs(1) == 1
+        assert effective_jobs(5) == 5
+
+    def test_zero_and_negative_mean_all_cores(self):
+        import os
+        cores = os.cpu_count() or 1
+        assert effective_jobs(0) == cores
+        assert effective_jobs(-1) == cores
+
+
+class TestAutoShards:
+    def test_empty_input(self):
+        assert auto_shards(0) == 0
+        assert auto_shards(-3) == 0
+
+    def test_capped_by_max_shards(self):
+        assert auto_shards(10_000) == DEFAULT_MAX_SHARDS
+        assert auto_shards(10_000, max_shards=3) == 3
+
+    def test_capped_by_item_count(self):
+        assert auto_shards(2) == 2
+        assert auto_shards(1) == 1
+
+    def test_min_per_shard_collapses_small_inputs(self):
+        assert auto_shards(100, min_per_shard=256) == 1
+        assert auto_shards(512, min_per_shard=256) == 2
+        assert auto_shards(512, min_per_shard=0) == 8
+
+
+class TestShardBounds:
+    def test_covers_range_contiguously(self):
+        for n_items in (1, 7, 16, 100):
+            for n_shards in (1, 3, 8):
+                bounds = shard_bounds(n_items, n_shards)
+                assert bounds[0][0] == 0
+                assert bounds[-1][1] == n_items
+                for (_, hi), (lo2, _) in zip(bounds, bounds[1:]):
+                    assert hi == lo2
+
+    def test_sizes_differ_by_at_most_one(self):
+        sizes = [hi - lo for lo, hi in shard_bounds(10, 3)]
+        assert sizes == [4, 3, 3]
+
+    def test_clipped_to_item_count(self):
+        assert len(shard_bounds(2, 8)) == 2
+        assert shard_bounds(0, 4) == [(0, 0)]
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            shard_bounds(-1, 2)
+        with pytest.raises(ValueError):
+            shard_bounds(5, 0)
+
+
+class TestSpawnRngs:
+    def test_children_deterministic(self):
+        _, kids_a = spawn_rngs(42, 4)
+        _, kids_b = spawn_rngs(42, 4)
+        for a, b in zip(kids_a, kids_b):
+            assert np.array_equal(a.random(8), b.random(8))
+
+    def test_children_independent_of_each_other(self):
+        _, kids = spawn_rngs(42, 2)
+        assert not np.array_equal(kids[0].random(8), kids[1].random(8))
+
+    def test_root_usable_after_spawn(self):
+        root, _ = spawn_rngs(7, 3)
+        other, _ = spawn_rngs(7, 5)  # different spawn count, same stream
+        assert np.array_equal(root.random(4), other.random(4))
+
+    def test_accepts_generator_and_rejects_negative(self):
+        gen = np.random.default_rng(1)
+        root, kids = spawn_rngs(gen, 2)
+        assert root is gen and len(kids) == 2
+        _, none = spawn_rngs(3, 0)
+        assert none == []
+        with pytest.raises(ValueError):
+            spawn_rngs(3, -1)
+
+
+def _square(x):  # module-level: picklable for the process pool
+    return x * x
+
+
+def _boom(x):
+    raise RuntimeError(f"shard {x} failed")
+
+
+class TestMapShards:
+    def test_inline_and_pooled_agree(self):
+        args = list(range(10))
+        assert map_shards(_square, args, jobs=1) == \
+            map_shards(_square, args, jobs=2) == [x * x for x in args]
+
+    def test_empty(self):
+        assert map_shards(_square, []) == []
+
+    def test_single_shard_runs_inline(self):
+        assert map_shards(_square, [3], jobs=8) == [9]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="shard"):
+            map_shards(_boom, [1], jobs=1)
+        with pytest.raises(RuntimeError, match="shard"):
+            map_shards(_boom, [1, 2, 3], jobs=2)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return synthetic_azure_trace(n_functions=900, seed=11)
+
+
+class TestStageEquivalence:
+    """jobs / shards must not change what the core stages compute."""
+
+    def test_aggregation_invariant(self, trace):
+        base, base_audit = aggregate_functions(trace)
+        for kwargs in ({"jobs": 2}, {"shards": 3}, {"shards": 3, "jobs": 2}):
+            alt, alt_audit = aggregate_functions(trace, **kwargs)
+            assert np.array_equal(base.per_minute, alt.per_minute)
+            assert base.durations_ms.tobytes() == alt.durations_ms.tobytes()
+            assert list(base.function_ids) == list(alt.function_ids)
+            assert np.array_equal(base_audit.group_sizes,
+                                  alt_audit.group_sizes)
+
+    def test_mapping_invariant(self, trace):
+        pool = build_default_pool()
+        agg, _ = aggregate_functions(trace)
+        base = map_functions(agg, pool)
+        for kwargs in ({"jobs": 2}, {"shards": 5}):
+            alt = map_functions(agg, pool, **kwargs)
+            assert np.array_equal(base.workload_indices,
+                                  alt.workload_indices)
+            assert np.array_equal(base.fallback_mask, alt.fallback_mask)
+
+    def test_mapping_rejects_nonpositive_runtimes(self, trace):
+        pool = build_default_pool()
+        agg, _ = aggregate_functions(trace)
+        agg.durations_ms[0] = 0.0
+        with pytest.raises(ValueError, match="positive"):
+            map_functions(agg, pool)

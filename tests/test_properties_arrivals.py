@@ -1,0 +1,140 @@
+"""Property-based tests for the sub-minute arrival model.
+
+Runs under Hypothesis when it is installed; a seeded-parametrization
+fallback exercises the same invariants otherwise, so the suite never
+silently loses this coverage.
+
+Properties pinned (per ISSUE 2):
+- per-minute counts are conserved (deterministic modes verbatim; offsets
+  length always matches the realised totals),
+- timestamps are sorted within each cell and fall inside the minute,
+- equidistant spacing is exactly 60/k within every cell.
+"""
+
+import numpy as np
+import numpy.testing as npt
+import pytest
+
+from repro.loadgen.arrivals import ARRIVAL_MODES, cell_counts, minute_offsets
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - environment without hypothesis
+    HAVE_HYPOTHESIS = False
+
+# Seeded fallback cases: (seed, n_cells, max_count) -- always run, so the
+# invariants stay pinned even where hypothesis is missing.
+FALLBACK_CASES = [
+    (0, 1, 1), (1, 1, 40), (2, 7, 0), (3, 13, 9),
+    (4, 50, 3), (5, 128, 25), (6, 3, 1000),
+]
+
+
+def _random_counts(seed, n_cells, max_count):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, max_count + 1, size=n_cells)
+
+
+def check_counts_conserved(counts, mode, seed):
+    rng = np.random.default_rng(seed)
+    realised = cell_counts(counts, mode, rng)
+    assert realised.shape == np.asarray(counts).shape
+    assert np.all(realised >= 0)
+    if mode in ("uniform", "equidistant"):
+        # deterministic modes emit the per-minute counts verbatim
+        npt.assert_array_equal(realised, counts)
+    offsets = minute_offsets(realised.ravel(), mode, rng)
+    # every realised request gets exactly one timestamp
+    assert offsets.size == int(realised.sum())
+
+
+def check_offsets_within_minute_and_sorted(counts, mode, seed):
+    rng = np.random.default_rng(seed)
+    realised = cell_counts(counts, mode, rng).ravel()
+    offsets = minute_offsets(realised, mode, rng)
+    assert np.all(offsets >= 0.0) and np.all(offsets < 60.0)
+    # ascending within each cell (cell-major concatenation)
+    lo = 0
+    for k in realised:
+        cell = offsets[lo:lo + k]
+        assert np.all(np.diff(cell) >= 0)
+        lo += k
+    assert lo == offsets.size
+
+
+def check_equidistant_spacing_exact(counts, seed):
+    rng = np.random.default_rng(seed)
+    realised = cell_counts(counts, "equidistant", rng).ravel()
+    offsets = minute_offsets(realised, "equidistant", rng)
+    lo = 0
+    for k in realised:
+        cell = offsets[lo:lo + k]
+        if k > 1:
+            npt.assert_allclose(np.diff(cell), 60.0 / k, rtol=1e-12)
+        lo += k
+
+
+# --- always-on seeded parametrization -------------------------------------
+
+@pytest.mark.parametrize("mode", ARRIVAL_MODES)
+@pytest.mark.parametrize("seed,n_cells,max_count", FALLBACK_CASES)
+def test_counts_conserved(mode, seed, n_cells, max_count):
+    check_counts_conserved(_random_counts(seed, n_cells, max_count),
+                           mode, seed)
+
+
+@pytest.mark.parametrize("mode", ARRIVAL_MODES)
+@pytest.mark.parametrize("seed,n_cells,max_count", FALLBACK_CASES)
+def test_offsets_within_minute_and_sorted(mode, seed, n_cells, max_count):
+    check_offsets_within_minute_and_sorted(
+        _random_counts(seed, n_cells, max_count), mode, seed
+    )
+
+
+@pytest.mark.parametrize("seed,n_cells,max_count", FALLBACK_CASES)
+def test_equidistant_spacing_exact(seed, n_cells, max_count):
+    check_equidistant_spacing_exact(
+        _random_counts(seed, n_cells, max_count), seed
+    )
+
+
+def test_empty_and_invalid_inputs():
+    rng = np.random.default_rng(0)
+    assert minute_offsets(np.array([], dtype=np.int64), "poisson", rng).size == 0
+    assert minute_offsets(np.zeros(5, dtype=np.int64), "uniform", rng).size == 0
+    with pytest.raises(ValueError, match="non-negative"):
+        cell_counts(np.array([-1]), "poisson", rng)
+    with pytest.raises(ValueError, match="non-negative"):
+        minute_offsets(np.array([-1]), "uniform", rng)
+    with pytest.raises(ValueError, match="unknown arrival mode"):
+        cell_counts(np.array([1]), "fractal", rng)
+    with pytest.raises(ValueError, match="unknown arrival mode"):
+        minute_offsets(np.array([1]), "fractal", rng)
+
+
+# --- hypothesis (when available) ------------------------------------------
+
+if HAVE_HYPOTHESIS:
+    counts_strategy = st.lists(
+        st.integers(min_value=0, max_value=200), min_size=1, max_size=64
+    ).map(lambda xs: np.array(xs, dtype=np.int64))
+    seeds = st.integers(min_value=0, max_value=2**32 - 1)
+    modes = st.sampled_from(ARRIVAL_MODES)
+
+    @settings(max_examples=50, deadline=None)
+    @given(counts=counts_strategy, mode=modes, seed=seeds)
+    def test_hypothesis_counts_conserved(counts, mode, seed):
+        check_counts_conserved(counts, mode, seed)
+
+    @settings(max_examples=50, deadline=None)
+    @given(counts=counts_strategy, mode=modes, seed=seeds)
+    def test_hypothesis_offsets_within_minute_and_sorted(counts, mode, seed):
+        check_offsets_within_minute_and_sorted(counts, mode, seed)
+
+    @settings(max_examples=50, deadline=None)
+    @given(counts=counts_strategy, seed=seeds)
+    def test_hypothesis_equidistant_spacing_exact(counts, seed):
+        check_equidistant_spacing_exact(counts, seed)
