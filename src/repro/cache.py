@@ -33,6 +33,7 @@ from pathlib import Path
 import numpy as np
 
 from repro._version import __version__
+from repro.telemetry import registry as _telemetry
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -158,7 +159,7 @@ class ContentCache:
             if stored_key != key:
                 raise ValueError("cache entry key mismatch")
         except FileNotFoundError:
-            self.misses += 1
+            self._miss()
             raise KeyError(key) from None
         except Exception:
             # Torn write survivor, truncation, unpicklable garbage,
@@ -167,10 +168,21 @@ class ContentCache:
                 path.unlink()
             except OSError:
                 pass
-            self.misses += 1
+            self._miss()
             raise KeyError(key) from None
         self.hits += 1
+        reg = _telemetry.active()
+        if reg is not None:
+            reg.counter("cache_hits_total",
+                        "content-cache lookups served from disk").inc()
         return value
+
+    def _miss(self) -> None:
+        self.misses += 1
+        reg = _telemetry.active()
+        if reg is not None:
+            reg.counter("cache_misses_total",
+                        "content-cache lookups that fell through").inc()
 
     def put(self, key: str, value) -> None:
         """Store ``value`` under ``key`` via write-to-temp + atomic rename.
@@ -181,6 +193,10 @@ class ContentCache:
         """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        reg = _telemetry.active()
+        if reg is not None:
+            reg.counter("cache_stores_total",
+                        "content-cache entries written").inc()
         payload = pickle.dumps((key, value),
                                protocol=pickle.HIGHEST_PROTOCOL)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")

@@ -67,6 +67,56 @@ def _resolve_cache(args):
                          getattr(args, "no_cache", False))
 
 
+def _setup_telemetry(args, spec):
+    """(registry, drift monitor) per the telemetry flags; (None, None) off.
+
+    Any of ``--telemetry`` / ``--drift-band`` switches collection on; the
+    drift monitor tracks the spec's invocation-duration CDF.
+    """
+    telemetry_path = getattr(args, "telemetry", None)
+    band = getattr(args, "drift_band", None)
+    if telemetry_path is None and band is None:
+        return None, None
+    from repro.telemetry import DriftMonitor, MetricsRegistry
+
+    registry = MetricsRegistry()
+    drift = None
+    if band is not None:
+        if band <= 0:
+            raise SystemExit("--drift-band must be positive")
+        drift = DriftMonitor(spec.invocation_duration_cdf(), band=band)
+    return registry, drift
+
+
+def _scoped_telemetry(registry):
+    """Activation context: the registry's scope, or a no-op when off."""
+    if registry is None:
+        import contextlib
+
+        return contextlib.nullcontext()
+    from repro.telemetry import use
+
+    return use(registry)
+
+
+def _finish_telemetry(args, registry, drift=None) -> None:
+    """Report drift, write the snapshot file, print the console digest."""
+    from repro.telemetry import console_summary, write_jsonl, write_prometheus
+
+    if drift is not None:
+        s = drift.summary()
+        print(f"drift monitor: {s['n_windows']} windows over "
+              f"{s['n_observed']} samples, max KS "
+              f"{s['max_ks']:.4f} (band {s['band']:g}), "
+              f"{s['n_warnings']} warnings")
+    if args.telemetry is not None:
+        writer = (write_prometheus if args.telemetry_format == "prom"
+                  else write_jsonl)
+        writer(registry, args.telemetry)
+        print(f"wrote telemetry snapshot to {args.telemetry}")
+    print(console_summary(registry))
+
+
 def _cmd_shrinkray(args) -> int:
     from repro.core import ShrinkRay
     from repro.workloads import build_default_pool
@@ -104,16 +154,23 @@ def _cmd_generate(args) -> int:
     )
 
     spec = ExperimentSpec.load(args.spec)
-    trace = generate_request_trace(
-        spec, seed=args.seed, arrival_mode=args.arrival_mode,
-        jobs=args.jobs, cache=_resolve_cache(args),
-    )
+    registry, drift = _setup_telemetry(args, spec)
+    with _scoped_telemetry(registry):
+        trace = generate_request_trace(
+            spec, seed=args.seed, arrival_mode=args.arrival_mode,
+            jobs=args.jobs, cache=_resolve_cache(args),
+        )
+        if drift is not None:
+            drift.observe_many(trace.runtimes_ms, trace.timestamps_s)
+            drift.flush()
     if str(args.out).endswith(".npz"):
         save_request_trace_npz(trace, args.out)
     else:
         save_request_trace_csv(trace, args.out)
     print(f"wrote {args.out}: {trace.n_requests} requests, "
           f"{trace.duration_s:.0f}s horizon")
+    if registry is not None:
+        _finish_telemetry(args, registry, drift)
     return 0
 
 
@@ -140,8 +197,7 @@ def _cmd_replay(args) -> int:
     )
 
     spec = ExperimentSpec.load(args.spec)
-    trace = generate_request_trace(spec, seed=args.seed,
-                                   arrival_mode=args.arrival_mode)
+    registry, drift = _setup_telemetry(args, spec)
     scheduler = {
         "least-loaded": LeastLoadedScheduler(),
         "random": RandomScheduler(args.seed),
@@ -192,14 +248,23 @@ def _cmd_replay(args) -> int:
         reset_timeout_s=args.breaker_reset,
     ) if args.breaker else None
 
-    result = replay(
-        trace, backend,
-        retry=retry,
-        breaker=breaker,
-        checkpoint_path=args.checkpoint,
-        checkpoint_every=args.checkpoint_every,
-        resume=args.resume,
-    )
+    with _scoped_telemetry(registry):
+        trace = generate_request_trace(spec, seed=args.seed,
+                                       arrival_mode=args.arrival_mode)
+        result = replay(
+            trace, backend,
+            retry=retry,
+            breaker=breaker,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+            drift=drift,
+        )
+    if registry is not None and result.outcomes is not None:
+        from repro.platform import record_outcome_metrics
+
+        record_outcome_metrics(registry, result, breaker=breaker,
+                               horizon_s=trace.duration_s)
     if not result.records:
         print("no invocations reached the backend (all requests shed, "
               "or the replay was already complete at resume)")
@@ -227,6 +292,8 @@ def _cmd_replay(args) -> int:
     if breaker is not None and breaker.transitions:
         print(f"  breaker transitions : {len(breaker.transitions)} "
               f"(final state {breaker.state})")
+    if registry is not None:
+        _finish_telemetry(args, registry, drift)
     return 0
 
 
@@ -402,6 +469,19 @@ def _cmd_calibrate(args) -> int:
     return 0
 
 
+def _add_telemetry_flags(p) -> None:
+    p.add_argument("--telemetry", default=None, metavar="PATH",
+                   help="collect run telemetry and write the end-of-run "
+                        "snapshot here (also prints a console summary)")
+    p.add_argument("--telemetry-format", choices=["jsonl", "prom"],
+                   default="jsonl",
+                   help="snapshot format for --telemetry (default: jsonl)")
+    p.add_argument("--drift-band", type=float, default=None, metavar="KS",
+                   help="monitor representativeness online: warn whenever "
+                        "a window of invocation durations sits further "
+                        "than this KS distance from the spec's target CDF")
+
+
 def _add_parallel_cache_flags(p) -> None:
     p.add_argument("--jobs", type=int, default=None, metavar="N",
                    help="worker processes for the sharded pipeline "
@@ -448,6 +528,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default="requests.csv")
     _add_parallel_cache_flags(p)
+    _add_telemetry_flags(p)
     p.set_defaults(func=_cmd_generate)
 
     p = sub.add_parser("replay", help="drive a spec through the simulator")
@@ -486,6 +567,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="requests between checkpoints")
     p.add_argument("--resume", action="store_true",
                    help="resume from --checkpoint if it exists")
+    _add_telemetry_flags(p)
     p.set_defaults(func=_cmd_replay)
 
     p = sub.add_parser("figures", help="rebuild evaluation figures")

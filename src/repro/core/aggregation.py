@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.parallel import auto_shards, map_shards, shard_bounds
 from repro.stats.popularity import popularity_change_cdf, popularity_shares
+from repro.telemetry import registry as _telemetry
 from repro.traces.model import Trace
 
 __all__ = ["AggregationAudit", "aggregate_functions"]
@@ -120,6 +121,19 @@ def aggregate_functions(
     if quantize_ms <= 0:
         raise ValueError(f"quantize_ms must be positive, got {quantize_ms}")
 
+    with _telemetry.stage("shrinkray_aggregation",
+                          "wall time of the aggregation stage"):
+        return _aggregate(trace, quantize_ms=quantize_ms, jobs=jobs,
+                          shards=shards)
+
+
+def _aggregate(
+    trace: Trace,
+    *,
+    quantize_ms: float,
+    jobs: int | None,
+    shards: int | None,
+) -> tuple[Trace, AggregationAudit]:
     # Quantised duration keys.  Round-half-away from the raw average, with a
     # floor of one step so sub-quantum functions keep a positive duration.
     keys = np.maximum(
@@ -186,4 +200,12 @@ def aggregate_functions(
         per_minute=agg_matrix.astype(np.int64),
         app_memory_mb={},
     )
+    reg = _telemetry.active()
+    if reg is not None:
+        reg.counter("aggregation_functions_in_total",
+                    "functions entering the aggregation stage"
+                    ).inc(trace.n_functions)
+        reg.counter("aggregation_functions_out_total",
+                    "super-Functions leaving the aggregation stage"
+                    ).inc(n_groups)
     return aggregated, audit

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.parallel import auto_shards, map_shards, shard_bounds
+from repro.telemetry import registry as _telemetry
 from repro.traces.model import Trace
 from repro.workloads.pool import WorkloadPool
 
@@ -225,6 +226,16 @@ def map_functions(
 
     mapped_rt = runtimes[chosen]
     rel_err = np.abs(mapped_rt - durations) / durations
+    reg = _telemetry.active()
+    if reg is not None:
+        reg.counter("mapping_functions_total",
+                    "Functions pushed through the mapping stage").inc(n)
+        reg.counter("mapping_fallbacks_total",
+                    "Functions that needed the closest-workload fallback"
+                    ).inc(int(fallback.sum()))
+        reg.gauge("mapping_max_relative_error",
+                  "largest |mapped - reported| / reported of the last "
+                  "mapping").set(float(rel_err.max()))
     return FunctionMapping(
         workload_indices=chosen,
         workload_ids=[pool.workloads[int(k)].workload_id for k in chosen],

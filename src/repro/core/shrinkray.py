@@ -24,6 +24,7 @@ from repro.core.mapping import FunctionMapping, map_functions
 from repro.core.rate_scaling import scale_request_rate
 from repro.core.spec import ExperimentSpec, SpecEntry
 from repro.core.time_scaling import thumbnail_scale
+from repro.telemetry import registry as _telemetry
 from repro.traces.model import Trace
 from repro.workloads.pool import WorkloadPool
 
@@ -204,16 +205,19 @@ class ShrinkRay:
         # Time scaling first, so the rate cap applies to the experiment's
         # wall-clock minutes (the busiest *experiment* minute is what the
         # user's max_rps bounds).
-        if self.time_mode == "thumbnails":
-            matrix = thumbnail_scale(working.per_minute, duration_minutes)
-        else:
-            window = working.minute_range(
-                self.range_start_minute,
-                self.range_start_minute + duration_minutes,
-            )
-            matrix = window.per_minute.astype(np.int64)
+        with _telemetry.stage("shrinkray_scaling",
+                              "wall time of time + rate scaling"):
+            if self.time_mode == "thumbnails":
+                matrix = thumbnail_scale(working.per_minute,
+                                         duration_minutes)
+            else:
+                window = working.minute_range(
+                    self.range_start_minute,
+                    self.range_start_minute + duration_minutes,
+                )
+                matrix = window.per_minute.astype(np.int64)
 
-        matrix = scale_request_rate(matrix, max_rps, rng)
+            matrix = scale_request_rate(matrix, max_rps, rng)
 
         memory_targets = None
         if self.memory_aware:
@@ -229,16 +233,18 @@ class ShrinkRay:
                 mem_cdf.quantile(rng.random(working.n_functions))
             )
 
-        mapping = map_functions(
-            working,
-            pool,
-            error_threshold_pct=self.error_threshold_pct,
-            balance=self.balance,
-            memory_targets=memory_targets,
-            memory_weight=self.memory_weight,
-            jobs=self.jobs,
-            shards=self.shards,
-        )
+        with _telemetry.stage("shrinkray_mapping",
+                              "wall time of the mapping stage"):
+            mapping = map_functions(
+                working,
+                pool,
+                error_threshold_pct=self.error_threshold_pct,
+                balance=self.balance,
+                memory_targets=memory_targets,
+                memory_weight=self.memory_weight,
+                jobs=self.jobs,
+                shards=self.shards,
+            )
 
         entries = [
             SpecEntry(
@@ -286,6 +292,13 @@ class ShrinkRay:
             mapping=mapping,
             aggregated_trace=working,
         )
+        reg = _telemetry.active()
+        if reg is not None:
+            reg.counter("shrinkray_runs_total",
+                        "cold shrink-ray pipeline executions").inc()
+            reg.gauge("shrinkray_spec_requests",
+                      "total requests of the last produced spec"
+                      ).set(spec.total_requests)
         if key is not None:
             cache.put(key, spec)
         return spec

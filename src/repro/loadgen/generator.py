@@ -26,6 +26,7 @@ from repro.core.spec import ExperimentSpec
 from repro.loadgen.arrivals import cell_counts, minute_offsets
 from repro.loadgen.requests import RequestTrace
 from repro.parallel import auto_shards, map_shards, shard_bounds, spawn_rngs
+from repro.telemetry import registry as _telemetry
 
 __all__ = [
     "generate_from_second_matrix",
@@ -79,6 +80,34 @@ def generate_request_trace(
     """
     if variable_input not in ("auto", True, False):
         raise ValueError("variable_input must be 'auto', True, or False")
+    with _telemetry.stage("generate_request_trace",
+                          "wall time of Spec-mode trace realisation"):
+        trace = _generate_request_trace(
+            spec, seed, arrival_mode=arrival_mode,
+            variable_input=variable_input, jobs=jobs, shards=shards,
+            cache=cache,
+        )
+    reg = _telemetry.active()
+    if reg is not None:
+        reg.counter("generated_requests_total",
+                    "requests realised by the load generator"
+                    ).inc(trace.n_requests)
+        reg.gauge("generated_horizon_s",
+                  "trace-time horizon of the last generated trace"
+                  ).set(trace.duration_s)
+    return trace
+
+
+def _generate_request_trace(
+    spec: ExperimentSpec,
+    seed: int | np.random.Generator,
+    *,
+    arrival_mode: str,
+    variable_input: str | bool,
+    jobs: int | None,
+    shards: int | None,
+    cache,
+) -> RequestTrace:
     variants = spec.metadata.get("variants")
     if variable_input is True and variants is None:
         raise ValueError(

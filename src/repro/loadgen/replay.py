@@ -37,8 +37,76 @@ from repro.loadgen.resilience import (
     load_checkpoint,
     save_checkpoint,
 )
+from repro.telemetry import registry as _telemetry
 
 __all__ = ["Backend", "ReplayResult", "replay"]
+
+#: Trace-time bucket (seconds) for the per-window request-count metric.
+TELEMETRY_WINDOW_S = 60.0
+
+
+def _record_replay_telemetry(reg, trace: RequestTrace,
+                             result: "ReplayResult",
+                             breaker: CircuitBreaker | None) -> None:
+    """Fold one finished replay into the registry.
+
+    Everything here is vectorised array work over the already-known
+    trace, so the replay hot loop itself stays untouched: per-window
+    request counts, the inter-arrival histogram, outcome/retry/breaker
+    counters.
+    """
+    ts = trace.timestamps_s
+    reg.counter("replay_requests_total",
+                "requests submitted to a backend").inc(result.n_requests)
+    reg.gauge("replay_wall_clock_s",
+              "wall-clock seconds of the last replay"
+              ).set(result.wall_clock_s)
+    reg.gauge("replay_horizon_s",
+              "trace-time horizon of the last replay").set(float(ts[-1]))
+    if ts.size > 1:
+        # deterministic stride subsample caps the histogram pass at
+        # 8-16Ki gaps (DKW noise ~1.5%), keeping huge replays inside the
+        # <5% telemetry budget the perf suite pins; gathering the strided
+        # gap endpoints directly also spares a full-array diff
+        stride = max(1, (ts.size - 1) >> 13)
+        lo = np.arange(0, ts.size - 1, stride)
+        reg.histogram(
+            "replay_interarrival_s",
+            "inter-arrival gaps of the replayed trace (seconds; stride-"
+            "subsampled beyond 8192 requests)",
+        ).observe_many(ts[lo + 1] - ts[lo])
+    # timestamps are ascending (RequestTrace invariant), so per-window
+    # counts are a searchsorted over the ~horizon/window boundaries --
+    # O(windows log n), not a full-array pass
+    n_windows = int(ts[-1] // TELEMETRY_WINDOW_S) + 1
+    cuts = np.searchsorted(
+        ts, np.arange(1, n_windows) * TELEMETRY_WINDOW_S, side="left"
+    )
+    windows = np.diff(np.concatenate(([0], cuts, [ts.size])))
+    reg.histogram(
+        "replay_window_requests",
+        f"requests per {TELEMETRY_WINDOW_S:.0f}s trace-time window",
+        edges=np.array([1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6]),
+    ).observe_many(windows)
+    if result.outcomes is not None:
+        counts = np.bincount(result.outcomes, minlength=len(OUTCOMES))
+        for name, count in zip(OUTCOMES, counts):
+            if count:
+                reg.counter(
+                    "replay_outcomes_total",
+                    "resilient-replay requests per outcome",
+                    labels={"outcome": name},
+                ).inc(int(count))
+    if result.attempts is not None:
+        retried = result.attempts[result.attempts > 1]
+        if retried.size:
+            reg.counter("replay_retries_total",
+                        "extra attempts beyond each request's first"
+                        ).inc(int(retried.sum() - retried.size))
+    if breaker is not None:
+        reg.counter("replay_breaker_transitions_total",
+                    "circuit-breaker state transitions"
+                    ).inc(len(breaker.transitions))
 
 
 class Backend(Protocol):
@@ -107,6 +175,7 @@ def replay(
     checkpoint_path: Path | str | None = None,
     checkpoint_every: int = 1000,
     resume: bool = False,
+    drift=None,
 ) -> ReplayResult:
     """Feed every request of ``trace`` to ``backend`` in timestamp order.
 
@@ -141,10 +210,24 @@ def replay(
     resume:
         Continue from ``checkpoint_path`` if it exists (no-op when it
         does not).
+    drift:
+        Optional :class:`~repro.telemetry.drift.DriftMonitor` fed the
+        replayed requests' expected durations in arrival order, so
+        representativeness regressions (e.g. a mis-mapped workload pool)
+        emit ``drift_warning`` events during the run.  Paced (finite
+        ``speed``) and resilient replays observe request-by-request; the
+        infinite-speed fast path observes in one vectorised pass so the
+        bare submission loop stays untouched.
 
     Any of ``retry`` / ``breaker`` / ``checkpoint_path`` switches to the
     resilient path: invocation failures no longer propagate, and the
     result carries per-request ``outcomes`` and ``attempts``.
+
+    When telemetry is enabled (:func:`repro.telemetry.enable`), every
+    replay also folds per-window request counts, the inter-arrival
+    histogram, and outcome / retry / breaker counters into the active
+    registry -- all as vectorised post-passes, never per-request work,
+    so telemetry-on output is byte-identical to telemetry-off output.
     """
     if speed <= 0:
         raise ValueError("speed must be positive")
@@ -157,28 +240,43 @@ def replay(
     timestamps = trace.timestamps_s.tolist()
     workload_ids = [str(w) for w in trace.workload_ids.tolist()]
     if resilient:
-        return _replay_resilient(
+        result = _replay_resilient(
             trace, backend, timestamps, workload_ids, speed=speed,
             retry=retry, breaker=breaker, checkpoint_path=checkpoint_path,
-            checkpoint_every=checkpoint_every, resume=resume,
+            checkpoint_every=checkpoint_every, resume=resume, drift=drift,
         )
+        reg = _telemetry.active()
+        if reg is not None:
+            _record_replay_telemetry(reg, trace, result, breaker)
+        return result
     t_start = time.perf_counter()
     if np.isfinite(speed):
-        for ts, wid in zip(timestamps, workload_ids):
+        runtimes = trace.runtimes_ms.tolist() if drift is not None else None
+        for i, (ts, wid) in enumerate(zip(timestamps, workload_ids)):
             delay = t_start + ts / speed - time.perf_counter()
             if delay > 0:
                 time.sleep(delay)
             backend.invoke(ts, wid)
+            if runtimes is not None:
+                drift.observe(runtimes[i], ts)
     else:
         invoke = backend.invoke
         for ts, wid in zip(timestamps, workload_ids):
             invoke(ts, wid)
+        if drift is not None:
+            drift.observe_many(trace.runtimes_ms, trace.timestamps_s)
+    if drift is not None:
+        drift.flush()
     records = backend.drain()
-    return ReplayResult(
+    result = ReplayResult(
         n_requests=trace.n_requests,
         wall_clock_s=time.perf_counter() - t_start,
         records=records,
     )
+    reg = _telemetry.active()
+    if reg is not None:
+        _record_replay_telemetry(reg, trace, result, breaker=None)
+    return result
 
 
 def _replay_resilient(
@@ -193,8 +291,10 @@ def _replay_resilient(
     checkpoint_path: Path | str | None,
     checkpoint_every: int,
     resume: bool,
+    drift=None,
 ) -> ReplayResult:
     n = trace.n_requests
+    runtimes = trace.runtimes_ms.tolist() if drift is not None else None
     fingerprint = (n, float(timestamps[0]), float(timestamps[-1]))
     outcomes = np.zeros(n, dtype=np.uint8)
     attempts = np.zeros(n, dtype=np.int32)
@@ -261,6 +361,8 @@ def _replay_resilient(
                     break
             outcomes[i] = outcome
             attempts[i] = attempt
+        if runtimes is not None:
+            drift.observe(runtimes[i], ts)
         if checkpoint_path is not None and (i + 1) % checkpoint_every == 0:
             save_checkpoint(checkpoint_path, offset=i + 1,
                             outcomes=outcomes, attempts=attempts,
@@ -269,6 +371,8 @@ def _replay_resilient(
     if checkpoint_path is not None:
         save_checkpoint(checkpoint_path, offset=n, outcomes=outcomes,
                         attempts=attempts, trace_fingerprint=fingerprint)
+    if drift is not None:
+        drift.flush()
     records = backend.drain()
     return ReplayResult(
         n_requests=n,

@@ -24,6 +24,8 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from repro.telemetry import registry as _telemetry
+
 __all__ = [
     "auto_shards",
     "effective_jobs",
@@ -122,6 +124,14 @@ def map_shards(fn, shard_args: list, *, jobs: int | None = None) -> list:
     if n == 0:
         return []
     workers = min(effective_jobs(jobs), n)
+    reg = _telemetry.active()
+    if reg is not None:
+        reg.counter("parallel_shards_total",
+                    "shards executed by map_shards").inc(n)
+        if workers > 1:
+            reg.counter("parallel_pool_dispatches_total",
+                        "map_shards calls that fanned out over a "
+                        "process pool").inc()
     if workers <= 1:
         return [fn(arg) for arg in shard_args]
     with ProcessPoolExecutor(max_workers=workers) as pool:

@@ -29,6 +29,7 @@ from repro.platform.metrics import (
     memory_utilization,
     outcome_summary,
     per_workload_cold_rates,
+    record_outcome_metrics,
     retry_histogram,
     summarize,
 )
@@ -42,6 +43,7 @@ from repro.platform.schedulers import (
 from repro.platform.tracing import (
     PlatformEvent,
     PlatformTracer,
+    TelemetryTracer,
     lifecycle_summary,
 )
 from repro.platform.simulator import (
@@ -76,6 +78,7 @@ __all__ = [
     "RandomScheduler",
     "ReactiveAutoscaler",
     "SandboxCrashFault",
+    "TelemetryTracer",
     "WorkloadProfile",
     "breaker_uptime",
     "default_cold_start_s",
@@ -84,6 +87,7 @@ __all__ = [
     "outcome_summary",
     "per_workload_cold_rates",
     "profiles_from_spec",
+    "record_outcome_metrics",
     "retry_histogram",
     "summarize",
 ]

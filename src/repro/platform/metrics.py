@@ -12,6 +12,7 @@ __all__ = [
     "memory_utilization",
     "outcome_summary",
     "per_workload_cold_rates",
+    "record_outcome_metrics",
     "retry_histogram",
     "summarize",
 ]
@@ -156,6 +157,39 @@ def breaker_uptime(breaker, horizon_s: float) -> dict:
     return {
         state: span / horizon_s for state, span in spans.items()
     } | {"n_transitions": len(breaker.transitions)}
+
+
+def record_outcome_metrics(registry, result, *, breaker=None,
+                           horizon_s: float | None = None) -> None:
+    """Fold a resilient replay's diagnostics into a metrics registry.
+
+    Bridges this module's summary helpers to :mod:`repro.telemetry`:
+    the attempts-per-request histogram lands in ``replay_attempts`` and,
+    when ``breaker`` and ``horizon_s`` are given, per-state uptime
+    fractions land in ``breaker_state_fraction{state=...}`` gauges.
+    No-op fields are skipped, so the helper is safe on fast-path results.
+    """
+    if result.attempts is not None and result.attempts.size:
+        registry.histogram(
+            "replay_attempts",
+            "attempts made per request (0 = shed before submission)",
+            edges=np.arange(0.0, 11.0),
+        ).observe_many(result.attempts)
+    if result.outcomes is not None:
+        summary = outcome_summary(result)
+        registry.gauge(
+            "replay_delivered_fraction",
+            "fraction of requests that reached the backend and succeeded",
+        ).set(summary["delivered_fraction"])
+    if breaker is not None and horizon_s is not None:
+        uptime = breaker_uptime(breaker, horizon_s)
+        for state in ("closed", "open", "half-open"):
+            registry.gauge(
+                "breaker_state_fraction",
+                "fraction of trace time the circuit breaker spent in "
+                "each state",
+                labels={"state": state},
+            ).set(uptime[state])
 
 
 def memory_utilization(

@@ -26,6 +26,7 @@ import numpy as np
 from repro.platform.keepalive import FixedKeepAlive
 from repro.platform.metrics import InvocationRecord
 from repro.platform.schedulers import LeastLoadedScheduler
+from repro.telemetry import registry as _telemetry
 
 __all__ = ["WorkloadProfile", "Node", "FaaSCluster", "default_cold_start_s"]
 
@@ -242,6 +243,17 @@ class FaaSCluster:
                     "cluster deadlocked on memory (raise node_memory_mb "
                     "or n_nodes, or set queue_timeout_s)"
                 )
+        reg = _telemetry.active()
+        if reg is not None:
+            # gauges are idempotent, so repeated drains stay correct
+            reg.gauge("platform_nodes",
+                      "cluster size at drain time").set(len(self.nodes))
+            reg.gauge("platform_completed_invocations",
+                      "invocation records held by the cluster"
+                      ).set(len(self.records))
+            reg.gauge("platform_dropped_requests",
+                      "requests dropped on queue timeout so far"
+                      ).set(len(self.dropped))
         return self.records
 
     # ------------------------------------------------------------------

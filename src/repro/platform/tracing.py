@@ -12,7 +12,14 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
-__all__ = ["PlatformEvent", "PlatformTracer", "lifecycle_summary"]
+from repro.telemetry import registry as _telemetry
+
+__all__ = [
+    "PlatformEvent",
+    "PlatformTracer",
+    "TelemetryTracer",
+    "lifecycle_summary",
+]
 
 #: Event kinds, in lifecycle order.  The ``fault_injected`` /
 #: ``sandbox_crashed`` kinds come from the fault-injection layer
@@ -67,6 +74,64 @@ class PlatformTracer:
         if kind not in EVENT_KINDS:
             raise ValueError(f"unknown event kind {kind!r}")
         return [e for e in self.events if e.kind == kind]
+
+
+#: Lifecycle deltas for the live-sandbox gauge a TelemetryTracer keeps.
+_SANDBOX_DELTA = {
+    "sandbox_created": 1,
+    "sandbox_expired": -1,
+    "sandbox_evicted": -1,
+    "sandbox_crashed": -1,
+}
+
+
+class TelemetryTracer:
+    """Tracer that folds events into metrics instead of storing them.
+
+    Satisfies the same ``emit()`` protocol as :class:`PlatformTracer`
+    but keeps O(1) state: one ``platform_events_total{kind=...}``
+    counter per event kind plus a live-sandbox gauge, so day-long
+    simulations can stay observable without an unbounded event list.
+    Counters land in ``registry`` (default: the active global registry
+    at construction time; falls back to a throwaway local one so the
+    tracer is always safe to attach).
+    """
+
+    def __init__(self, registry=None):
+        # explicit None checks: an empty MetricsRegistry is falsy (len 0)
+        if registry is None:
+            registry = _telemetry.active()
+        if registry is None:
+            registry = _telemetry.MetricsRegistry()
+        self.registry = registry
+        self._counters = {
+            kind: self.registry.counter(
+                "platform_events_total",
+                "platform lifecycle events by kind",
+                labels={"kind": kind},
+            )
+            for kind in EVENT_KINDS
+        }
+        self._live = self.registry.gauge(
+            "platform_live_sandboxes",
+            "sandboxes currently alive across the cluster",
+        )
+
+    def emit(self, time_s: float, kind: str, node: int,
+             workload_id: str) -> None:
+        counter = self._counters.get(kind)
+        if counter is None:
+            raise ValueError(
+                f"unknown event kind {kind!r}; expected one of {EVENT_KINDS}"
+            )
+        counter.inc()
+        delta = _SANDBOX_DELTA.get(kind)
+        if delta is not None:
+            self._live.inc(delta)
+
+    def __len__(self) -> int:
+        return int(sum(getattr(c, "value", 0.0)
+                       for c in self._counters.values()))
 
 
 def lifecycle_summary(tracer: PlatformTracer) -> dict:

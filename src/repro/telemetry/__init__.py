@@ -1,0 +1,93 @@
+"""Telemetry: metrics, stage timers, drift monitoring, exporters.
+
+The observability backbone of the repo (ISSUE 3 tentpole).  Three parts:
+
+- :mod:`repro.telemetry.registry` -- counters, gauges, fixed-bucket
+  latency histograms with streaming quantile estimates, and named stage
+  timers, collected in a :class:`MetricsRegistry`.  Telemetry is off by
+  default; :func:`enable` / :func:`use` activate a registry process-wide
+  and instrumented code (shrink-ray stages, cache, parallel fan-out,
+  load generator, replay engine, simulator) reports into it.  Disabled,
+  every instrumentation point degenerates to one ``None`` check or a
+  shared no-op singleton -- near-zero overhead, zero allocation.
+- :mod:`repro.telemetry.drift` -- the online representativeness monitor:
+  windowed empirical CDFs KS-tested against the spec's target CDF,
+  emitting ``drift_warning`` events when a configurable band is
+  exceeded.
+- :mod:`repro.telemetry.exporters` -- JSONL event stream, Prometheus
+  text format, and an end-of-run console summary.
+
+Usage::
+
+    from repro import telemetry
+
+    reg = telemetry.enable()
+    ...  # run the pipeline / replay
+    print(telemetry.console_summary(reg))
+    telemetry.write_jsonl(reg, "run.jsonl")
+    telemetry.disable()
+"""
+
+from repro.telemetry.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    StageTimer,
+    active,
+    default_edges,
+    disable,
+    enable,
+    stage,
+    use,
+)
+
+__all__ = [
+    "Counter",
+    "DriftMonitor",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "StageTimer",
+    "active",
+    "console_summary",
+    "default_edges",
+    "disable",
+    "enable",
+    "prometheus_text",
+    "registry_snapshot",
+    "stage",
+    "use",
+    "write_jsonl",
+    "write_prometheus",
+]
+
+_DRIFT_EXPORTS = {"DriftMonitor"}
+_EXPORTER_EXPORTS = {
+    "console_summary",
+    "prometheus_text",
+    "registry_snapshot",
+    "write_jsonl",
+    "write_prometheus",
+}
+
+
+def __getattr__(name: str):
+    # Lazy re-exports keep `import repro.cache` (which pulls the registry
+    # for its hit/miss counters) from dragging in the drift monitor's
+    # stats dependencies on every cold import.
+    if name in _DRIFT_EXPORTS:
+        from repro.telemetry import drift
+
+        return getattr(drift, name)
+    if name in _EXPORTER_EXPORTS:
+        from repro.telemetry import exporters
+
+        return getattr(exporters, name)
+    raise AttributeError(
+        f"module 'repro.telemetry' has no attribute {name!r}"
+    )

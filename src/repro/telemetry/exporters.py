@@ -1,0 +1,236 @@
+"""Telemetry exporters: JSONL event stream, Prometheus text, console.
+
+All three render the same :class:`~repro.telemetry.registry.MetricsRegistry`
+snapshot, deterministically ordered (sorted by metric name, then labels),
+so exported files from identical runs are byte-identical -- the same
+property the rest of the pipeline holds.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+__all__ = [
+    "console_summary",
+    "prometheus_text",
+    "registry_snapshot",
+    "write_jsonl",
+    "write_prometheus",
+]
+
+#: Schema version stamped on every JSONL stream.
+JSONL_SCHEMA_VERSION = 1
+
+_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def _num(value: float) -> float | int:
+    """Render counts as ints, everything else as floats (JSON-friendly)."""
+    f = float(value)
+    return int(f) if f.is_integer() else f
+
+
+def registry_snapshot(registry) -> list[dict]:
+    """Flatten a registry into ordered, JSON-serialisable records."""
+    records: list[dict] = [
+        {"type": "meta", "schema": JSONL_SCHEMA_VERSION,
+         "producer": "repro.telemetry"}
+    ]
+    for c in registry.counters():
+        records.append({
+            "type": "counter", "name": c.name, "labels": c.labels,
+            "value": _num(c.value),
+        })
+    for g in registry.gauges():
+        records.append({
+            "type": "gauge", "name": g.name, "labels": g.labels,
+            "value": _num(g.value),
+        })
+    for h in registry.histograms():
+        rec = {
+            "type": "histogram", "name": h.name, "labels": h.labels,
+            "count": int(h.n), "sum": float(h.sum),
+            "edges": [float(e) for e in h.edges],
+            "bucket_counts": [int(c) for c in h.counts],
+        }
+        if h.n:
+            rec["min"] = float(h.min)
+            rec["max"] = float(h.max)
+            rec["mean"] = h.mean()
+            for q in _QUANTILES:
+                rec[f"p{int(q * 100)}"] = h.quantile(q)
+        records.append(rec)
+    for event in registry.events:
+        records.append({"type": "event", **event})
+    return records
+
+
+def write_jsonl(registry, path: Path | str) -> Path:
+    """Write the registry snapshot as one JSON object per line."""
+    path = Path(path)
+    lines = [json.dumps(rec, sort_keys=True)
+             for rec in registry_snapshot(registry)]
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition format
+# ----------------------------------------------------------------------
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    name = _PROM_INVALID.sub("_", name)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (text.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _prom_labels(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{_prom_name(str(k))}="{_escape_label_value(str(v))}"'
+        for k, v in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _prom_value(value: float) -> str:
+    f = float(value)
+    if f.is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return f"{f:.10g}"
+
+
+def prometheus_text(registry) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    ``# HELP`` lines escape backslashes and newlines, label values
+    additionally escape double quotes (the format's three escapes);
+    histograms expose cumulative ``_bucket{le=...}`` series plus
+    ``_sum`` / ``_count``, counters get the ``_total`` suffix when
+    missing.  Metric names are sanitised to the allowed charset (dots in
+    stage names become underscores).
+    """
+    out: list[str] = []
+    typed: set[str] = set()
+
+    def header(name: str, help_text: str, kind: str) -> None:
+        if name in typed:
+            return
+        typed.add(name)
+        if help_text:
+            out.append(f"# HELP {name} {_escape_help(help_text)}")
+        out.append(f"# TYPE {name} {kind}")
+
+    for c in registry.counters():
+        name = _prom_name(c.name)
+        if not name.endswith("_total"):
+            name += "_total"
+        header(name, c.help, "counter")
+        out.append(f"{name}{_prom_labels(c.labels)} {_prom_value(c.value)}")
+    for g in registry.gauges():
+        name = _prom_name(g.name)
+        header(name, g.help, "gauge")
+        out.append(f"{name}{_prom_labels(g.labels)} {_prom_value(g.value)}")
+    for h in registry.histograms():
+        name = _prom_name(h.name)
+        header(name, h.help, "histogram")
+        cum = 0
+        for edge, count in zip(h.edges, h.counts):
+            cum += int(count)
+            labels = _prom_labels(h.labels, {"le": _prom_value(edge)})
+            out.append(f"{name}_bucket{labels} {cum}")
+        labels = _prom_labels(h.labels, {"le": "+Inf"})
+        out.append(f"{name}_bucket{labels} {int(h.n)}")
+        out.append(f"{name}_sum{_prom_labels(h.labels)} "
+                   f"{_prom_value(h.sum)}")
+        out.append(f"{name}_count{_prom_labels(h.labels)} {int(h.n)}")
+    return "\n".join(out) + "\n" if out else ""
+
+
+def write_prometheus(registry, path: Path | str) -> Path:
+    path = Path(path)
+    path.write_text(prometheus_text(registry))
+    return path
+
+
+# ----------------------------------------------------------------------
+# console summary
+# ----------------------------------------------------------------------
+def _fmt_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def console_summary(registry) -> str:
+    """Human-readable end-of-run digest of the registry."""
+    lines: list[str] = ["telemetry summary"]
+    counters = registry.counters()
+    gauges = registry.gauges()
+    histograms = registry.histograms()
+    if not counters and not gauges and not histograms \
+            and not registry.events:
+        lines.append("  (no metrics recorded)")
+        return "\n".join(lines)
+    if counters:
+        lines.append("  counters:")
+        for c in counters:
+            lines.append(
+                f"    {c.name}{_fmt_labels(c.labels)} = "
+                f"{_prom_value(c.value)}"
+            )
+    if gauges:
+        lines.append("  gauges:")
+        for g in gauges:
+            lines.append(
+                f"    {g.name}{_fmt_labels(g.labels)} = "
+                f"{_prom_value(g.value)}"
+            )
+    if histograms:
+        lines.append("  histograms:")
+        for h in histograms:
+            label = f"    {h.name}{_fmt_labels(h.labels)}"
+            if h.n == 0:
+                lines.append(f"{label}: empty")
+                continue
+            qs = " ".join(
+                f"p{int(q * 100)}={h.quantile(q):.4g}" for q in _QUANTILES
+            )
+            lines.append(
+                f"{label}: n={h.n} mean={h.mean():.4g} {qs} "
+                f"min={h.min:.4g} max={h.max:.4g}"
+            )
+    if registry.events:
+        kinds: dict[str, int] = {}
+        for e in registry.events:
+            kinds[e["kind"]] = kinds.get(e["kind"], 0) + 1
+        shown = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+        lines.append(f"  events: {shown}")
+        for w in registry.events:
+            if w["kind"] == "drift_warning":
+                lines.append(
+                    f"    DRIFT {w.get('metric', '?')} "
+                    f"ks={w.get('ks', float('nan')):.4f} > "
+                    f"band={w.get('band', float('nan')):.4f} "
+                    f"at t={w.get('time_s', float('nan')):.1f}s"
+                )
+    return "\n".join(lines)

@@ -1,0 +1,439 @@
+"""Metric primitives and the process-wide registry.
+
+Design constraints (ISSUE 3 tentpole):
+
+- **Near-zero overhead when disabled.**  Instrumented code consults
+  :func:`active` (one module-global read) and skips everything when no
+  registry is enabled; :func:`stage` returns a shared no-op context
+  manager, so a disabled stage timer allocates nothing.
+- **Never perturbs results.**  No metric primitive touches a random
+  generator or reorders work, so telemetry-on runs are byte-identical to
+  telemetry-off runs (pinned by ``tests/test_determinism.py``).
+- **Hot loops observe in bulk.**  :meth:`Histogram.observe_many` is one
+  ``searchsorted`` + ``bincount`` pass over an array, so the replay and
+  generator hot paths record whole traces without per-request Python
+  calls.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "StageTimer",
+    "active",
+    "default_edges",
+    "disable",
+    "enable",
+    "stage",
+    "use",
+]
+
+
+def default_edges(
+    lo: float = 1e-4, hi: float = 1e4, per_decade: int = 4
+) -> np.ndarray:
+    """Log-spaced histogram bucket upper bounds.
+
+    Latencies and inter-arrival gaps in this repo span many orders of
+    magnitude (sub-millisecond offsets to multi-minute horizons), so the
+    default buckets are geometric: ``per_decade`` buckets per decade from
+    ``lo`` to ``hi``.  Values above ``hi`` land in the overflow bucket.
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi")
+    if per_decade <= 0:
+        raise ValueError("per_decade must be positive")
+    n = int(round(np.log10(hi / lo) * per_decade)) + 1
+    return np.geomspace(lo, hi, n)
+
+
+def _label_key(labels: dict | None) -> tuple:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "help", "labels", "value")
+
+    def __init__(self, name: str, help: str = "", labels: dict | None = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels) if labels else {}
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, live sandboxes)."""
+
+    __slots__ = ("name", "help", "labels", "value")
+
+    def __init__(self, name: str, help: str = "", labels: dict | None = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels) if labels else {}
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with streaming quantile estimates.
+
+    Buckets are defined by ascending upper-bound ``edges``; a value lands
+    in the first bucket whose edge is >= the value, with one implicit
+    overflow bucket above the last edge.  Quantiles are estimated by
+    linear interpolation inside the containing bucket, clamped to the
+    observed ``[min, max]`` range -- the classic fixed-bucket estimator,
+    exact at bucket boundaries and monotone in ``q``.
+    """
+
+    __slots__ = ("name", "help", "labels", "edges", "counts", "n", "sum",
+                 "min", "max")
+
+    def __init__(self, name: str, help: str = "",
+                 edges: np.ndarray | None = None,
+                 labels: dict | None = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels) if labels else {}
+        edges = default_edges() if edges is None else np.asarray(
+            edges, dtype=np.float64
+        )
+        if edges.ndim != 1 or edges.size == 0:
+            raise ValueError("edges must be a non-empty 1-D array")
+        if edges.size > 1 and not np.all(np.diff(edges) > 0):
+            raise ValueError("edges must be strictly increasing")
+        self.edges = edges
+        self.counts = np.zeros(edges.size + 1, dtype=np.int64)
+        self.n = 0
+        self.sum = 0.0
+        self.min = np.inf
+        self.max = -np.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if not np.isfinite(value):
+            raise ValueError("histogram values must be finite")
+        idx = int(np.searchsorted(self.edges, value, side="left"))
+        self.counts[idx] += 1
+        self.n += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def observe_many(self, values) -> None:
+        """Bulk observation: one vectorised pass, for hot-path callers."""
+        v = np.asarray(values, dtype=np.float64).ravel()
+        if v.size == 0:
+            return
+        # min/max double as the finiteness check (NaN propagates through
+        # both reductions), sparing a full isfinite pass per batch
+        lo, hi = float(v.min()), float(v.max())
+        if not (np.isfinite(lo) and np.isfinite(hi)):
+            raise ValueError("histogram values must be finite")
+        idx = np.searchsorted(self.edges, v, side="left")
+        self.counts += np.bincount(idx, minlength=self.counts.size)
+        self.n += v.size
+        self.sum += float(v.sum())
+        self.min = min(self.min, lo)
+        self.max = max(self.max, hi)
+
+    def mean(self) -> float:
+        if self.n == 0:
+            raise ValueError("histogram is empty")
+        return self.sum / self.n
+
+    def quantile(self, q: float) -> float:
+        """Streaming quantile estimate from the bucket counts."""
+        if self.n == 0:
+            raise ValueError("histogram is empty")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must lie in [0, 1]")
+        cum = np.cumsum(self.counts)
+        target = q * self.n
+        b = int(np.searchsorted(cum, target, side="left"))
+        lo = self.edges[b - 1] if b > 0 else self.min
+        hi = self.edges[b] if b < self.edges.size else self.max
+        below = cum[b - 1] if b > 0 else 0
+        in_bucket = self.counts[b]
+        if in_bucket > 0:
+            frac = (target - below) / in_bucket
+            est = lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+        else:
+            est = hi
+        return float(min(max(est, self.min), self.max))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, n={self.n})"
+
+
+class StageTimer:
+    """Context manager timing one named pipeline stage into a histogram."""
+
+    __slots__ = ("histogram", "_t0")
+
+    def __init__(self, histogram: Histogram):
+        self.histogram = histogram
+        self._t0 = 0.0
+
+    def __enter__(self) -> "StageTimer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.histogram.observe(time.perf_counter() - self._t0)
+        return False
+
+
+#: Buckets for stage timers: 100 us .. 1000 s, 4 per decade.
+_TIMER_EDGES = default_edges(1e-4, 1e3, per_decade=4)
+
+
+class MetricsRegistry:
+    """Holds every metric and event of one observed run.
+
+    Metrics are addressed by ``(name, labels)``: repeated lookups return
+    the same object, so instrumented code calls ``registry.counter(...)``
+    at use sites without bookkeeping.  A name registered as one metric
+    kind cannot be re-registered as another.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple, object] = {}
+        self._kinds: dict[str, type] = {}
+        self.events: list[dict] = []
+
+    # ------------------------------------------------------------------
+    # metric accessors (get-or-create)
+    # ------------------------------------------------------------------
+    def _get(self, cls, name: str, help: str, labels: dict | None,
+             **kwargs):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is not None:
+            if type(metric) is not cls:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}"
+                )
+            return metric
+        registered = self._kinds.get(name)
+        if registered is not None and registered is not cls:
+            raise ValueError(
+                f"metric {name!r} already registered as {registered.__name__}"
+            )
+        metric = cls(name, help, labels=labels, **kwargs)
+        self._metrics[key] = metric
+        self._kinds[name] = cls
+        return metric
+
+    def counter(self, name: str, help: str = "",
+                labels: dict | None = None) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: dict | None = None) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  edges: np.ndarray | None = None,
+                  labels: dict | None = None) -> Histogram:
+        return self._get(Histogram, name, help, labels, edges=edges)
+
+    def timer(self, name: str, help: str = "") -> StageTimer:
+        """A stage timer recording seconds into ``<name>_seconds``."""
+        return StageTimer(
+            self.histogram(f"{name}_seconds", help, edges=_TIMER_EDGES)
+        )
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def event(self, kind: str, **fields) -> dict:
+        """Append one structured event (e.g. ``drift_warning``)."""
+        record = {"kind": str(kind), **fields}
+        self.events.append(record)
+        return record
+
+    def events_of_kind(self, kind: str) -> list[dict]:
+        return [e for e in self.events if e["kind"] == kind]
+
+    # ------------------------------------------------------------------
+    # views (exporters iterate these; deterministic order)
+    # ------------------------------------------------------------------
+    def _of_type(self, cls) -> list:
+        out = [m for m in self._metrics.values() if type(m) is cls]
+        return sorted(out, key=lambda m: (m.name, _label_key(m.labels)))
+
+    def counters(self) -> list[Counter]:
+        return self._of_type(Counter)
+
+    def gauges(self) -> list[Gauge]:
+        return self._of_type(Gauge)
+
+    def histograms(self) -> list[Histogram]:
+        return self._of_type(Histogram)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+# ----------------------------------------------------------------------
+# disabled mode: shared no-op singletons, zero allocation per use
+# ----------------------------------------------------------------------
+class _NullTimer:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, values) -> None:
+        pass
+
+
+_NULL_TIMER = _NullTimer()
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry:
+    """Accepts every telemetry call and records nothing.
+
+    Every accessor returns a shared singleton, so routing code through a
+    ``NullRegistry`` neither allocates nor branches beyond the method
+    call itself -- the "zero-allocation no-op" the perf suite pins.
+    """
+
+    events: list[dict] = []  # intentionally shared and always empty
+
+    def counter(self, name, help="", labels=None) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name, help="", labels=None) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name, help="", edges=None,
+                  labels=None) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def timer(self, name, help="") -> _NullTimer:
+        return _NULL_TIMER
+
+    def event(self, kind, **fields) -> None:
+        return None
+
+
+NULL_REGISTRY = NullRegistry()
+
+# ----------------------------------------------------------------------
+# module-global activation
+# ----------------------------------------------------------------------
+_active: MetricsRegistry | None = None
+
+
+def enable(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Activate telemetry process-wide; returns the active registry."""
+    global _active
+    _active = registry if registry is not None else MetricsRegistry()
+    return _active
+
+
+def disable() -> None:
+    """Deactivate telemetry (instrumented code reverts to no-ops)."""
+    global _active
+    _active = None
+
+
+def active() -> MetricsRegistry | None:
+    """The enabled registry, or ``None`` when telemetry is off."""
+    return _active
+
+
+class use:
+    """Scoped activation: ``with telemetry.use(reg): ...`` (re-entrant)."""
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self._prev: MetricsRegistry | None = None
+
+    def __enter__(self) -> MetricsRegistry:
+        global _active
+        self._prev = _active
+        _active = self.registry
+        return self.registry
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _active
+        _active = self._prev
+        return False
+
+
+def stage(name: str, help: str = ""):
+    """Stage timer against the active registry; shared no-op when off."""
+    reg = _active
+    if reg is None:
+        return _NULL_TIMER
+    return reg.timer(name, help)

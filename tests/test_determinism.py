@@ -108,6 +108,57 @@ def test_csv_on_disk_matches_across_jobs(pool, tmp_path):
     assert paths[0].read_bytes() == paths[1].read_bytes()
 
 
+@pytest.mark.parametrize("source", sorted(SOURCES))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_telemetry_on_off_byte_identical(source, seed, pool):
+    """Enabling telemetry must not perturb a single output byte.
+
+    The instrumentation never touches a random generator, so a fully
+    observed run -- registry enabled, drift monitor attached -- produces
+    the same spec JSON, request CSV bytes, and replay outcomes as a dark
+    run.  Checked across the full seed x trace-source matrix.
+    """
+    from repro import telemetry
+    from repro.telemetry import DriftMonitor
+
+    trace = SOURCES[source](seed)
+    dark = _run_pipeline(trace, pool, seed)
+
+    registry = telemetry.MetricsRegistry()
+    with telemetry.use(registry):
+        spec = ShrinkRay().run(trace, pool, max_rps=4.0,
+                               duration_minutes=5, seed=seed)
+        req = generate_request_trace(spec, seed=seed)
+        drift = DriftMonitor(spec.invocation_duration_cdf(),
+                             band=0.5, window=256)
+        backend = FaaSCluster(
+            profiles_from_spec(spec), n_nodes=4, node_memory_mb=8_192.0
+        )
+        result = replay(req, backend, drift=drift)
+    summary = summarize(result.records)
+    observed = (
+        json.dumps(spec.to_dict(), sort_keys=True),
+        _csv_bytes(req),
+        {
+            "n_invocations": summary["n_invocations"],
+            "ok_fraction": summary["ok_fraction"],
+            "cold_fraction": summary["cold_fraction"],
+        },
+    )
+
+    assert observed[0] == dark[0], "spec JSON differs under telemetry"
+    assert observed[1] == dark[1], "request CSV differs under telemetry"
+    assert observed[2] == dark[2], "outcomes differ under telemetry"
+    # and the observed run actually collected something
+    assert registry.counter("generated_requests_total").value == \
+        req.n_requests
+    assert registry.counter("replay_requests_total").value == req.n_requests
+    assert drift.n_observed == req.n_requests
+    assert drift.n_windows > 0
+    # telemetry is scoped: nothing leaks outside the context manager
+    assert telemetry.active() is None
+
+
 def test_explicit_shards_part_of_the_contract(pool):
     """Same shards = same trace for any jobs; different shards = a
     different (but equally valid) realisation."""

@@ -1,0 +1,214 @@
+"""Property-based tests for the Smirnov (inverse-transform) machinery.
+
+Runs under Hypothesis when it is installed; a seeded-parametrization
+fallback exercises the same invariants otherwise, so the suite never
+silently loses this coverage (same structure as
+``test_properties_arrivals.py``).
+
+Properties pinned (per ISSUE 3):
+- the inverse CDF is monotone in ``q`` and bounded by the support, for
+  both inverse methods;
+- quantile-inverse consistency: the step inverse satisfies the
+  generalised-inverse identities ``F(F^-1(q)) >= q`` and
+  ``F^-1(F(x)) <= x``, and the linear inverse passes exactly through the
+  empirical knots;
+- sampling through the transform converges: the KS distance between
+  generated samples and the target stays below the DKW sampling band
+  across random weighted mixtures, and below ``1/n`` exactly for
+  stratified draws pushed through the step inverse.
+"""
+
+import numpy as np
+import numpy.testing as npt
+import pytest
+
+from repro.stats.distance import dkw_band, ks_distance
+from repro.stats.ecdf import EmpiricalCDF
+from repro.stats.sampling import smirnov_sample, stratified_uniform
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - environment without hypothesis
+    HAVE_HYPOTHESIS = False
+
+# Seeded fallback cases: (seed, n_support, weighted) -- always run, so
+# the invariants stay pinned even where hypothesis is missing.
+FALLBACK_CASES = [
+    (0, 1, False), (1, 2, True), (2, 5, False), (3, 17, True),
+    (4, 64, True), (5, 256, False), (6, 1000, True),
+]
+
+METHODS = ("linear", "step")
+
+
+def _random_cdf(seed: int, n_support: int, weighted: bool) -> EmpiricalCDF:
+    """A weighted ECDF over a lognormal-mixture support (duration-like)."""
+    rng = np.random.default_rng(seed)
+    # two lognormal components, like the repo's duration mixtures
+    half = max(n_support // 2, 1)
+    vals = np.concatenate([
+        rng.lognormal(mean=np.log(80.0), sigma=1.2, size=half),
+        rng.lognormal(mean=np.log(2000.0), sigma=0.8,
+                      size=n_support - half),
+    ])[:n_support]
+    weights = rng.integers(1, 1000, size=n_support) if weighted else None
+    return EmpiricalCDF.from_samples(vals, weights)
+
+
+def check_quantile_monotone_and_bounded(cdf: EmpiricalCDF, seed: int):
+    rng = np.random.default_rng(seed)
+    q = np.sort(rng.random(257))
+    for method in METHODS:
+        x = np.atleast_1d(cdf.quantile(q, method=method))
+        assert np.all(np.diff(x) >= 0), f"{method} inverse not monotone"
+        assert np.all(x >= cdf.support[0] - 1e-12)
+        assert np.all(x <= cdf.support[-1] + 1e-12)
+
+
+def check_step_inverse_identities(cdf: EmpiricalCDF, seed: int):
+    rng = np.random.default_rng(seed)
+    q = rng.random(129)
+    x = np.atleast_1d(cdf.quantile(q, method="step"))
+    # generalised inverse: F(F^-1(q)) >= q ...
+    assert np.all(np.asarray(cdf(x)) >= q - 1e-12)
+    # ... and F^-1(F(x)) <= x on the support (it is the smallest such x)
+    back = np.atleast_1d(cdf.quantile(np.asarray(cdf(cdf.support)),
+                                      method="step"))
+    assert np.all(back <= cdf.support + 1e-12)
+
+
+def check_linear_inverse_hits_knots(cdf: EmpiricalCDF):
+    # the interpolated inverse passes exactly through (probs, support)
+    knots = np.atleast_1d(cdf.quantile(cdf.probs, method="linear"))
+    npt.assert_allclose(knots, cdf.support, rtol=1e-12, atol=0.0)
+
+
+def check_sampling_ks_below_band(cdf: EmpiricalCDF, seed: int):
+    """KS(generated, target) is explainable by sampling noise alone."""
+    rng = np.random.default_rng(seed)
+    n = 4096
+    samples = smirnov_sample(cdf, n, rng, method="step")
+    assert samples.shape == (n,)
+    ks = ks_distance(EmpiricalCDF.from_samples(samples), cdf)
+    # alpha=1e-6: a faithful sampler exceeds this once in a million runs
+    assert ks <= dkw_band(n, alpha=1e-6)
+
+
+def check_stratified_step_ks_tight(cdf: EmpiricalCDF, seed: int):
+    """Stratified uniforms + exact inverse give the hard 1/n KS bound."""
+    rng = np.random.default_rng(seed)
+    n = 512
+    u = stratified_uniform(n, rng)
+    samples = np.atleast_1d(cdf.quantile(u, method="step"))
+    ks = ks_distance(EmpiricalCDF.from_samples(samples), cdf)
+    assert ks <= 1.0 / n + 1e-12
+
+
+def check_antithetic_pairing(cdf: EmpiricalCDF, seed: int):
+    rng = np.random.default_rng(seed)
+    for n in (1, 2, 7, 100):
+        samples = smirnov_sample(cdf, n, rng, antithetic=True)
+        assert samples.shape == (n,)
+        assert np.all(np.isfinite(samples))
+
+
+# --- always-on seeded parametrization -------------------------------------
+
+@pytest.mark.parametrize("seed,n_support,weighted", FALLBACK_CASES)
+def test_quantile_monotone_and_bounded(seed, n_support, weighted):
+    check_quantile_monotone_and_bounded(
+        _random_cdf(seed, n_support, weighted), seed
+    )
+
+
+@pytest.mark.parametrize("seed,n_support,weighted", FALLBACK_CASES)
+def test_step_inverse_identities(seed, n_support, weighted):
+    check_step_inverse_identities(
+        _random_cdf(seed, n_support, weighted), seed
+    )
+
+
+@pytest.mark.parametrize("seed,n_support,weighted", FALLBACK_CASES)
+def test_linear_inverse_hits_knots(seed, n_support, weighted):
+    check_linear_inverse_hits_knots(_random_cdf(seed, n_support, weighted))
+
+
+@pytest.mark.parametrize("seed,n_support,weighted", FALLBACK_CASES)
+def test_sampling_ks_below_band(seed, n_support, weighted):
+    check_sampling_ks_below_band(
+        _random_cdf(seed, n_support, weighted), seed
+    )
+
+
+@pytest.mark.parametrize("seed,n_support,weighted", FALLBACK_CASES)
+def test_stratified_step_ks_tight(seed, n_support, weighted):
+    check_stratified_step_ks_tight(
+        _random_cdf(seed, n_support, weighted), seed
+    )
+
+
+@pytest.mark.parametrize("seed,n_support,weighted", FALLBACK_CASES)
+def test_antithetic_pairing(seed, n_support, weighted):
+    check_antithetic_pairing(_random_cdf(seed, n_support, weighted), seed)
+
+
+def test_invalid_inputs():
+    cdf = _random_cdf(0, 8, False)
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError, match="positive"):
+        smirnov_sample(cdf, 0, rng)
+    with pytest.raises(ValueError, match="positive"):
+        stratified_uniform(-3, rng)
+    with pytest.raises(ValueError, match="unknown quantile method"):
+        cdf.quantile(0.5, method="spline")
+    with pytest.raises(ValueError, match=r"\[0, 1\]"):
+        cdf.quantile(1.5)
+
+
+# --- hypothesis (when available) ------------------------------------------
+
+if HAVE_HYPOTHESIS:
+    seeds = st.integers(min_value=0, max_value=2**32 - 1)
+    supports = st.integers(min_value=1, max_value=512)
+    weighted_flags = st.booleans()
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=seeds, n_support=supports, weighted=weighted_flags)
+    def test_hypothesis_quantile_monotone_and_bounded(seed, n_support,
+                                                      weighted):
+        check_quantile_monotone_and_bounded(
+            _random_cdf(seed, n_support, weighted), seed
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=seeds, n_support=supports, weighted=weighted_flags)
+    def test_hypothesis_step_inverse_identities(seed, n_support, weighted):
+        check_step_inverse_identities(
+            _random_cdf(seed, n_support, weighted), seed
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=seeds, n_support=supports, weighted=weighted_flags)
+    def test_hypothesis_linear_inverse_hits_knots(seed, n_support,
+                                                  weighted):
+        check_linear_inverse_hits_knots(
+            _random_cdf(seed, n_support, weighted)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds, n_support=supports, weighted=weighted_flags)
+    def test_hypothesis_sampling_ks_below_band(seed, n_support, weighted):
+        check_sampling_ks_below_band(
+            _random_cdf(seed, n_support, weighted), seed
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds, n_support=supports, weighted=weighted_flags)
+    def test_hypothesis_stratified_step_ks_tight(seed, n_support,
+                                                 weighted):
+        check_stratified_step_ks_tight(
+            _random_cdf(seed, n_support, weighted), seed
+        )
