@@ -9,8 +9,8 @@ one call (or ``repro report`` from the CLI).
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.analysis.figures import FigureContext
 

@@ -8,6 +8,7 @@ Used by the robustness benchmark and available from the CLI.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 import numpy as np
@@ -49,7 +50,7 @@ class SensitivityResult:
 
 
 def seed_sweep(
-    seeds=range(5),
+    seeds: Iterable[int] | None = None,
     *,
     n_functions: int = 2_000,
     max_rps: float = 10.0,
@@ -60,8 +61,9 @@ def seed_sweep(
 
     Each seed regenerates the synthetic trace *and* the downstream
     randomness, so the spread covers both substrate and pipeline noise.
+    ``seeds`` defaults to ``range(5)``.
     """
-    seeds = list(seeds)
+    seeds = list(seeds) if seeds is not None else list(range(5))
     if not seeds:
         raise ValueError("need at least one seed")
     pool = pool if pool is not None else build_default_pool()

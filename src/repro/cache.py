@@ -28,7 +28,9 @@ import hashlib
 import os
 import pickle
 import tempfile
+from collections.abc import Callable
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -57,7 +59,7 @@ def code_version() -> str:
     return f"{__version__}+schema{CACHE_SCHEMA_VERSION}"
 
 
-def _update(h, obj) -> None:
+def _update(h: hashlib._Hash, obj: object) -> None:
     """Feed one object into the digest with type tags and length prefixes
     (so ``("ab", "c")`` and ``("a", "bc")`` cannot collide)."""
     if obj is None:
@@ -111,7 +113,7 @@ def _update(h, obj) -> None:
         )
 
 
-def fingerprint(*parts) -> str:
+def fingerprint(*parts: object) -> str:
     """Stable SHA-256 hex digest of a canonical encoding of ``parts``.
 
     Deterministic across processes and sessions: dict ordering is
@@ -145,7 +147,7 @@ class ContentCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
-    def get(self, key: str):
+    def get(self, key: str) -> Any:
         """Return the stored value, or raise ``KeyError`` on a miss.
 
         Unreadable / corrupted / mis-keyed entries count as misses: the
@@ -184,7 +186,7 @@ class ContentCache:
             reg.counter("cache_misses_total",
                         "content-cache lookups that fell through").inc()
 
-    def put(self, key: str, value) -> None:
+    def put(self, key: str, value: object) -> None:
         """Store ``value`` under ``key`` via write-to-temp + atomic rename.
 
         Concurrent writers of the same key are safe: each writes its own
@@ -211,7 +213,7 @@ class ContentCache:
                 pass
             raise
 
-    def memoize(self, key: str, compute):
+    def memoize(self, key: str, compute: Callable[[], Any]) -> Any:
         """``get(key)``, falling back to ``put(key, compute())``."""
         try:
             return self.get(key)

@@ -214,7 +214,7 @@ def _cmd_replay(args) -> int:
         try:
             profile = FaultProfile.from_json(args.fault_profile)
         except (OSError, ValueError) as exc:
-            raise SystemExit(f"cannot load fault profile: {exc}")
+            raise SystemExit(f"cannot load fault profile: {exc}") from exc
     if args.error_rate is not None:
         if not 0 <= args.error_rate <= 1:
             raise SystemExit("--error-rate must be in [0, 1]")

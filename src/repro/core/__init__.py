@@ -5,6 +5,8 @@ section 3 end to end; :func:`generate` forwards to the online load
 generator so the two-step "spec then replay" flow is one import away.
 """
 
+from typing import TYPE_CHECKING
+
 from repro.core.aggregation import AggregationAudit, aggregate_functions
 from repro.core.mapping import FunctionMapping, map_functions
 from repro.core.rate_scaling import scale_request_rate
@@ -19,6 +21,13 @@ from repro.core.spec_ops import (
 )
 from repro.core.time_scaling import minute_range_scale, thumbnail_scale
 from repro.core.variable_input import build_variant_table, sample_variants
+
+if TYPE_CHECKING:
+    from typing import Any
+
+    import numpy as np
+
+    from repro.loadgen.generator import RequestTrace
 
 __all__ = [
     "AggregationAudit",
@@ -45,7 +54,11 @@ __all__ = [
 ]
 
 
-def generate(spec, seed=0, **kwargs):
+def generate(
+    spec: "ExperimentSpec",
+    seed: "int | np.random.Generator" = 0,
+    **kwargs: "Any",
+) -> "RequestTrace":
     """Generate a request trace from a spec (see
     :func:`repro.loadgen.generate_request_trace`)."""
     from repro.loadgen import generate_request_trace

@@ -54,7 +54,7 @@ class AggregationAudit:
     def n_aggregated(self) -> int:
         return int(self.aggregated_keys.size)
 
-    def popularity_change_series(self):
+    def popularity_change_series(self) -> tuple[np.ndarray, np.ndarray]:
         """Sorted popularity changes + CDF probabilities (Figure 4)."""
         return popularity_change_cdf(
             self.original_shares,
@@ -64,7 +64,10 @@ class AggregationAudit:
         )
 
 
-def _aggregate_shard(args):
+def _aggregate_shard(
+    args: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+           np.ndarray]:
     """Segment-sum one contiguous slice of functions by duration key.
 
     Module-level so it pickles into pool workers.  Returns the shard's

@@ -74,7 +74,9 @@ class FunctionMapping:
         return out
 
 
-def _candidate_shard(args):
+def _candidate_shard(
+    args: tuple[np.ndarray, np.ndarray, float],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Candidate ranges + nearest fallback for one slice of Functions.
 
     Replicates :meth:`WorkloadPool.within_threshold` /
@@ -175,7 +177,7 @@ def map_functions(
         if memory_weight < 0:
             raise ValueError("memory_weight must be non-negative")
 
-    def _best(cand_idx, i, rank):
+    def _best(cand_idx: np.ndarray, i: int, rank: int) -> int:
         """Best candidate: runtime-closest, memory breaking near-ties."""
         rt_err = np.abs(runtimes[cand_idx] - durations[i]) / durations[i]
         if memory_targets is None or rank < memory_protect_top:

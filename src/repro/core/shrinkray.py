@@ -16,6 +16,7 @@ Figure 2:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -27,6 +28,9 @@ from repro.core.time_scaling import thumbnail_scale
 from repro.telemetry import registry as _telemetry
 from repro.traces.model import Trace
 from repro.workloads.pool import WorkloadPool
+
+if TYPE_CHECKING:
+    from repro.cache import ContentCache
 
 __all__ = ["ShrinkRay", "ShrinkReport", "shrink"]
 
@@ -150,7 +154,7 @@ class ShrinkRay:
         max_rps: float,
         duration_minutes: int,
         seed: int | np.random.Generator = 0,
-        cache=None,
+        cache: ContentCache | None = None,
     ) -> ExperimentSpec:
         """Produce an experiment spec for ``trace`` against ``pool``.
 
@@ -174,12 +178,12 @@ class ShrinkRay:
             key = self._cache_key(trace, pool, max_rps, duration_minutes,
                                   int(seed))
             try:
-                spec = cache.get(key)
+                cached: ExperimentSpec = cache.get(key)
             except KeyError:
                 pass
             else:
                 self._last_report = None
-                return spec
+                return cached
 
         rng = np.random.default_rng(seed)
 
@@ -311,8 +315,8 @@ def shrink(
     max_rps: float,
     duration_minutes: int,
     seed: int | np.random.Generator = 0,
-    cache=None,
-    **config,
+    cache: ContentCache | None = None,
+    **config: Any,
 ) -> ExperimentSpec:
     """One-call convenience over :class:`ShrinkRay` with default config."""
     return ShrinkRay(**config).run(

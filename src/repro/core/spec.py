@@ -12,6 +12,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -64,7 +65,7 @@ class ExperimentSpec:
     max_rps: float
     entries: list[SpecEntry]
     per_minute: np.ndarray
-    metadata: dict = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.per_minute = np.asarray(self.per_minute, dtype=np.int64)
@@ -99,7 +100,7 @@ class ExperimentSpec:
 
     @property
     def aggregate_per_minute(self) -> np.ndarray:
-        return self.per_minute.sum(axis=0)
+        return np.asarray(self.per_minute.sum(axis=0))
 
     @property
     def busiest_minute_rate(self) -> int:
@@ -111,7 +112,7 @@ class ExperimentSpec:
 
     @property
     def requests_per_function(self) -> np.ndarray:
-        return self.per_minute.sum(axis=1)
+        return np.asarray(self.per_minute.sum(axis=1))
 
     def invocation_duration_cdf(self) -> EmpiricalCDF:
         """Weighted CDF of the spec's expected invocation durations
@@ -136,7 +137,7 @@ class ExperimentSpec:
     # ------------------------------------------------------------------
     # serialisation
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "version": _SPEC_VERSION,
             "name": self.name,
@@ -157,7 +158,7 @@ class ExperimentSpec:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ExperimentSpec":
+    def from_dict(cls, data: dict[str, Any]) -> ExperimentSpec:
         version = data.get("version")
         if version != _SPEC_VERSION:
             raise ValueError(
@@ -178,5 +179,5 @@ class ExperimentSpec:
         Path(path).write_text(json.dumps(self.to_dict()))
 
     @classmethod
-    def load(cls, path: Path | str) -> "ExperimentSpec":
+    def load(cls, path: Path | str) -> ExperimentSpec:
         return cls.from_dict(json.loads(Path(path).read_text()))

@@ -9,10 +9,12 @@ against the source trace without re-running the pipeline.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 import numpy as np
 
 from repro.core.rate_scaling import scale_request_rate
-from repro.core.spec import ExperimentSpec
+from repro.core.spec import ExperimentSpec, SpecEntry
 from repro.stats.distance import ks_relative_band
 from repro.traces.model import Trace
 
@@ -78,7 +80,9 @@ def merge_specs(a: ExperimentSpec, b: ExperimentSpec) -> ExperimentSpec:
     )
 
 
-def filter_spec(spec: ExperimentSpec, predicate) -> ExperimentSpec:
+def filter_spec(
+    spec: ExperimentSpec, predicate: Callable[[SpecEntry], bool]
+) -> ExperimentSpec:
     """Spec restricted to the entries where ``predicate(entry)`` holds."""
     keep = [i for i, e in enumerate(spec.entries) if predicate(e)]
     if not keep:
@@ -96,7 +100,7 @@ def filter_spec(spec: ExperimentSpec, predicate) -> ExperimentSpec:
     )
 
 
-def fidelity_report(spec: ExperimentSpec, trace: Trace) -> dict:
+def fidelity_report(spec: ExperimentSpec, trace: Trace) -> dict[str, float]:
     """How faithfully a spec downscales its source trace.
 
     Returns the three statistics the paper's evaluation revolves around:
@@ -126,7 +130,7 @@ def fidelity_report(spec: ExperimentSpec, trace: Trace) -> dict:
     corr = float(np.corrcoef(
         spec.aggregate_per_minute.astype(float), target)[0, 1])
 
-    def top_decile(vals):
+    def top_decile(vals: np.ndarray) -> float:
         x, y = popularity_curve(vals)
         return float(y[np.searchsorted(x, 0.10, side="left")])
 

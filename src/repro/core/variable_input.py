@@ -22,6 +22,8 @@ fixed-input mapping -- now with genuine per-invocation input diversity.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.traces.model import Trace
@@ -36,7 +38,7 @@ def build_variant_table(
     *,
     error_threshold_pct: float = 10.0,
     max_variants: int = 4,
-) -> list[list[dict]]:
+) -> list[list[dict[str, Any]]]:
     """Per-Function candidate Workloads with sampling weights.
 
     Returns a JSON-able table aligned with ``trace``'s functions: each row
@@ -50,7 +52,7 @@ def build_variant_table(
     if error_threshold_pct < 0:
         raise ValueError("error_threshold_pct must be non-negative")
     runtimes = pool.runtimes_ms
-    table: list[list[dict]] = []
+    table: list[list[dict[str, Any]]] = []
     for target in trace.durations_ms:
         cand = pool.within_threshold(float(target), error_threshold_pct)
         if cand.size == 0:
@@ -74,10 +76,10 @@ def build_variant_table(
 
 
 def sample_variants(
-    table: list[list[dict]],
+    table: list[list[dict[str, Any]]],
     fn_idx: np.ndarray,
     rng: np.random.Generator,
-):
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Draw one variant per request.
 
     Parameters

@@ -1,0 +1,51 @@
+"""repro-lint: AST-based determinism & cache-safety analyzer.
+
+The pipeline's correctness contract -- ``jobs=N`` byte-identical to
+sequential, cache hit identical to miss, telemetry on identical to off
+-- rests on source-level conventions (RNG discipline, no wall-clock in
+seeded stages, complete cache fingerprints).  This package turns those
+conventions into machine-checked rules over the stdlib ``ast``:
+
+==========  ==================  ============================================
+Rule ID     Slug                Invariant enforced
+==========  ==================  ============================================
+DET001      wall-clock          no wall-clock / entropy sources
+DET002      global-rng          no legacy or global RNG state
+DET003      unordered-iter      no set/``dict.keys()`` iteration in
+                                seeded packages
+CACHE001    fingerprint         cache fingerprints cover every
+                                output-affecting parameter
+TEL001      telemetry-hot-loop  no per-iteration telemetry lookups in loops
+GEN001      float-eq            no ``==`` / ``!=`` against float literals
+GEN002      mutable-default     no mutable default argument values
+GEN003      bare-except         no bare ``except:`` clauses
+==========  ==================  ============================================
+
+Intentional violations carry an inline pragma on the offending line (or
+the line directly above)::
+
+    t0 = time.perf_counter()  # repro: allow-wall-clock
+
+Pragmas accept the rule ID (``allow-det001``) or slug
+(``allow-wall-clock``), comma-separated for multiple rules.  See
+``docs/DETERMINISM.md`` for the full catalogue.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import LintResult, Rule, all_rules, lint_paths, lint_source
+from repro.lint.findings import Finding
+from repro.lint.pragmas import pragma_lines
+from repro.lint.reporters import render_console, render_json
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "pragma_lines",
+    "render_console",
+    "render_json",
+]

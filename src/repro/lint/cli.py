@@ -1,0 +1,83 @@
+"""The ``repro-lint`` console entry point.
+
+Usage::
+
+    repro-lint src/repro                  # lint a tree, console report
+    repro-lint --format json src/repro    # machine-readable report
+    repro-lint --select det001,cache001 src/repro
+    repro-lint --list-rules
+
+Exit status: 0 when every finding is pragma-suppressed, 1 when
+unsuppressed findings (or unparsable files) remain, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.lint.engine import all_rules, lint_paths
+from repro.lint.reporters import render_console, render_json
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based determinism & cache-safety analyzer for the "
+            "FaaSRail reproduction pipeline"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("console", "json"), default="console",
+        help="report format (default: console)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule IDs or slugs to run (default: all)",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include pragma-suppressed findings in the console report",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every registered rule and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.slug:20s} {rule.description}")
+        return 0
+
+    select = args.select.split(",") if args.select else None
+    try:
+        result = lint_paths(args.paths, select=select)
+    except ValueError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_console(result, show_suppressed=args.show_suppressed))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

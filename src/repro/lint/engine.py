@@ -1,0 +1,203 @@
+"""Rule registry and the lint driver.
+
+A rule is a class with a ``rule_id`` (e.g. ``DET001``), a ``slug``
+(e.g. ``wall-clock``), and a ``check(ctx)`` generator yielding
+:class:`~repro.lint.findings.Finding` records.  The driver parses each
+file once, runs every selected rule over the shared
+:class:`~repro.lint.context.FileContext`, then marks findings that a
+``# repro: allow-<rule>`` pragma covers as suppressed.
+
+Rules register themselves via ``Rule.__init_subclass__``, so importing a
+rule module is all it takes to make its rules available.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.pragmas import pragma_lines
+
+__all__ = [
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]
+
+
+class Rule:
+    """Base class; subclasses auto-register by ``rule_id``."""
+
+    rule_id: str = ""
+    slug: str = ""
+
+    _registry: dict[str, type[Rule]] = {}
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        if not cls.rule_id or not cls.slug:
+            raise TypeError(
+                f"{cls.__name__} must define class attributes "
+                "`rule_id` and `slug`"
+            )
+        existing = Rule._registry.get(cls.rule_id)
+        if existing is not None and existing is not cls:
+            raise ValueError(
+                f"duplicate rule id {cls.rule_id!r}: "
+                f"{existing.__name__} vs {cls.__name__}"
+            )
+        Rule._registry[cls.rule_id] = cls
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    @property
+    def description(self) -> str:
+        doc = type(self).__doc__ or ""
+        return doc.strip().splitlines()[0] if doc else ""
+
+
+def _load_rule_modules() -> None:
+    # Importing registers every Rule subclass; deferred so that
+    # ``engine`` itself can be imported by the rule modules.
+    from repro.lint import (  # noqa: F401
+        rules_cache,
+        rules_determinism,
+        rules_generic,
+        rules_telemetry,
+    )
+
+
+def all_rules(select: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate every registered rule, in rule-ID order.
+
+    ``select`` filters by rule ID or slug (case-insensitive); an unknown
+    selector raises ``ValueError`` so typos cannot silently disable a
+    check.
+    """
+    _load_rule_modules()
+    rules = [cls() for _, cls in sorted(Rule._registry.items())]
+    if select is None:
+        return rules
+    wanted = {s.strip().lower() for s in select if s.strip()}
+    known = {r.rule_id.lower() for r in rules} | {r.slug for r in rules}
+    unknown = wanted - known
+    if unknown:
+        raise ValueError(
+            f"unknown rule selector(s): {', '.join(sorted(unknown))}"
+        )
+    return [
+        r for r in rules
+        if r.rule_id.lower() in wanted or r.slug in wanted
+    ]
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run over one or more files."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: list[Finding] = field(default_factory=list)
+
+    @property
+    def unsuppressed(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.unsuppressed and not self.parse_errors
+
+    def summary(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for f in self.unsuppressed:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def extend(self, other: LintResult) -> None:
+        self.findings.extend(other.findings)
+        self.parse_errors.extend(other.parse_errors)
+        self.files_checked += other.files_checked
+
+
+def _apply_pragmas(findings: list[Finding], source: str) -> list[Finding]:
+    allowed = pragma_lines(source)
+    if not allowed:
+        return sorted(findings)
+    out = []
+    for f in findings:
+        tokens: set[str] = set()
+        for line in range(f.line, max(f.line, f.end_line) + 1):
+            tokens |= allowed.get(line, set())
+        if f.rule.lower() in tokens or f.slug in tokens:
+            f = f.suppress()
+        out.append(f)
+    return sorted(out)
+
+
+def lint_source(
+    source: str,
+    path: Path | str = "<string>",
+    rules: Sequence[Rule] | None = None,
+) -> LintResult:
+    """Lint one in-memory source blob (the test suite's entry point)."""
+    path = Path(path)
+    result = LintResult(files_checked=1)
+    try:
+        ctx = FileContext.parse(path, source)
+    except SyntaxError as exc:
+        result.parse_errors.append(Finding(
+            path=str(path), line=exc.lineno or 0, col=exc.offset or 0,
+            rule="PARSE", slug="syntax-error",
+            message=f"could not parse: {exc.msg}",
+        ))
+        return result
+    if rules is None:
+        rules = all_rules()
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(ctx))
+    # Dedup by (path, line, col, rule): nested constructs can make a rule
+    # visit the same call site twice.
+    findings = list(dict.fromkeys(findings))
+    result.findings = _apply_pragmas(findings, source)
+    return result
+
+
+def lint_file(path: Path, rules: Sequence[Rule] | None = None) -> LintResult:
+    return lint_source(path.read_text(), path, rules)
+
+
+def _python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            yield from sorted(
+                f for f in p.rglob("*.py")
+                if "__pycache__" not in f.parts
+            )
+        else:
+            yield p
+
+
+def lint_paths(
+    paths: Iterable[Path | str],
+    select: Iterable[str] | None = None,
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    rules = all_rules(select)
+    total = LintResult()
+    for path in _python_files(paths):
+        total.extend(lint_file(path, rules))
+    total.findings.sort()
+    return total

@@ -1,0 +1,45 @@
+"""The finding record every rule emits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Orderable so reports are deterministic: findings sort by path, then
+    line/column, then rule ID.  ``suppressed`` findings matched an inline
+    ``# repro: allow-<rule>`` pragma; they are reported (JSON mode) but
+    never fail the run.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    slug: str = field(compare=False)
+    message: str = field(compare=False)
+    end_line: int = field(default=0, compare=False)
+    suppressed: bool = field(default=False, compare=False)
+
+    def suppress(self) -> Finding:
+        return replace(self, suppressed=True)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "slug": self.slug,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+
+    def __str__(self) -> str:
+        tag = " (suppressed)" if self.suppressed else ""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} [{self.slug}] {self.message}{tag}")

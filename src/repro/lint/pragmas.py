@@ -1,0 +1,71 @@
+"""Inline suppression pragmas: ``# repro: allow-<rule>``.
+
+A pragma names the rule it silences by ID (``allow-det001``) or slug
+(``allow-wall-clock``), case-insensitively; several rules may be listed
+comma-separated::
+
+    t0 = time.perf_counter()  # repro: allow-wall-clock
+    # repro: allow-det002, allow-float-eq
+    x = noisy_line()
+
+A pragma covers findings on its own physical line and, when it stands
+alone as a comment, the first code line below it (any further comment or
+blank lines in between are skipped) -- so a pragma can sit atop an
+explanatory comment block above the ``def`` or call it annotates.
+Pragmas are extracted with :mod:`tokenize`, so a ``# repro:`` inside a
+string literal is never mistaken for one.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+__all__ = ["PRAGMA_RE", "pragma_lines"]
+
+#: Matches the pragma comment body; group 1 holds the allow-list.
+PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*(allow-[a-z0-9_-]+(?:\s*,\s*allow-[a-z0-9_-]+)*)",
+    re.IGNORECASE,
+)
+
+_ALLOW_RE = re.compile(r"allow-([a-z0-9_-]+)", re.IGNORECASE)
+
+
+def _tokens(comment: str) -> set[str]:
+    return {m.group(1).lower() for m in _ALLOW_RE.finditer(comment)}
+
+
+def pragma_lines(source: str) -> dict[int, set[str]]:
+    """Map 1-based line number -> lower-cased allowed rule tokens.
+
+    Standalone pragma comments extend their coverage down through any
+    directly following comment or blank lines to the first code line;
+    trailing pragmas cover only their own line.
+    """
+    allowed: dict[int, set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, ValueError):
+        return allowed
+    lines = source.splitlines()
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = PRAGMA_RE.search(tok.string)
+        if match is None:
+            continue
+        names = _tokens(match.group(1))
+        line = tok.start[0]
+        allowed.setdefault(line, set()).update(names)
+        standalone = tok.line[: tok.start[1]].strip() == ""
+        if standalone:
+            nxt = line + 1
+            while nxt <= len(lines):
+                stripped = lines[nxt - 1].strip()
+                allowed.setdefault(nxt, set()).update(names)
+                if stripped and not stripped.startswith("#"):
+                    break
+                nxt += 1
+    return allowed

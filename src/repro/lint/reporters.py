@@ -1,0 +1,52 @@
+"""Console and JSON renderings of a lint result."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+
+__all__ = ["JSON_SCHEMA_VERSION", "render_console", "render_json"]
+
+#: Bump on any backwards-incompatible change to the JSON layout.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_console(result: LintResult, *, show_suppressed: bool = False) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines: list[str] = []
+    for f in result.parse_errors:
+        lines.append(str(f))
+    for f in result.findings:
+        if f.suppressed and not show_suppressed:
+            continue
+        lines.append(str(f))
+    n_bad = len(result.unsuppressed) + len(result.parse_errors)
+    summary = result.summary()
+    if n_bad:
+        by_rule = ", ".join(f"{rule}: {n}" for rule, n in summary.items())
+        tail = f" ({by_rule})" if by_rule else ""
+        lines.append(
+            f"{n_bad} finding(s) in {result.files_checked} file(s){tail}; "
+            f"{len(result.suppressed)} suppressed"
+        )
+    else:
+        lines.append(
+            f"clean: {result.files_checked} file(s), "
+            f"{len(result.suppressed)} suppressed finding(s)"
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable schema, sorted findings)."""
+    payload = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "ok": result.ok,
+        "findings": [f.to_dict() for f in result.findings],
+        "parse_errors": [f.to_dict() for f in result.parse_errors],
+        "suppressed_count": len(result.suppressed),
+        "summary": result.summary(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,146 @@
+"""CACHE001: cache fingerprints must cover every output-affecting
+parameter of the function that computes the cached artifact.
+
+The stale-cache failure mode this guards against: someone adds an
+``arrival_mode`` parameter to a cached stage, forgets to thread it into
+the ``fingerprint(...)`` call, and warm runs silently return artifacts
+computed under the *old* mode -- every downstream KS statistic then
+compares against the wrong distribution, with no error anywhere.
+
+The check is a signature cross-reference with one level of local
+data-flow: at each call to :func:`repro.cache.fingerprint` inside a
+function, every parameter of that function must be *reachable* from the
+fingerprint's argument expressions -- either named directly
+(``int(seed)`` covers ``seed``) or through a local assignment chain
+(``n_shards = shards if shards is not None else ...`` lets ``n_shards``
+cover ``shards``).
+
+Exempt parameters (they cannot or must not affect the cached bytes):
+
+- ``self`` / ``cls`` (instance config is fingerprinted explicitly);
+- execution knobs: ``cache``, ``jobs``, ``progress``, ``telemetry``,
+  ``verbose``, ``reporter``;
+- underscore-prefixed parameters;
+- parameters annotated ``Callable`` (a function's identity is not
+  fingerprintable -- its *inputs* must appear as explicit key parts).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.engine import Rule
+from repro.lint.findings import Finding
+
+__all__ = ["FingerprintCoverage"]
+
+#: Parameter names that are pure execution knobs: they may change how
+#: fast the artifact is produced, never its bytes.
+EXEMPT_PARAMS = frozenset({
+    "self", "cls", "cache", "cache_dir", "no_cache", "jobs", "progress",
+    "telemetry", "verbose", "reporter",
+})
+
+_FINGERPRINT_TARGETS = frozenset({
+    "repro.cache.fingerprint",
+    "cache.fingerprint",
+})
+
+
+def _is_callable_annotation(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    return "Callable" in ast.dump(annotation)
+
+
+def _param_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = fn.args
+    params = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    if args.vararg is not None:
+        params.append(args.vararg)
+    if args.kwarg is not None:
+        params.append(args.kwarg)
+    return [
+        a.arg for a in params
+        if a.arg not in EXEMPT_PARAMS
+        and not a.arg.startswith("_")
+        and not _is_callable_annotation(a.annotation)
+    ]
+
+
+def _names_in(node: ast.AST) -> set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def _assignment_graph(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, set[str]]:
+    """local name -> names appearing in any expression assigned to it."""
+    graph: dict[str, set[str]] = {}
+    for node in ast.walk(fn):
+        targets: list[ast.expr] = []
+        value: ast.AST | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets, value = [node.target], node.value
+        elif isinstance(node, ast.NamedExpr):
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        sources = _names_in(value)
+        for target in targets:
+            for name_node in ast.walk(target):
+                if isinstance(name_node, ast.Name):
+                    graph.setdefault(name_node.id, set()).update(sources)
+    return graph
+
+
+def _reachable(start: set[str], graph: dict[str, set[str]]) -> set[str]:
+    """Expand ``start`` through the assignment graph to a fixed point."""
+    seen = set(start)
+    frontier = list(start)
+    while frontier:
+        name = frontier.pop()
+        for src in graph.get(name, ()):
+            if src not in seen:
+                seen.add(src)
+                frontier.append(src)
+    return seen
+
+
+class FingerprintCoverage(Rule):
+    """CACHE001: every output-affecting parameter reaches the fingerprint."""
+
+    rule_id = "CACHE001"
+    slug = "fingerprint"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            calls = [
+                node for node in ast.walk(fn)
+                if isinstance(node, ast.Call)
+                and ctx.resolve(node.func) in _FINGERPRINT_TARGETS
+            ]
+            if not calls:
+                continue
+            graph = _assignment_graph(fn)
+            params = _param_names(fn)
+            for call in calls:
+                referenced: set[str] = set()
+                for arg in [*call.args, *[kw.value for kw in call.keywords]]:
+                    referenced |= _names_in(arg)
+                covered = _reachable(referenced, graph)
+                missing = [p for p in params if p not in covered]
+                if missing:
+                    yield ctx.finding(
+                        self.rule_id, self.slug, call,
+                        f"fingerprint in `{fn.name}` does not cover "
+                        f"parameter(s) {', '.join(sorted(missing))}; a "
+                        "parameter that affects the cached artifact but "
+                        "not its key serves stale results on warm runs",
+                    )

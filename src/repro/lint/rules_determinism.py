@@ -1,0 +1,213 @@
+"""DET00x: wall-clock, global RNG, and unordered-iteration rules."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.context import FileContext, dotted_name
+from repro.lint.engine import Rule
+from repro.lint.findings import Finding
+
+__all__ = ["NoGlobalRng", "NoUnorderedIteration", "NoWallClock"]
+
+
+class NoWallClock(Rule):
+    """DET001: no wall-clock reads or OS entropy sources.
+
+    Seeded pipeline stages must be pure functions of (inputs, seed); a
+    single ``time.time()`` or ``os.urandom()`` makes reruns diverge and
+    silently invalidates cached artifacts.  The replay pacer, live
+    backend, calibration harness, and telemetry stage timers *are*
+    wall-clock consumers by design -- those sites carry
+    ``# repro: allow-wall-clock`` pragmas.
+    """
+
+    rule_id = "DET001"
+    slug = "wall-clock"
+
+    DENY = frozenset({
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbits",
+        "secrets.randbelow",
+    })
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve(node.func)
+            if target in self.DENY:
+                yield ctx.finding(
+                    self.rule_id, self.slug, node,
+                    f"call to wall-clock/entropy source `{target}`; "
+                    "deterministic stages must be pure functions of "
+                    "(inputs, seed) -- pass timestamps in, or pragma an "
+                    "intentional boundary site",
+                )
+
+
+#: ``np.random`` attributes that are part of the *explicit* Generator
+#: API and therefore fine to call.
+_NUMPY_RANDOM_OK = frozenset({
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+})
+
+
+class NoGlobalRng(Rule):
+    """DET002: no legacy / global RNG state.
+
+    ``np.random.<dist>()`` and the stdlib ``random`` module draw from
+    hidden process-global streams: any library call or import-order
+    change silently reorders every downstream sample, which corrupts the
+    KS/Smirnov comparisons this repo exists to make.  Randomness must
+    flow through an explicit ``np.random.Generator`` parameter (see
+    ``repro.parallel.spawn_rngs`` for the sharded derivation).
+    """
+
+    rule_id = "DET002"
+    slug = "global-rng"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                target = ctx.resolve(node.func)
+                if target is None:
+                    continue
+                if target.startswith("numpy.random."):
+                    tail = target.removeprefix("numpy.random.")
+                    if tail.split(".")[0] not in _NUMPY_RANDOM_OK:
+                        yield ctx.finding(
+                            self.rule_id, self.slug, node,
+                            f"legacy global-state RNG call `{target}`; "
+                            "draw from an explicit np.random.Generator "
+                            "parameter instead",
+                        )
+                elif target.startswith("random."):
+                    yield ctx.finding(
+                        self.rule_id, self.slug, node,
+                        f"stdlib global RNG call `{target}`; use a "
+                        "seeded np.random.Generator parameter instead",
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        yield ctx.finding(
+                            self.rule_id, self.slug, node,
+                            "import of stdlib `random` (process-global "
+                            "RNG state); use numpy Generators",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield ctx.finding(
+                        self.rule_id, self.slug, node,
+                        "import from stdlib `random` (process-global "
+                        "RNG state); use numpy Generators",
+                    )
+
+
+def _unordered_tag(node: ast.expr) -> str | None:
+    """A human-readable tag when ``node`` evaluates to something whose
+    iteration order is not reproducible, else ``None``."""
+    if isinstance(node, ast.Set):
+        return "set literal"
+    if isinstance(node, ast.SetComp):
+        return "set comprehension"
+    if isinstance(node, ast.Call):
+        parts = dotted_name(node.func)
+        if parts in (["set"], ["frozenset"]):
+            return f"{parts[0]}()"
+        if isinstance(node.func, ast.Attribute):
+            if (node.func.attr == "keys"
+                    and not node.args and not node.keywords):
+                return "dict .keys() view"
+            if node.func.attr in ("intersection", "union", "difference",
+                                  "symmetric_difference"):
+                return f"set .{node.func.attr}()"
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        # ``d.keys() | {1}`` and friends produce sets when either
+        # operand is set-like.
+        for side in (node.left, node.right):
+            tag = _unordered_tag(side)
+            if tag is not None:
+                return f"set expression ({tag} operand)"
+    return None
+
+
+class NoUnorderedIteration(Rule):
+    """DET003: no set / ``dict.keys()`` iteration feeding ordered output.
+
+    In seeded packages (``repro.core``, ``repro.traces``, ``repro.stats``,
+    the generator/arrivals stages) loop order determines output array
+    layout and RNG consumption order, so iterating a ``set`` -- whose
+    order depends on hash seeding and insertion history -- silently
+    reorders results between runs.  Iterate ``sorted(...)`` instead.
+    Order-insensitive reductions (``len``/``sum``/``min``/``sorted``/
+    membership tests) are not flagged.
+    """
+
+    rule_id = "DET003"
+    slug = "unordered-iter"
+
+    #: Call targets that consume their first argument into an ordered
+    #: sequence -- feeding them an unordered iterable is the hazard.
+    _ORDERING_CONSUMERS = frozenset({
+        "list", "tuple", "enumerate", "array", "asarray", "fromiter",
+    })
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_seeded_package:
+            return
+        for node in ast.walk(ctx.tree):
+            for it, via in self._iteration_sites(node):
+                tag = _unordered_tag(it)
+                if tag is not None:
+                    yield ctx.finding(
+                        self.rule_id, self.slug, node,
+                        f"{via} over unordered {tag} in a seeded "
+                        "package; iterate sorted(...) so output order "
+                        "is reproducible",
+                    )
+
+    def _iteration_sites(
+        self, node: ast.AST
+    ) -> Iterator[tuple[ast.expr, str]]:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter, "loop"
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                yield gen.iter, "comprehension"
+        elif isinstance(node, ast.Call):
+            parts = dotted_name(node.func)
+            if parts and parts[-1] in self._ORDERING_CONSUMERS and node.args:
+                yield node.args[0], f"{parts[-1]}(...)"

@@ -1,0 +1,114 @@
+"""GEN00x: generic correctness hazards.
+
+Not determinism-specific, but each has bitten statistical pipelines like
+this one: float equality silently stops matching after a refactor
+changes accumulation order; a mutable default aliases state across
+calls; a bare ``except:`` swallows ``KeyboardInterrupt`` and masks the
+real failure.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.engine import Rule
+from repro.lint.findings import Finding
+
+__all__ = ["BareExcept", "FloatEquality", "MutableDefault"]
+
+
+class FloatEquality(Rule):
+    """GEN001: no ``==`` / ``!=`` against non-zero float literals.
+
+    Exact comparison against ``0.0`` is well-defined (sign tests,
+    emptiness guards) and allowed; any other float literal in an
+    equality is a latent tolerance bug -- use ``math.isclose`` /
+    ``np.isclose`` or compare integers.
+    """
+
+    rule_id = "GEN001"
+    slug = "float-eq"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, lhs, rhs in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for side in (lhs, rhs):
+                    if (isinstance(side, ast.Constant)
+                            and isinstance(side.value, float)
+                            and side.value != 0.0):
+                        yield ctx.finding(
+                            self.rule_id, self.slug, node,
+                            f"equality against float literal "
+                            f"{side.value!r}; use isclose() or an "
+                            "integer comparison",
+                        )
+                        break
+
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "deque",
+                            "defaultdict", "Counter", "OrderedDict"})
+
+
+class MutableDefault(Rule):
+    """GEN002: no mutable default argument values.
+
+    A ``def f(x, acc=[])`` default is evaluated once and shared by every
+    call -- state leaks across invocations.  Default to ``None`` and
+    allocate inside the function.
+    """
+
+    rule_id = "GEN002"
+    slug = "mutable-default"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.Lambda)):
+                continue
+            defaults = [*fn.args.defaults, *fn.args.kw_defaults]
+            for default in defaults:
+                if default is None:
+                    continue
+                if isinstance(default, (ast.List, ast.Dict, ast.Set,
+                                        ast.ListComp, ast.DictComp,
+                                        ast.SetComp)):
+                    kind = type(default).__name__.lower()
+                elif (isinstance(default, ast.Call)
+                      and isinstance(default.func, ast.Name)
+                      and default.func.id in _MUTABLE_CALLS):
+                    kind = f"{default.func.id}()"
+                else:
+                    continue
+                name = getattr(fn, "name", "<lambda>")
+                yield ctx.finding(
+                    self.rule_id, self.slug, default,
+                    f"mutable default ({kind}) in `{name}`; default to "
+                    "None and allocate per call",
+                )
+
+
+class BareExcept(Rule):
+    """GEN003: no bare ``except:`` clauses.
+
+    Bare ``except:`` catches ``SystemExit`` and ``KeyboardInterrupt``;
+    catch ``Exception`` (or something narrower), and re-raise if you
+    must intercept ``BaseException``.
+    """
+
+    rule_id = "GEN003"
+    slug = "bare-except"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield ctx.finding(
+                    self.rule_id, self.slug, node,
+                    "bare `except:`; catch Exception or narrower",
+                )

@@ -1,0 +1,81 @@
+"""TEL001: no per-iteration telemetry lookups inside loops.
+
+The telemetry layer's perf contract (``benchmarks/test_perf_telemetry``)
+is <5% overhead enabled and a zero-allocation no-op disabled.  Both die
+if hot loops re-resolve metrics per iteration: ``registry.counter(...)``
+is a dict lookup plus tuple build, and ``telemetry.active()`` is a
+module-global read that belongs *outside* the loop, guarding a prebound
+metric handle or an ``observe_many`` bulk call.
+
+Flagged inside any ``for``/``while`` body:
+
+- calls resolving to ``repro.telemetry.registry.active`` (or its
+  ``_telemetry.active()`` import alias);
+- registry accessor calls -- an attribute call named ``counter`` /
+  ``gauge`` / ``histogram`` / ``timer`` / ``event`` whose first argument
+  is a string literal (the get-or-create pattern).
+
+Operations on prebound handles (``ctr.inc()``, ``hist.observe(x)``) are
+fine and never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.engine import Rule
+from repro.lint.findings import Finding
+
+__all__ = ["TelemetryHotLoop"]
+
+_ACCESSORS = frozenset({"counter", "gauge", "histogram", "timer", "event"})
+
+_ACTIVE_TARGETS = frozenset({
+    "repro.telemetry.registry.active",
+    "repro.telemetry.active",
+    "registry.active",
+})
+
+
+def _is_registry_lookup(node: ast.Call) -> bool:
+    return (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr in _ACCESSORS
+        and bool(node.args)
+        and isinstance(node.args[0], ast.Constant)
+        and isinstance(node.args[0].value, str)
+    )
+
+
+class TelemetryHotLoop(Rule):
+    """TEL001: hoist telemetry guards and metric lookups out of loops."""
+
+    rule_id = "TEL001"
+    slug = "telemetry-hot-loop"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                if node is loop or not isinstance(node, ast.Call):
+                    continue
+                target = ctx.resolve(node.func)
+                if target in _ACTIVE_TARGETS or (
+                    target is not None and target.endswith("telemetry.active")
+                ):
+                    yield ctx.finding(
+                        self.rule_id, self.slug, node,
+                        "telemetry.active() inside a loop; read the "
+                        "module-global guard once before the loop",
+                    )
+                elif _is_registry_lookup(node):
+                    assert isinstance(node.func, ast.Attribute)
+                    yield ctx.finding(
+                        self.rule_id, self.slug, node,
+                        f"registry .{node.func.attr}(...) lookup inside "
+                        "a loop; bind the metric before the loop (or "
+                        "batch with observe_many)",
+                    )

@@ -21,6 +21,7 @@ Two execution paths share one entry point:
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -46,7 +47,7 @@ TELEMETRY_WINDOW_S = 60.0
 
 
 def _record_replay_telemetry(reg, trace: RequestTrace,
-                             result: "ReplayResult",
+                             result: ReplayResult,
                              breaker: CircuitBreaker | None) -> None:
     """Fold one finished replay into the registry.
 
@@ -92,6 +93,8 @@ def _record_replay_telemetry(reg, trace: RequestTrace,
         counts = np.bincount(result.outcomes, minlength=len(OUTCOMES))
         for name, count in zip(OUTCOMES, counts):
             if count:
+                # repro: allow-telemetry-hot-loop (bounded: one
+                # labelled counter per outcome kind, <= 6 iterations)
                 reg.counter(
                     "replay_outcomes_total",
                     "resilient-replay requests per outcome",
@@ -169,7 +172,7 @@ def replay(
     trace: RequestTrace,
     backend: Backend,
     *,
-    speed: float = float("inf"),
+    speed: float = math.inf,
     retry: RetryPolicy | None = None,
     breaker: CircuitBreaker | None = None,
     checkpoint_path: Path | str | None = None,
@@ -249,10 +252,11 @@ def replay(
         if reg is not None:
             _record_replay_telemetry(reg, trace, result, breaker)
         return result
-    t_start = time.perf_counter()
+    t_start = time.perf_counter()  # repro: allow-wall-clock
     if np.isfinite(speed):
         runtimes = trace.runtimes_ms.tolist() if drift is not None else None
         for i, (ts, wid) in enumerate(zip(timestamps, workload_ids)):
+            # repro: allow-wall-clock (pacer: real time is the point)
             delay = t_start + ts / speed - time.perf_counter()
             if delay > 0:
                 time.sleep(delay)
@@ -270,7 +274,7 @@ def replay(
     records = backend.drain()
     result = ReplayResult(
         n_requests=trace.n_requests,
-        wall_clock_s=time.perf_counter() - t_start,
+        wall_clock_s=time.perf_counter() - t_start,  # repro: allow-wall-clock
         records=records,
     )
     reg = _telemetry.active()
@@ -315,12 +319,13 @@ def _replay_resilient(
     code_dropped = OUTCOME_CODES["dropped"]
     max_attempts = retry.max_attempts if retry is not None else 1
     pace = np.isfinite(speed)
-    t_start = time.perf_counter()
+    t_start = time.perf_counter()  # repro: allow-wall-clock
 
     for i in range(start, n):
         ts = timestamps[i]
         wid = workload_ids[i]
         if pace:
+            # repro: allow-wall-clock (pacer: real time is the point)
             delay = t_start + ts / speed - time.perf_counter()
             if delay > 0:
                 time.sleep(delay)
@@ -376,7 +381,7 @@ def _replay_resilient(
     records = backend.drain()
     return ReplayResult(
         n_requests=n,
-        wall_clock_s=time.perf_counter() - t_start,
+        wall_clock_s=time.perf_counter() - t_start,  # repro: allow-wall-clock
         records=records,
         outcomes=outcomes,
         attempts=attempts,

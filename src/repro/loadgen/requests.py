@@ -90,7 +90,7 @@ class RequestTrace:
         return {str(f): float(c) / self.n_requests
                 for f, c in zip(names, counts)}
 
-    def slice_time(self, start_s: float, stop_s: float) -> "RequestTrace":
+    def slice_time(self, start_s: float, stop_s: float) -> RequestTrace:
         """Requests with ``start_s <= t < stop_s``."""
         if not 0 <= start_s < stop_s:
             raise ValueError("need 0 <= start < stop")

@@ -20,7 +20,9 @@ Together these make ``jobs=N`` byte-identical to the sequential
 from __future__ import annotations
 
 import os
+from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from typing import TypeVar
 
 import numpy as np
 
@@ -33,6 +35,9 @@ __all__ = [
     "shard_bounds",
     "spawn_rngs",
 ]
+
+S = TypeVar("S")
+R = TypeVar("R")
 
 #: Upper bound on automatically chosen shard counts.  Small enough that
 #: per-shard batches stay cache-friendly, large enough to feed a typical
@@ -85,7 +90,7 @@ def shard_bounds(n_items: int, n_shards: int) -> list[tuple[int, int]]:
         raise ValueError("n_shards must be positive")
     n_shards = min(n_shards, n_items) or 1
     base, extra = divmod(n_items, n_shards)
-    bounds = []
+    bounds: list[tuple[int, int]] = []
     lo = 0
     for s in range(n_shards):
         hi = lo + base + (1 if s < extra else 0)
@@ -112,7 +117,12 @@ def spawn_rngs(
     return rng, rng.spawn(n) if n else []
 
 
-def map_shards(fn, shard_args: list, *, jobs: int | None = None) -> list:
+def map_shards(
+    fn: Callable[[S], R],
+    shard_args: Sequence[S],
+    *,
+    jobs: int | None = None,
+) -> list[R]:
     """Apply ``fn`` to every shard argument, in order.
 
     ``jobs`` <= 1 (or a single shard) runs inline; otherwise shards fan

@@ -156,7 +156,7 @@ class FaultProfile:
             return spec.get(workload_id, spec.get("*", 0.0))
         return spec
 
-    def simulator_hook(self) -> "CrashHook":
+    def simulator_hook(self) -> CrashHook:
         """A :class:`CrashHook` for ``FaaSCluster(fault_hook=...)``.
 
         Uses a seed stream distinct from :class:`FaultyBackend`'s so the
@@ -174,7 +174,7 @@ class FaultProfile:
         Path(path).write_text(json.dumps(data, indent=2) + "\n")
 
     @classmethod
-    def from_json(cls, path: Path | str) -> "FaultProfile":
+    def from_json(cls, path: Path | str) -> FaultProfile:
         """Read a profile written by :meth:`to_json` (or by hand)."""
         path = Path(path)
         try:

@@ -50,7 +50,7 @@ class LiveBackend:
         family = self.registry.get(workload.family)
         entry = self._cache.get(workload_id)
         cold = entry is None
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # repro: allow-wall-clock
         ok = True
         try:
             if cold:
@@ -63,7 +63,7 @@ class LiveBackend:
             # A workload body blowing up must not abort a multi-hour
             # replay: record the failed invocation and keep going.
             ok = False
-        elapsed = time.perf_counter() - t0
+        elapsed = time.perf_counter() - t0  # repro: allow-wall-clock
         # Live runs are sequential: service begins at submission.
         self.records.append(
             InvocationRecord(

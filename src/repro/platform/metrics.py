@@ -184,6 +184,8 @@ def record_outcome_metrics(registry, result, *, breaker=None,
     if breaker is not None and horizon_s is not None:
         uptime = breaker_uptime(breaker, horizon_s)
         for state in ("closed", "open", "half-open"):
+            # repro: allow-telemetry-hot-loop (bounded: exactly
+            # three labelled gauges, one per breaker state)
             registry.gauge(
                 "breaker_state_fraction",
                 "fraction of trace time the circuit breaker spent in "

@@ -44,7 +44,9 @@ def coefficient_of_variation(
     return cv
 
 
-def cv_cdf_series(cv: np.ndarray, max_cv: float = 3.0, n: int = 512):
+def cv_cdf_series(
+    cv: np.ndarray, max_cv: float = 3.0, n: int = 512
+) -> tuple[np.ndarray, np.ndarray]:
     """``(x, F(x))`` series of a CV sample clipped at ``max_cv``.
 
     Figure 3 plots the CDF on [0, 3]; values above ``max_cv`` still count in

@@ -9,6 +9,7 @@ so the claim is checkable in CI).
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.stats.ecdf import EmpiricalCDF
 
@@ -48,7 +49,13 @@ def ks_distance(a: EmpiricalCDF, b: EmpiricalCDF) -> float:
     return float(np.max(np.abs(a(grid) - b(grid))))
 
 
-def ks_statistic_samples(x, y, *, x_weights=None, y_weights=None) -> float:
+def ks_statistic_samples(
+    x: ArrayLike,
+    y: ArrayLike,
+    *,
+    x_weights: ArrayLike | None = None,
+    y_weights: ArrayLike | None = None,
+) -> float:
     """KS statistic straight from (optionally weighted) samples."""
     return ks_distance(
         EmpiricalCDF.from_samples(x, x_weights),
@@ -57,11 +64,11 @@ def ks_statistic_samples(x, y, *, x_weights=None, y_weights=None) -> float:
 
 
 def ks_relative_band(
-    x,
-    y,
+    x: ArrayLike,
+    y: ArrayLike,
     *,
-    x_weights=None,
-    y_weights=None,
+    x_weights: ArrayLike | None = None,
+    y_weights: ArrayLike | None = None,
     rel_tolerance: float = 0.1,
 ) -> float:
     """Band KS: sup-norm violation of a +-``rel_tolerance`` horizontal band.

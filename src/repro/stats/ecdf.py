@@ -14,13 +14,15 @@ vectorisation guidance for numerical hot paths.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 __all__ = ["EmpiricalCDF"]
 
 
-def _as_1d_float(a, name: str) -> np.ndarray:
+def _as_1d_float(a: ArrayLike, name: str) -> np.ndarray:
     arr = np.asarray(a, dtype=np.float64)
     if arr.ndim != 1:
         raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
@@ -46,7 +48,7 @@ class EmpiricalCDF:
 
     support: np.ndarray
     probs: np.ndarray
-    _inverse_knots: tuple[np.ndarray, np.ndarray] = field(
+    _inverse_knots: tuple[np.ndarray, np.ndarray] | None = field(
         init=False, repr=False, compare=False, default=None
     )
 
@@ -72,7 +74,9 @@ class EmpiricalCDF:
     # construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_samples(cls, values, weights=None) -> "EmpiricalCDF":
+    def from_samples(
+        cls, values: ArrayLike, weights: ArrayLike | None = None
+    ) -> EmpiricalCDF:
         """Build a weighted ECDF from raw samples.
 
         Parameters
@@ -115,14 +119,17 @@ class EmpiricalCDF:
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
-    def __call__(self, x) -> np.ndarray:
-        """Evaluate ``F(x) = P[X <= x]`` (right-continuous step function)."""
+    def __call__(self, x: ArrayLike) -> Any:
+        """Evaluate ``F(x) = P[X <= x]`` (right-continuous step function).
+
+        Returns an array for array input, a plain float for scalar input.
+        """
         x = np.asarray(x, dtype=np.float64)
         idx = np.searchsorted(self.support, x, side="right")
         out = np.where(idx == 0, 0.0, self.probs[np.maximum(idx - 1, 0)])
         return out if out.ndim else float(out)
 
-    def sf(self, x) -> np.ndarray:
+    def sf(self, x: ArrayLike) -> Any:
         """Survival function ``P[X > x]``."""
         return 1.0 - self.__call__(x)
 
@@ -137,7 +144,7 @@ class EmpiricalCDF:
             xs = np.concatenate(([xs[0]], xs))
         return probs, xs
 
-    def quantile(self, q, *, method: str = "linear") -> np.ndarray:
+    def quantile(self, q: ArrayLike, *, method: str = "linear") -> Any:
         """Inverse CDF, ``F^{-1}(q)`` for ``q`` in [0, 1].
 
         ``method="linear"`` interpolates between the empirical knots -- the
@@ -152,7 +159,9 @@ class EmpiricalCDF:
         if np.any((q < 0.0) | (q > 1.0)):
             raise ValueError("quantile probabilities must lie in [0, 1]")
         if method == "linear":
-            knots_p, knots_x = self._inverse_knots
+            knots = self._inverse_knots
+            assert knots is not None  # always built in __post_init__
+            knots_p, knots_x = knots
             out = np.interp(q, knots_p, knots_x)
         elif method == "step":
             idx = np.searchsorted(self.probs, q, side="left")
@@ -181,7 +190,9 @@ class EmpiricalCDF:
         """Interpolated median."""
         return float(self.quantile(0.5))
 
-    def series(self, n: int = 256, log_space: bool = True):
+    def series(
+        self, n: int = 256, log_space: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(x, F(x))`` arrays suitable for plotting/printing.
 
         Parameters

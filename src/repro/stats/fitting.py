@@ -16,8 +16,13 @@ mixture over log x), fully vectorised: the E-step is one
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+from numpy.typing import ArrayLike
+
+if TYPE_CHECKING:
+    from repro.traces.synth import LognormalComponent
 
 __all__ = ["MixtureFit", "fit_lognormal_mixture"]
 
@@ -44,7 +49,7 @@ class MixtureFit:
     def n_components(self) -> int:
         return int(self.weights.size)
 
-    def to_components(self):
+    def to_components(self) -> tuple[LognormalComponent, ...]:
         """Convert into :class:`repro.traces.synth.LognormalComponent` s."""
         from repro.traces.synth import LognormalComponent
 
@@ -71,10 +76,10 @@ def _log_gaussian(y: np.ndarray, mu: np.ndarray,
 
 
 def fit_lognormal_mixture(
-    samples,
+    samples: ArrayLike,
     n_components: int = 3,
     *,
-    weights=None,
+    weights: ArrayLike | None = None,
     max_iter: int = 200,
     tol: float = 1e-6,
     seed: int | np.random.Generator = 0,

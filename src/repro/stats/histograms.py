@@ -7,7 +7,10 @@ magnitude).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.stats.ecdf import EmpiricalCDF
 
@@ -21,14 +24,19 @@ def log_bins(lo: float, hi: float, n: int = 64) -> np.ndarray:
     return np.geomspace(lo, hi, n + 1)
 
 
-def cdf_series(values, weights=None, n: int = 128, log_space: bool = True):
+def cdf_series(
+    values: ArrayLike,
+    weights: ArrayLike | None = None,
+    n: int = 128,
+    log_space: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
     """Convenience: samples -> plot-ready ``(x, F(x))`` series."""
     return EmpiricalCDF.from_samples(values, weights).series(n=n, log_space=log_space)
 
 
 def format_cdf_table(
     series_by_label: dict[str, tuple[np.ndarray, np.ndarray]],
-    quantiles=(0.10, 0.25, 0.50, 0.75, 0.90, 0.99),
+    quantiles: Sequence[float] = (0.10, 0.25, 0.50, 0.75, 0.90, 0.99),
     unit: str = "ms",
 ) -> str:
     """Render several CDFs as an aligned quantile table (one row per label).

@@ -37,7 +37,7 @@ def popularity_shares(invocations: np.ndarray) -> np.ndarray:
     return inv / total
 
 
-def popularity_curve(invocations: np.ndarray):
+def popularity_curve(invocations: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Cumulative-fraction-of-invocations vs fraction-of-most-popular-functions.
 
     Returns
@@ -61,7 +61,7 @@ def popularity_change_cdf(
     original_keys: np.ndarray,
     aggregated_shares: np.ndarray,
     aggregated_keys: np.ndarray,
-):
+) -> tuple[np.ndarray, np.ndarray]:
     """CDF of popularity changes caused by aggregation (Figure 4).
 
     For each aggregated Function (grouped by average execution duration), the

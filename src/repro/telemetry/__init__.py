@@ -76,7 +76,7 @@ _EXPORTER_EXPORTS = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     # Lazy re-exports keep `import repro.cache` (which pulls the registry
     # for its hit/miss counters) from dragging in the drift monitor's
     # stats dependencies on every cold import.

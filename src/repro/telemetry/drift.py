@@ -20,7 +20,10 @@ nothing it observes, so enabling it cannot perturb generated traces
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.stats.distance import dkw_band, ks_distance
 from repro.stats.ecdf import EmpiricalCDF
@@ -58,7 +61,7 @@ class DriftMonitor:
         window: int = 1024,
         min_samples: int = 64,
         metric: str = "duration_ms",
-    ):
+    ) -> None:
         if band <= 0:
             raise ValueError("band must be positive")
         if window <= 1:
@@ -77,7 +80,7 @@ class DriftMonitor:
         self.n_windows = 0
         self.last_ks: float | None = None
         self.max_ks = 0.0
-        self.warnings: list[dict] = []
+        self.warnings: list[dict[str, Any]] = []
 
     # ------------------------------------------------------------------
     # observation
@@ -92,7 +95,8 @@ class DriftMonitor:
             self._check(self._buf, self._last_time)
             self._fill = 0
 
-    def observe_many(self, values, times_s=None) -> None:
+    def observe_many(self, values: ArrayLike,
+                     times_s: ArrayLike | None = None) -> None:
         """Record a batch of samples (the vectorised replay path).
 
         ``times_s`` -- optional per-sample trace times aligned with
@@ -100,12 +104,11 @@ class DriftMonitor:
         of its last sample, so warnings localise *when* the run drifted.
         """
         v = np.asarray(values, dtype=np.float64).ravel()
+        t: np.ndarray | None = None
         if times_s is not None:
             t = np.asarray(times_s, dtype=np.float64).ravel()
             if t.shape != v.shape:
                 raise ValueError("times_s must align with values")
-        else:
-            t = None
         lo = 0
         while lo < v.size:
             take = min(self.window - self._fill, v.size - lo)
@@ -170,7 +173,7 @@ class DriftMonitor:
         """
         return dkw_band(self.window, alpha)
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, Any]:
         """End-of-run digest (the console exporter prints this)."""
         return {
             "metric": self.metric,

@@ -11,6 +11,9 @@ from __future__ import annotations
 import json
 import re
 from pathlib import Path
+from typing import Any
+
+from repro.telemetry.registry import MetricsRegistry
 
 __all__ = [
     "console_summary",
@@ -32,9 +35,9 @@ def _num(value: float) -> float | int:
     return int(f) if f.is_integer() else f
 
 
-def registry_snapshot(registry) -> list[dict]:
+def registry_snapshot(registry: MetricsRegistry) -> list[dict[str, Any]]:
     """Flatten a registry into ordered, JSON-serialisable records."""
-    records: list[dict] = [
+    records: list[dict[str, Any]] = [
         {"type": "meta", "schema": JSONL_SCHEMA_VERSION,
          "producer": "repro.telemetry"}
     ]
@@ -49,7 +52,7 @@ def registry_snapshot(registry) -> list[dict]:
             "value": _num(g.value),
         })
     for h in registry.histograms():
-        rec = {
+        rec: dict[str, Any] = {
             "type": "histogram", "name": h.name, "labels": h.labels,
             "count": int(h.n), "sum": float(h.sum),
             "edges": [float(e) for e in h.edges],
@@ -67,7 +70,7 @@ def registry_snapshot(registry) -> list[dict]:
     return records
 
 
-def write_jsonl(registry, path: Path | str) -> Path:
+def write_jsonl(registry: MetricsRegistry, path: Path | str) -> Path:
     """Write the registry snapshot as one JSON object per line."""
     path = Path(path)
     lines = [json.dumps(rec, sort_keys=True)
@@ -98,7 +101,8 @@ def _escape_label_value(text: str) -> str:
             .replace('"', '\\"'))
 
 
-def _prom_labels(labels: dict, extra: dict | None = None) -> str:
+def _prom_labels(labels: dict[str, str],
+                 extra: dict[str, str] | None = None) -> str:
     merged = dict(labels)
     if extra:
         merged.update(extra)
@@ -118,7 +122,7 @@ def _prom_value(value: float) -> str:
     return f"{f:.10g}"
 
 
-def prometheus_text(registry) -> str:
+def prometheus_text(registry: MetricsRegistry) -> str:
     """Render the registry in the Prometheus text exposition format.
 
     ``# HELP`` lines escape backslashes and newlines, label values
@@ -165,7 +169,7 @@ def prometheus_text(registry) -> str:
     return "\n".join(out) + "\n" if out else ""
 
 
-def write_prometheus(registry, path: Path | str) -> Path:
+def write_prometheus(registry: MetricsRegistry, path: Path | str) -> Path:
     path = Path(path)
     path.write_text(prometheus_text(registry))
     return path
@@ -174,14 +178,14 @@ def write_prometheus(registry, path: Path | str) -> Path:
 # ----------------------------------------------------------------------
 # console summary
 # ----------------------------------------------------------------------
-def _fmt_labels(labels: dict) -> str:
+def _fmt_labels(labels: dict[str, str]) -> str:
     if not labels:
         return ""
     inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
     return "{" + inner + "}"
 
 
-def console_summary(registry) -> str:
+def console_summary(registry: MetricsRegistry) -> str:
     """Human-readable end-of-run digest of the registry."""
     lines: list[str] = ["telemetry summary"]
     counters = registry.counters()

@@ -18,8 +18,11 @@ Design constraints (ISSUE 3 tentpole):
 from __future__ import annotations
 
 import time
+from types import TracebackType
+from typing import Any, TypeVar, cast
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 __all__ = [
     "Counter",
@@ -56,7 +59,7 @@ def default_edges(
     return np.geomspace(lo, hi, n)
 
 
-def _label_key(labels: dict | None) -> tuple:
+def _label_key(labels: dict[str, str] | None) -> tuple[tuple[str, str], ...]:
     if not labels:
         return ()
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
@@ -67,7 +70,8 @@ class Counter:
 
     __slots__ = ("name", "help", "labels", "value")
 
-    def __init__(self, name: str, help: str = "", labels: dict | None = None):
+    def __init__(self, name: str, help: str = "",
+                 labels: dict[str, str] | None = None) -> None:
         self.name = name
         self.help = help
         self.labels = dict(labels) if labels else {}
@@ -87,7 +91,8 @@ class Gauge:
 
     __slots__ = ("name", "help", "labels", "value")
 
-    def __init__(self, name: str, help: str = "", labels: dict | None = None):
+    def __init__(self, name: str, help: str = "",
+                 labels: dict[str, str] | None = None) -> None:
         self.name = name
         self.help = help
         self.labels = dict(labels) if labels else {}
@@ -122,7 +127,7 @@ class Histogram:
 
     def __init__(self, name: str, help: str = "",
                  edges: np.ndarray | None = None,
-                 labels: dict | None = None):
+                 labels: dict[str, str] | None = None) -> None:
         self.name = name
         self.help = help
         self.labels = dict(labels) if labels else {}
@@ -153,7 +158,7 @@ class Histogram:
         if value > self.max:
             self.max = value
 
-    def observe_many(self, values) -> None:
+    def observe_many(self, values: ArrayLike) -> None:
         """Bulk observation: one vectorised pass, for hot-path callers."""
         v = np.asarray(values, dtype=np.float64).ravel()
         if v.size == 0:
@@ -204,21 +209,30 @@ class StageTimer:
 
     __slots__ = ("histogram", "_t0")
 
-    def __init__(self, histogram: Histogram):
+    def __init__(self, histogram: Histogram) -> None:
         self.histogram = histogram
         self._t0 = 0.0
 
-    def __enter__(self) -> "StageTimer":
-        self._t0 = time.perf_counter()
+    def __enter__(self) -> StageTimer:
+        self._t0 = time.perf_counter()  # repro: allow-wall-clock
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: TracebackType | None) -> bool:
+        # repro: allow-wall-clock (stage timers measure real time)
         self.histogram.observe(time.perf_counter() - self._t0)
         return False
 
 
 #: Buckets for stage timers: 100 us .. 1000 s, 4 per decade.
 _TIMER_EDGES = default_edges(1e-4, 1e3, per_decade=4)
+
+
+#: Union of the concrete metric kinds a registry can hold.
+_Metric = Counter | Gauge | Histogram
+_MetricKey = tuple[str, tuple[tuple[str, str], ...]]
+_M = TypeVar("_M", Counter, Gauge, Histogram)
 
 
 class MetricsRegistry:
@@ -231,15 +245,15 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._metrics: dict[tuple, object] = {}
-        self._kinds: dict[str, type] = {}
-        self.events: list[dict] = []
+        self._metrics: dict[_MetricKey, _Metric] = {}
+        self._kinds: dict[str, type[_Metric]] = {}
+        self.events: list[dict[str, Any]] = []
 
     # ------------------------------------------------------------------
     # metric accessors (get-or-create)
     # ------------------------------------------------------------------
-    def _get(self, cls, name: str, help: str, labels: dict | None,
-             **kwargs):
+    def _get(self, cls: type[_M], name: str, help: str,
+             labels: dict[str, str] | None, **kwargs: Any) -> _M:
         key = (name, _label_key(labels))
         metric = self._metrics.get(key)
         if metric is not None:
@@ -248,28 +262,28 @@ class MetricsRegistry:
                     f"metric {name!r} already registered as "
                     f"{type(metric).__name__}"
                 )
-            return metric
+            return cast("_M", metric)
         registered = self._kinds.get(name)
         if registered is not None and registered is not cls:
             raise ValueError(
                 f"metric {name!r} already registered as {registered.__name__}"
             )
-        metric = cls(name, help, labels=labels, **kwargs)
-        self._metrics[key] = metric
+        new_metric = cls(name, help, labels=labels, **kwargs)
+        self._metrics[key] = new_metric
         self._kinds[name] = cls
-        return metric
+        return new_metric
 
     def counter(self, name: str, help: str = "",
-                labels: dict | None = None) -> Counter:
+                labels: dict[str, str] | None = None) -> Counter:
         return self._get(Counter, name, help, labels)
 
     def gauge(self, name: str, help: str = "",
-              labels: dict | None = None) -> Gauge:
+              labels: dict[str, str] | None = None) -> Gauge:
         return self._get(Gauge, name, help, labels)
 
     def histogram(self, name: str, help: str = "",
                   edges: np.ndarray | None = None,
-                  labels: dict | None = None) -> Histogram:
+                  labels: dict[str, str] | None = None) -> Histogram:
         return self._get(Histogram, name, help, labels, edges=edges)
 
     def timer(self, name: str, help: str = "") -> StageTimer:
@@ -281,20 +295,21 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # events
     # ------------------------------------------------------------------
-    def event(self, kind: str, **fields) -> dict:
+    def event(self, kind: str, **fields: Any) -> dict[str, Any]:
         """Append one structured event (e.g. ``drift_warning``)."""
-        record = {"kind": str(kind), **fields}
+        record: dict[str, Any] = {"kind": str(kind), **fields}
         self.events.append(record)
         return record
 
-    def events_of_kind(self, kind: str) -> list[dict]:
+    def events_of_kind(self, kind: str) -> list[dict[str, Any]]:
         return [e for e in self.events if e["kind"] == kind]
 
     # ------------------------------------------------------------------
     # views (exporters iterate these; deterministic order)
     # ------------------------------------------------------------------
-    def _of_type(self, cls) -> list:
-        out = [m for m in self._metrics.values() if type(m) is cls]
+    def _of_type(self, cls: type[_M]) -> list[_M]:
+        out = [cast("_M", m) for m in self._metrics.values()
+               if type(m) is cls]
         return sorted(out, key=lambda m: (m.name, _label_key(m.labels)))
 
     def counters(self) -> list[Counter]:
@@ -316,10 +331,12 @@ class MetricsRegistry:
 class _NullTimer:
     __slots__ = ()
 
-    def __enter__(self):
+    def __enter__(self) -> _NullTimer:
         return self
 
-    def __exit__(self, exc_type, exc, tb):
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: TracebackType | None) -> bool:
         return False
 
 
@@ -349,7 +366,7 @@ class _NullHistogram:
     def observe(self, value: float) -> None:
         pass
 
-    def observe_many(self, values) -> None:
+    def observe_many(self, values: ArrayLike) -> None:
         pass
 
 
@@ -367,22 +384,25 @@ class NullRegistry:
     call itself -- the "zero-allocation no-op" the perf suite pins.
     """
 
-    events: list[dict] = []  # intentionally shared and always empty
+    events: list[dict[str, Any]] = []  # intentionally shared, always empty
 
-    def counter(self, name, help="", labels=None) -> _NullCounter:
+    def counter(self, name: str, help: str = "",
+                labels: dict[str, str] | None = None) -> _NullCounter:
         return _NULL_COUNTER
 
-    def gauge(self, name, help="", labels=None) -> _NullGauge:
+    def gauge(self, name: str, help: str = "",
+              labels: dict[str, str] | None = None) -> _NullGauge:
         return _NULL_GAUGE
 
-    def histogram(self, name, help="", edges=None,
-                  labels=None) -> _NullHistogram:
+    def histogram(self, name: str, help: str = "",
+                  edges: np.ndarray | None = None,
+                  labels: dict[str, str] | None = None) -> _NullHistogram:
         return _NULL_HISTOGRAM
 
-    def timer(self, name, help="") -> _NullTimer:
+    def timer(self, name: str, help: str = "") -> _NullTimer:
         return _NULL_TIMER
 
-    def event(self, kind, **fields) -> None:
+    def event(self, kind: str, **fields: Any) -> None:
         return None
 
 
@@ -415,7 +435,7 @@ def active() -> MetricsRegistry | None:
 class use:
     """Scoped activation: ``with telemetry.use(reg): ...`` (re-entrant)."""
 
-    def __init__(self, registry: MetricsRegistry):
+    def __init__(self, registry: MetricsRegistry) -> None:
         self.registry = registry
         self._prev: MetricsRegistry | None = None
 
@@ -425,13 +445,15 @@ class use:
         _active = self.registry
         return self.registry
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: TracebackType | None) -> bool:
         global _active
         _active = self._prev
         return False
 
 
-def stage(name: str, help: str = ""):
+def stage(name: str, help: str = "") -> StageTimer | _NullTimer:
     """Stage timer against the active registry; shared no-op when off."""
     reg = _active
     if reg is None:

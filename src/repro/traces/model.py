@@ -121,7 +121,7 @@ class Trace:
     # ------------------------------------------------------------------
     # transforms (produce new Traces)
     # ------------------------------------------------------------------
-    def select(self, indices) -> "Trace":
+    def select(self, indices) -> Trace:
         """Sub-trace with only the functions at ``indices`` (in that order)."""
         idx = np.asarray(indices)
         if idx.size == 0:
@@ -139,7 +139,7 @@ class Trace:
             },
         )
 
-    def minute_range(self, start: int, stop: int) -> "Trace":
+    def minute_range(self, start: int, stop: int) -> Trace:
         """Sub-trace covering minutes ``[start, stop)`` (Minute Range mode).
 
         Functions with zero invocations inside the window are kept: an idle
@@ -159,7 +159,7 @@ class Trace:
             app_memory_mb=dict(self.app_memory_mb),
         )
 
-    def nonzero_functions(self) -> "Trace":
+    def nonzero_functions(self) -> Trace:
         """Drop functions that are never invoked during this day."""
         mask = self.invocations_per_function > 0
         if not mask.any():

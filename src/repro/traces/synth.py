@@ -11,12 +11,12 @@ vectorised; the only per-function loop is the chunked multinomial draw.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 
-from repro.traces.model import MINUTES_PER_DAY, MultiDaySummary
+from repro.traces.model import MINUTES_PER_DAY, MultiDaySummary, Trace
 
 __all__ = [
     "LognormalComponent",
@@ -31,7 +31,7 @@ __all__ = [
 ]
 
 
-def memoized_trace(builder, cache, *key_parts):
+def memoized_trace(builder: Callable[[], Trace], cache, *key_parts):
     """Build a synthetic trace through a content-addressed cache.
 
     ``builder`` is a zero-argument callable returning a

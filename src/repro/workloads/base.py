@@ -22,8 +22,9 @@ recorded in DESIGN.md.
 from __future__ import annotations
 
 import abc
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping
+from typing import Any
 
 __all__ = ["Workload", "WorkloadFamily", "FamilyRegistry"]
 

@@ -1,0 +1,407 @@
+"""repro-lint: fixture-driven rule tests, pragma behavior, reporters,
+and the self-check that keeps ``src/repro`` clean.
+
+Each rule ID gets at least one *bad* fixture proving it detects its
+hazard and one *good* fixture proving the compliant idiom passes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Finding,
+    all_rules,
+    lint_paths,
+    lint_source,
+    pragma_lines,
+    render_console,
+    render_json,
+)
+from repro.lint.cli import main as lint_main
+from repro.lint.reporters import JSON_SCHEMA_VERSION
+
+SRC_ROOT = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+#: Module path that places a fixture inside a seeded stage package
+#: (DET003 is scoped to those).
+SEEDED_PATH = "src/repro/core/fixture_mod.py"
+UNSEEDED_PATH = "src/repro/platform/fixture_mod.py"
+
+
+def rules_of(snippet: str, *, path: str = SEEDED_PATH) -> set[str]:
+    result = lint_source(snippet, path)
+    return {f.rule for f in result.unsuppressed}
+
+
+# ---------------------------------------------------------------------------
+# fixture pairs: (rule, bad snippet, good snippet)
+# ---------------------------------------------------------------------------
+FIXTURES = [
+    (
+        "DET001",
+        "import time\n\ndef f():\n    return time.time()\n",
+        "def f(now_s: float) -> float:\n    return now_s\n",
+    ),
+    (
+        "DET001",
+        "from time import perf_counter as pc\n\ndef f():\n    return pc()\n",
+        "import numpy as np\n\ndef f(rng: np.random.Generator):\n"
+        "    return rng.random()\n",
+    ),
+    (
+        "DET001",
+        "from datetime import datetime\n\ndef f():\n"
+        "    return datetime.now()\n",
+        "from datetime import datetime\n\ndef f(stamp: datetime):\n"
+        "    return stamp\n",
+    ),
+    (
+        "DET001",
+        "import os\n\ndef f():\n    return os.urandom(8)\n",
+        "import os\n\ndef f():\n    return os.cpu_count()\n",
+    ),
+    (
+        "DET002",
+        "import numpy as np\n\ndef f():\n    return np.random.normal()\n",
+        "import numpy as np\n\ndef f(rng: np.random.Generator):\n"
+        "    return rng.normal()\n",
+    ),
+    (
+        "DET002",
+        "import numpy as np\n\ndef f():\n    np.random.seed(0)\n",
+        "import numpy as np\n\ndef f():\n"
+        "    return np.random.default_rng(0)\n",
+    ),
+    (
+        "DET002",
+        "import random\n\ndef f():\n    return random.random()\n",
+        "import numpy as np\n\ndef f():\n"
+        "    return np.random.default_rng(1).random()\n",
+    ),
+    (
+        "DET002",
+        "from random import shuffle\n",
+        "from numpy.random import default_rng\n",
+    ),
+    (
+        "DET003",
+        "def f(items):\n    out = []\n"
+        "    for x in set(items):\n        out.append(x)\n    return out\n",
+        "def f(items):\n    out = []\n"
+        "    for x in sorted(set(items)):\n"
+        "        out.append(x)\n    return out\n",
+    ),
+    (
+        "DET003",
+        "def f(d):\n    return [v for v in {1, 2, 3}]\n",
+        "def f(d):\n    return [v for v in sorted({1, 2, 3})]\n",
+    ),
+    (
+        "DET003",
+        "def f(d):\n    return list(d.keys() | {1})\n",
+        "def f(d):\n    return sorted(d.keys() | {1})\n",
+    ),
+    (
+        "CACHE001",
+        "from repro.cache import fingerprint\n\n"
+        "def stage(trace, mode, seed, cache):\n"
+        "    key = fingerprint('stage', trace, seed)\n"
+        "    return cache.memoize(key, lambda: trace)\n",
+        "from repro.cache import fingerprint\n\n"
+        "def stage(trace, mode, seed, cache):\n"
+        "    key = fingerprint('stage', trace, mode, seed)\n"
+        "    return cache.memoize(key, lambda: trace)\n",
+    ),
+    (
+        "CACHE001",
+        # Derived locals do NOT launder a missing parameter ...
+        "from repro.cache import fingerprint\n\n"
+        "def stage(trace, shards):\n"
+        "    n = 4\n"
+        "    return fingerprint('stage', trace, n)\n",
+        # ... but they do carry coverage when derived FROM the parameter.
+        "from repro.cache import fingerprint\n\n"
+        "def stage(trace, shards):\n"
+        "    n = shards if shards is not None else 4\n"
+        "    return fingerprint('stage', trace, n)\n",
+    ),
+    (
+        "TEL001",
+        "def f(reg, xs):\n    for x in xs:\n"
+        "        reg.counter('n', 'help').inc()\n",
+        "def f(reg, xs):\n    ctr = reg.counter('n', 'help')\n"
+        "    for x in xs:\n        ctr.inc()\n",
+    ),
+    (
+        "TEL001",
+        "from repro.telemetry import registry\n\n"
+        "def f(xs):\n    for x in xs:\n"
+        "        if registry.active() is not None:\n            pass\n",
+        "from repro.telemetry import registry\n\n"
+        "def f(xs):\n    reg = registry.active()\n"
+        "    for x in xs:\n        if reg is not None:\n            pass\n",
+    ),
+    (
+        "GEN001",
+        "def f(x):\n    return x == 0.3\n",
+        "import math\n\ndef f(x):\n    return math.isclose(x, 0.3)\n",
+    ),
+    (
+        "GEN001",
+        "def f(x):\n    return 1.5 != x\n",
+        "def f(x):\n    return x == 0.0\n",  # exact-zero guard is allowed
+    ),
+    (
+        "GEN002",
+        "def f(x, acc=[]):\n    acc.append(x)\n    return acc\n",
+        "def f(x, acc=None):\n    acc = [] if acc is None else acc\n"
+        "    acc.append(x)\n    return acc\n",
+    ),
+    (
+        "GEN002",
+        "def f(x, opts=dict()):\n    return opts\n",
+        "def f(x, opts=()):\n    return opts\n",
+    ),
+    (
+        "GEN003",
+        "def f():\n    try:\n        return 1\n"
+        "    except:\n        return 2\n",
+        "def f():\n    try:\n        return 1\n"
+        "    except Exception:\n        return 2\n",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "rule,bad,good",
+    FIXTURES,
+    ids=[f"{r}-{i}" for i, (r, _, _) in enumerate(FIXTURES)],
+)
+def test_rule_detects_bad_and_passes_good(rule, bad, good):
+    assert rule in rules_of(bad), f"{rule} missed its hazard fixture"
+    assert rule not in rules_of(good), f"{rule} false-positive on good fixture"
+
+
+def test_every_rule_id_has_a_failing_fixture():
+    covered = {rule for rule, _, _ in FIXTURES}
+    assert covered == {r.rule_id for r in all_rules()}
+
+
+def test_det003_scoped_to_seeded_packages():
+    snippet = "def f(items):\n    return [x for x in set(items)]\n"
+    assert "DET003" in rules_of(snippet, path=SEEDED_PATH)
+    assert "DET003" not in rules_of(snippet, path=UNSEEDED_PATH)
+
+
+def test_det001_applies_outside_seeded_packages_too():
+    snippet = "import time\n\ndef f():\n    return time.time()\n"
+    assert "DET001" in rules_of(snippet, path=UNSEEDED_PATH)
+
+
+def test_cache001_exempts_execution_knobs_and_callables():
+    snippet = (
+        "from typing import Callable\n"
+        "from repro.cache import fingerprint\n\n"
+        "def stage(trace, builder: Callable[[], object], cache, jobs=None):\n"
+        "    return fingerprint('stage', trace)\n"
+    )
+    assert "CACHE001" not in rules_of(snippet)
+
+
+# ---------------------------------------------------------------------------
+# pragmas
+# ---------------------------------------------------------------------------
+def test_pragma_suppresses_on_same_line():
+    snippet = (
+        "import time\n\n"
+        "def f():\n"
+        "    return time.time()  # repro: allow-wall-clock\n"
+    )
+    result = lint_source(snippet, SEEDED_PATH)
+    assert not result.unsuppressed
+    assert [f.rule for f in result.suppressed] == ["DET001"]
+
+
+def test_pragma_accepts_rule_id_spelling():
+    snippet = (
+        "import time\n\n"
+        "def f():\n"
+        "    return time.time()  # repro: allow-det001\n"
+    )
+    assert not lint_source(snippet, SEEDED_PATH).unsuppressed
+
+
+def test_standalone_pragma_covers_following_code_line():
+    snippet = (
+        "import time\n\n"
+        "def f():\n"
+        "    # repro: allow-wall-clock\n"
+        "    # the pacer genuinely needs real time here\n"
+        "    return time.time()\n"
+    )
+    assert not lint_source(snippet, SEEDED_PATH).unsuppressed
+
+
+def test_pragma_for_wrong_rule_does_not_suppress():
+    snippet = (
+        "import time\n\n"
+        "def f():\n"
+        "    return time.time()  # repro: allow-float-eq\n"
+    )
+    assert [f.rule for f in lint_source(snippet, SEEDED_PATH).unsuppressed] \
+        == ["DET001"]
+
+
+def test_pragma_multiple_rules_comma_separated():
+    snippet = (
+        "import time\n\n"
+        "def f(x):\n"
+        "    # repro: allow-wall-clock, allow-float-eq\n"
+        "    return time.time() if x == 0.5 else 0.0\n"
+    )
+    assert not lint_source(snippet, SEEDED_PATH).unsuppressed
+
+
+def test_pragma_inside_string_literal_is_ignored():
+    snippet = (
+        "import time\n\n"
+        "def f():\n"
+        "    s = '# repro: allow-wall-clock'\n"
+        "    return time.time(), s\n"
+    )
+    assert [f.rule for f in lint_source(snippet, SEEDED_PATH).unsuppressed] \
+        == ["DET001"]
+
+
+def test_pragma_lines_maps_tokens():
+    allowed = pragma_lines("x = 1  # repro: allow-det001\n")
+    assert allowed == {1: {"det001"}}
+
+
+# ---------------------------------------------------------------------------
+# engine / selection
+# ---------------------------------------------------------------------------
+def test_unknown_rule_selector_raises():
+    with pytest.raises(ValueError, match="unknown rule selector"):
+        all_rules(select=["nope999"])
+
+
+def test_selection_by_slug_and_id():
+    assert [r.rule_id for r in all_rules(select=["wall-clock"])] == ["DET001"]
+    assert [r.rule_id for r in all_rules(select=["GEN002"])] == ["GEN002"]
+
+
+def test_syntax_error_reported_not_raised(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    result = lint_paths([bad])
+    assert not result.ok
+    assert result.parse_errors and result.parse_errors[0].rule == "PARSE"
+
+
+def test_findings_sorted_and_deduped():
+    snippet = (
+        "import time\n\n"
+        "def f():\n"
+        "    b = time.time()\n"
+        "    a = time.time()\n"
+    )
+    result = lint_source(snippet, SEEDED_PATH)
+    lines = [f.line for f in result.findings]
+    assert lines == sorted(lines) and len(set(lines)) == len(lines)
+
+
+# ---------------------------------------------------------------------------
+# reporters
+# ---------------------------------------------------------------------------
+def _sample_result():
+    return lint_source(
+        "import time\n\n"
+        "def f():\n"
+        "    ok = time.time()  # repro: allow-wall-clock\n"
+        "    return time.time()\n",
+        SEEDED_PATH,
+    )
+
+
+def test_json_reporter_schema():
+    payload = json.loads(render_json(_sample_result()))
+    assert payload["schema_version"] == JSON_SCHEMA_VERSION
+    assert set(payload) == {
+        "schema_version", "files_checked", "ok", "findings",
+        "parse_errors", "suppressed_count", "summary",
+    }
+    assert payload["ok"] is False
+    assert payload["files_checked"] == 1
+    assert payload["suppressed_count"] == 1
+    assert payload["summary"] == {"DET001": 1}
+    kinds = {
+        (f["rule"], f["suppressed"]) for f in payload["findings"]
+    }
+    assert kinds == {("DET001", True), ("DET001", False)}
+    for f in payload["findings"]:
+        assert set(f) == {"rule", "slug", "path", "line", "col",
+                          "message", "suppressed"}
+
+
+def test_console_reporter_mentions_rule_and_location():
+    text = render_console(_sample_result())
+    assert "DET001" in text and ":5:" in text
+    assert "suppressed" in text
+    # suppressed findings hidden by default, shown on request
+    assert "(suppressed)" not in text
+    shown = render_console(_sample_result(), show_suppressed=True)
+    assert "(suppressed)" in shown
+
+
+def test_finding_str_format():
+    f = Finding(path="a.py", line=3, col=1, rule="DET001",
+                slug="wall-clock", message="boom")
+    assert str(f) == "a.py:3:1: DET001 [wall-clock] boom"
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def test_cli_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("def f(x):\n    return x\n")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\n\ndef f():\n    return time.time()\n")
+
+    assert lint_main([str(clean)]) == 0
+    assert lint_main([str(dirty)]) == 1
+    assert lint_main(["--select", "bogus", str(clean)]) == 2
+    capsys.readouterr()
+
+
+def test_cli_json_output(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\n\ndef f():\n    return time.time()\n")
+    code = lint_main(["--format", "json", str(dirty)])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["summary"] == {"DET001": 1}
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in all_rules():
+        assert rule.rule_id in out
+
+
+# ---------------------------------------------------------------------------
+# the contract: the repo's own source is clean
+# ---------------------------------------------------------------------------
+def test_self_check_src_repro_is_clean():
+    result = lint_paths([SRC_ROOT])
+    assert result.files_checked > 50
+    report = render_console(result)
+    assert result.ok, f"repro-lint found violations:\n{report}"
+    # the intentional boundary sites stay visible as suppressions
+    assert len(result.suppressed) >= 10
