@@ -1,0 +1,104 @@
+"""Performance of the streaming ingestion path (ISSUE 5 acceptance).
+
+Pins two numbers: peak ingestion memory must be *sublinear* in input
+rows (within 2x while the row count scales 10x, and far below what the
+materialising loader allocates on the same input), and chunked CSV
+ingestion must hold a conservative rows/second floor.
+"""
+
+import gc
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.traces import dump_azure_day, load_azure_day, stream_azure_day
+from repro.traces.model import Trace
+
+#: Distinct duration values in the controlled traces: keeps the
+#: aggregated group state identical across scales, so peak memory
+#: isolates what actually grows with row count.
+N_DURATION_KEYS = 40
+
+N_MINUTES = 240
+CHUNK_ROWS = 256
+SMALL_ROWS = 300
+LARGE_ROWS = 3000  # 10x the rows of the small input
+
+
+def _controlled_trace(n_functions, seed):
+    rng = np.random.default_rng(seed)
+    durations = rng.choice(
+        np.linspace(10.0, 4000.0, N_DURATION_KEYS), size=n_functions
+    )
+    per_minute = rng.integers(
+        0, 20, size=(n_functions, N_MINUTES)
+    ).astype(np.int64)
+    per_minute[:, 0] = 1  # every function invokes at least once
+    return Trace(
+        name=f"perf-{n_functions}",
+        function_ids=np.array([f"f{i}" for i in range(n_functions)]),
+        app_ids=np.array([f"a{i % 50}" for i in range(n_functions)]),
+        durations_ms=durations,
+        per_minute=per_minute,
+        app_memory_mb={f"a{i}": 128.0 + i for i in range(50)},
+    )
+
+
+def _peak_bytes(fn):
+    gc.collect()
+    tracemalloc.start()
+    try:
+        result = fn()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak, result
+
+
+def test_perf_streaming_peak_memory_sublinear(tmp_path):
+    small_dir = tmp_path / "small"
+    large_dir = tmp_path / "large"
+    dump_azure_day(_controlled_trace(SMALL_ROWS, seed=1), small_dir)
+    dump_azure_day(_controlled_trace(LARGE_ROWS, seed=2), large_dir)
+
+    peak_small, s_small = _peak_bytes(
+        lambda: stream_azure_day(small_dir, chunk_rows=CHUNK_ROWS))
+    peak_large, s_large = _peak_bytes(
+        lambda: stream_azure_day(large_dir, chunk_rows=CHUNK_ROWS))
+    assert s_small.rows_read == SMALL_ROWS
+    assert s_large.rows_read == LARGE_ROWS
+
+    # 10x the rows may cost at most 2x the peak: the block size, not the
+    # input, bounds the footprint.
+    ratio = peak_large / peak_small
+    assert ratio <= 2.0, (
+        f"peak grew {ratio:.2f}x for 10x rows "
+        f"({peak_small} -> {peak_large} bytes)"
+    )
+
+    # And the streaming pass must undercut materialising the same CSVs.
+    peak_inmem, _trace = _peak_bytes(lambda: load_azure_day(large_dir))
+    assert peak_large <= peak_inmem / 2, (
+        f"streaming peak {peak_large} not below in-memory load "
+        f"{peak_inmem}"
+    )
+
+
+def test_perf_streaming_throughput_floor(tmp_path):
+    dump_azure_day(_controlled_trace(LARGE_ROWS, seed=3), tmp_path)
+
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        summary = stream_azure_day(tmp_path, chunk_rows=CHUNK_ROWS)
+        best = min(best, time.perf_counter() - t0)
+    assert summary.rows_read == LARGE_ROWS
+
+    rows_per_sec = LARGE_ROWS / best
+    # Deliberately conservative floor for CI machines; the observed rate
+    # is typically an order of magnitude higher.
+    assert rows_per_sec >= 1500.0, (
+        f"streaming ingestion at {rows_per_sec:.0f} rows/s "
+        f"(best of 3: {best:.3f}s for {LARGE_ROWS} rows)"
+    )

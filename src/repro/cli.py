@@ -67,6 +67,27 @@ def _resolve_cache(args):
                          getattr(args, "no_cache", False))
 
 
+def _load_streaming_summary(args, cache=None):
+    """Ingest the trace source as a bounded-memory streaming summary.
+
+    A directory of Azure-layout CSVs streams straight off disk in
+    ``--chunk-rows`` blocks; synthetic sources are generated and then
+    folded through the same chunked path (useful for exercising the
+    streaming pipeline without the real dataset).
+    """
+    from repro.traces import stream_azure_day, summarize_trace
+
+    if args.chunk_rows < 1:
+        raise SystemExit("--chunk-rows must be at least 1")
+    path = Path(args.trace)
+    if path.is_dir():
+        return stream_azure_day(path, chunk_rows=args.chunk_rows,
+                                jobs=args.jobs)
+    trace = _load_trace(args.trace, args.functions, args.seed, cache=cache)
+    return summarize_trace(trace, chunk_rows=args.chunk_rows,
+                           jobs=args.jobs)
+
+
 def _setup_telemetry(args, spec):
     """(registry, drift monitor) per the telemetry flags; (None, None) off.
 
@@ -122,26 +143,38 @@ def _cmd_shrinkray(args) -> int:
     from repro.workloads import build_default_pool
 
     cache = _resolve_cache(args)
-    trace = _load_trace(args.trace, args.functions, args.seed, cache=cache)
-    pool = build_default_pool()
-    spec = ShrinkRay(
-        error_threshold_pct=args.threshold,
-        time_mode=args.time_mode,
-        range_start_minute=args.range_start,
-        jobs=args.jobs,
-    ).run(
-        trace, pool,
-        max_rps=args.max_rps,
-        duration_minutes=args.duration,
-        seed=args.seed,
-        cache=cache,
-    )
+    registry = None
+    if args.telemetry is not None:
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+    with _scoped_telemetry(registry):
+        if args.streaming:
+            trace = _load_streaming_summary(args, cache=cache)
+        else:
+            trace = _load_trace(args.trace, args.functions, args.seed,
+                                cache=cache)
+        pool = build_default_pool()
+        spec = ShrinkRay(
+            error_threshold_pct=args.threshold,
+            time_mode=args.time_mode,
+            range_start_minute=args.range_start,
+            jobs=args.jobs,
+        ).run(
+            trace, pool,
+            max_rps=args.max_rps,
+            duration_minutes=args.duration,
+            seed=args.seed,
+            cache=cache,
+        )
     spec.save(args.out)
     print(
         f"wrote {args.out}: {spec.n_functions} functions, "
         f"{spec.total_requests} requests over {spec.duration_minutes} min "
         f"(busiest minute {spec.busiest_minute_rate}/min)"
     )
+    if registry is not None:
+        _finish_telemetry(args, registry)
     return 0
 
 
@@ -518,6 +551,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--range-start", type=int, default=0)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default="spec.json")
+    p.add_argument("--streaming", action="store_true",
+                   help="ingest the trace in bounded-memory row blocks "
+                        "(mergeable sketches) instead of materialising "
+                        "it; exact rate/popularity statistics are "
+                        "identical, duration CDFs carry a tracked "
+                        "rank-error bound")
+    p.add_argument("--chunk-rows", type=int, default=65_536, metavar="N",
+                   help="rows per streaming ingestion block (bounds peak "
+                        "memory; never changes exact statistics)")
+    p.add_argument("--telemetry", default=None, metavar="PATH",
+                   help="collect pipeline + ingestion telemetry and "
+                        "write the end-of-run snapshot here")
+    p.add_argument("--telemetry-format", choices=["jsonl", "prom"],
+                   default="jsonl",
+                   help="snapshot format for --telemetry (default: jsonl)")
     _add_parallel_cache_flags(p)
     p.set_defaults(func=_cmd_shrinkray)
 

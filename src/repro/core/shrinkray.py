@@ -27,6 +27,7 @@ from repro.core.spec import ExperimentSpec, SpecEntry
 from repro.core.time_scaling import thumbnail_scale
 from repro.telemetry import registry as _telemetry
 from repro.traces.model import Trace
+from repro.traces.streaming import StreamingTraceSummary
 from repro.workloads.pool import WorkloadPool
 
 if TYPE_CHECKING:
@@ -119,7 +120,7 @@ class ShrinkRay:
 
     def _cache_key(
         self,
-        trace: Trace,
+        trace: Trace | StreamingTraceSummary,
         pool: WorkloadPool,
         max_rps: float,
         duration_minutes: int,
@@ -127,6 +128,14 @@ class ShrinkRay:
     ) -> str:
         from repro.cache import code_version, fingerprint
 
+        # A streaming summary fingerprints through its accumulated state
+        # plus every sketch parameter and the chunk-schema version (see
+        # docs/EXTENDING.md): summaries of the same content built with
+        # different sketch configurations must never share cache entries.
+        trace_part: object = (
+            trace.fingerprint_parts()
+            if isinstance(trace, StreamingTraceSummary) else trace
+        )
         config = {
             "error_threshold_pct": self.error_threshold_pct,
             "quantize_ms": self.quantize_ms,
@@ -141,14 +150,51 @@ class ShrinkRay:
             "shards": self.shards,
         }
         return fingerprint(
-            "shrinkray", code_version(), config, trace,
+            "shrinkray", code_version(), config, trace_part,
             pool.fingerprint_parts(),
             max_rps, duration_minutes, seed,
         )
 
+    def _aggregate_summary(
+        self, summary: StreamingTraceSummary
+    ) -> tuple[Trace, AggregationAudit]:
+        """Adapt a streaming summary into the aggregation stage's output.
+
+        The summary already holds the super-Function groups (exact
+        integer rate matrix, invocation-weighted durations), so this is
+        a reshape, not a recomputation.  The audit is group-level: the
+        summary does not retain per-original-function shares (that is
+        the point of streaming), so original and aggregated sides
+        coincide.
+        """
+        if not self.aggregate:
+            raise ValueError(
+                "streaming summaries are pre-aggregated; aggregate=False "
+                "requires a materialised Trace"
+            )
+        if summary.quantize_ms != self.quantize_ms:
+            raise ValueError(
+                f"summary was accumulated at quantize_ms="
+                f"{summary.quantize_ms:g} but this ShrinkRay expects "
+                f"{self.quantize_ms:g}; re-ingest with matching "
+                "quantisation"
+            )
+        keys, _matrix, counts, _durations, sizes = (
+            summary.aggregated_groups()
+        )
+        shares = counts.astype(np.float64) / counts.sum()
+        audit = AggregationAudit(
+            original_keys=keys,
+            original_shares=shares,
+            aggregated_keys=keys,
+            aggregated_shares=shares,
+            group_sizes=sizes,
+        )
+        return summary.to_aggregated_trace(), audit
+
     def run(
         self,
-        trace: Trace,
+        trace: Trace | StreamingTraceSummary,
         pool: WorkloadPool,
         *,
         max_rps: float,
@@ -157,6 +203,13 @@ class ShrinkRay:
         cache: ContentCache | None = None,
     ) -> ExperimentSpec:
         """Produce an experiment spec for ``trace`` against ``pool``.
+
+        ``trace`` may be a materialised :class:`~repro.traces.model.Trace`
+        or a :class:`~repro.traces.streaming.StreamingTraceSummary` built
+        by one bounded-memory pass over the raw CSVs -- the two paths
+        share every stage after aggregation, and their exact integer
+        statistics (rate matrix, per-group invocation counts) are
+        byte-identical (pinned by ``tests/test_streaming_equivalence``).
 
         ``max_rps`` and ``duration_minutes`` are the two user inputs of the
         paper's interface: the target maximum request rate and the target
@@ -187,14 +240,15 @@ class ShrinkRay:
 
         rng = np.random.default_rng(seed)
 
-        working = trace.nonzero_functions()
-
-        if self.aggregate:
+        if isinstance(trace, StreamingTraceSummary):
+            working, audit = self._aggregate_summary(trace)
+        elif self.aggregate:
             working, audit = aggregate_functions(
-                working, quantize_ms=self.quantize_ms,
+                trace.nonzero_functions(), quantize_ms=self.quantize_ms,
                 jobs=self.jobs, shards=self.shards,
             )
         else:
+            working = trace.nonzero_functions()
             counts = working.invocations_per_function.astype(np.float64)
             shares = counts / counts.sum()
             keys = np.arange(working.n_functions)
@@ -225,14 +279,20 @@ class ShrinkRay:
 
         memory_targets = None
         if self.memory_aware:
-            if not trace.app_memory_mb:
+            if isinstance(trace, StreamingTraceSummary):
+                # Raises with context if no app memory was observed.
+                mem_cdf = trace.memory_cdf()
+            elif not trace.app_memory_mb:
                 raise ValueError(
                     "memory_aware shrinking needs a trace that reports app "
                     "memory"
                 )
-            from repro.stats.ecdf import EmpiricalCDF
+            else:
+                from repro.stats.ecdf import EmpiricalCDF
 
-            mem_cdf = EmpiricalCDF.from_samples(trace.memory_per_app_array())
+                mem_cdf = EmpiricalCDF.from_samples(
+                    trace.memory_per_app_array()
+                )
             memory_targets = np.asarray(
                 mem_cdf.quantile(rng.random(working.n_functions))
             )
@@ -300,6 +360,10 @@ class ShrinkRay:
         if reg is not None:
             reg.counter("shrinkray_runs_total",
                         "cold shrink-ray pipeline executions").inc()
+            if isinstance(trace, StreamingTraceSummary):
+                reg.counter("shrinkray_streaming_runs_total",
+                            "shrink-ray runs fed by a streaming "
+                            "summary").inc()
             reg.gauge("shrinkray_spec_requests",
                       "total requests of the last produced spec"
                       ).set(spec.total_requests)
@@ -309,7 +373,7 @@ class ShrinkRay:
 
 
 def shrink(
-    trace: Trace,
+    trace: Trace | StreamingTraceSummary,
     pool: WorkloadPool,
     *,
     max_rps: float,

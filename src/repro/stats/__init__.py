@@ -39,10 +39,18 @@ from repro.stats.popularity import (
     popularity_shares,
 )
 from repro.stats.sampling import smirnov_sample
+from repro.stats.sketches import (
+    KLLSketch,
+    RateMatrixAccumulator,
+    SpaceSavingCounter,
+)
 
 __all__ = [
     "EmpiricalCDF",
+    "KLLSketch",
     "MixtureFit",
+    "RateMatrixAccumulator",
+    "SpaceSavingCounter",
     "burstiness_parameter",
     "fit_lognormal_mixture",
     "cdf_series",

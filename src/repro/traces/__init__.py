@@ -25,6 +25,12 @@ from repro.traces.fit import (
     fit_popularity_exponent,
 )
 from repro.traces.io import dump_azure_day, load_azure_day
+from repro.traces.streaming import (
+    StreamingTraceSummary,
+    iter_invocation_blocks,
+    stream_azure_day,
+    summarize_trace,
+)
 from repro.traces.synth import memoized_trace
 from repro.traces.model import MINUTES_PER_DAY, MultiDaySummary, Trace
 from repro.traces.multiday import (
@@ -54,6 +60,7 @@ __all__ = [
     "MINUTES_PER_DAY",
     "MultiDaySummary",
     "SecondTrace",
+    "StreamingTraceSummary",
     "Trace",
     "characterize_trace",
     "dump_azure_day",
@@ -65,12 +72,15 @@ __all__ = [
     "fit_popularity_exponent",
     "function_duration_cdf",
     "invocation_duration_cdf",
+    "iter_invocation_blocks",
     "load_azure_day",
     "memoized_trace",
     "pick_representative_day",
     "relative_load_series",
     "sample_functions",
+    "stream_azure_day",
     "summarize_days",
+    "summarize_trace",
     "synthetic_azure_multiday",
     "synthetic_azure_trace",
     "synthetic_azure_week",

@@ -13,6 +13,12 @@ These readers/writers speak that schema (the subset of columns FaaSRail
 consumes), so a directory holding the *real* dataset loads directly into a
 :class:`~repro.traces.model.Trace`, and synthetic traces round-trip through
 the same files for inspection.
+
+Malformed rows raise ``ValueError`` carrying the file path, 1-based line
+number, and offending column, so a bad cell in a multi-million-row dump
+is locatable without a debugger (mirroring the path-context validation of
+:mod:`repro.loadgen.io`).  The row-level conversion helpers are shared
+with the chunked readers in :mod:`repro.traces.streaming`.
 """
 
 from __future__ import annotations
@@ -35,9 +41,55 @@ __all__ = [
     "write_memory_csv",
 ]
 
-_INVOCATIONS_FILE = "invocations_per_function.csv"
-_DURATIONS_FILE = "function_durations.csv"
-_MEMORY_FILE = "app_memory.csv"
+INVOCATIONS_FILE = "invocations_per_function.csv"
+DURATIONS_FILE = "function_durations.csv"
+MEMORY_FILE = "app_memory.csv"
+
+# Backwards-compatible aliases (pre-streaming these were module-private).
+_INVOCATIONS_FILE = INVOCATIONS_FILE
+_DURATIONS_FILE = DURATIONS_FILE
+_MEMORY_FILE = MEMORY_FILE
+
+
+def convert_count_row(
+    values: list[str], path: Path | str, line: int
+) -> np.ndarray:
+    """Convert one row of per-minute count cells to int64 with context.
+
+    On a malformed cell the raised ``ValueError`` names the file, the
+    1-based CSV line, and the offending minute column -- the cheap numpy
+    bulk conversion is retried cell-by-cell only on failure.
+    """
+    try:
+        return np.array(values, dtype=np.int64)
+    except (ValueError, OverflowError):
+        for col, cell in enumerate(values):
+            try:
+                int(cell)
+            except (ValueError, OverflowError):
+                raise ValueError(
+                    f"{path}: line {line}: column {col + 5} "
+                    f"(minute {col + 1}) has invalid invocation count "
+                    f"{cell!r}"
+                ) from None
+        raise  # pragma: no cover - bulk failed but every cell parsed
+
+
+def convert_float_cell(
+    value: str | None, path: Path | str, line: int, column: str
+) -> float:
+    """Convert one CSV cell to float, with file/line/column context."""
+    if value is None:
+        raise ValueError(
+            f"{path}: line {line}: column {column} is missing"
+        )
+    try:
+        return float(value)
+    except ValueError:
+        raise ValueError(
+            f"{path}: line {line}: column {column} has invalid value "
+            f"{value!r}"
+        ) from None
 
 
 def write_invocations_csv(trace: Trace, path: Path | str) -> None:
@@ -67,12 +119,19 @@ def read_invocations_csv(path: Path | str):
         if header[:4] != ["HashOwner", "HashApp", "HashFunction", "Trigger"]:
             raise ValueError(f"{path}: unexpected invocations header {header[:4]}")
         n_minutes = len(header) - 4
+        line = 1
         for row in reader:
+            line += 1
             if len(row) != 4 + n_minutes:
-                raise ValueError(f"{path}: ragged row for function {row[2]!r}")
+                fn = row[2] if len(row) > 2 else "?"
+                raise ValueError(
+                    f"{path}: line {line}: ragged row for function "
+                    f"{fn!r} ({len(row)} fields, expected "
+                    f"{4 + n_minutes})"
+                )
             apps.append(row[1])
             fns.append(row[2])
-            rows.append(np.array(row[4:], dtype=np.int64))
+            rows.append(convert_count_row(row[4:], path, line))
     if not fns:
         raise ValueError(f"{path}: no functions")
     matrix = np.vstack(rows).astype(np.int32)
@@ -106,9 +165,12 @@ def read_durations_csv(path: Path | str):
         required = {"HashFunction", "Average"}
         if reader.fieldnames is None or not required <= set(reader.fieldnames):
             raise ValueError(f"{path}: durations header missing {required}")
+        line = 1
         for row in reader:
+            line += 1
             fns.append(row["HashFunction"])
-            avgs.append(float(row["Average"]))
+            avgs.append(convert_float_cell(row.get("Average"), path, line,
+                                           "Average"))
     if not fns:
         raise ValueError(f"{path}: no functions")
     return np.array(fns), np.array(avgs, dtype=np.float64)
@@ -134,8 +196,13 @@ def read_memory_csv(path: Path | str) -> dict[str, float]:
         required = {"HashApp", "AverageAllocatedMb"}
         if reader.fieldnames is None or not required <= set(reader.fieldnames):
             raise ValueError(f"{path}: memory header missing {required}")
+        line = 1
         for row in reader:
-            out[row["HashApp"]] = float(row["AverageAllocatedMb"])
+            line += 1
+            out[row["HashApp"]] = convert_float_cell(
+                row.get("AverageAllocatedMb"), path, line,
+                "AverageAllocatedMb",
+            )
     return out
 
 
@@ -143,10 +210,10 @@ def dump_azure_day(trace: Trace, directory: Path | str) -> None:
     """Write a trace as the three Azure-layout CSVs under ``directory``."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    write_invocations_csv(trace, directory / _INVOCATIONS_FILE)
-    write_durations_csv(trace, directory / _DURATIONS_FILE)
+    write_invocations_csv(trace, directory / INVOCATIONS_FILE)
+    write_durations_csv(trace, directory / DURATIONS_FILE)
     if trace.app_memory_mb:
-        write_memory_csv(trace, directory / _MEMORY_FILE)
+        write_memory_csv(trace, directory / MEMORY_FILE)
 
 
 def load_azure_day(directory: Path | str, name: str = "azure-csv") -> Trace:
@@ -157,8 +224,8 @@ def load_azure_day(directory: Path | str, name: str = "azure-csv") -> Trace:
     functions that report execution times.
     """
     directory = Path(directory)
-    apps, fns, matrix = read_invocations_csv(directory / _INVOCATIONS_FILE)
-    dur_fns, dur_avgs = read_durations_csv(directory / _DURATIONS_FILE)
+    apps, fns, matrix = read_invocations_csv(directory / INVOCATIONS_FILE)
+    dur_fns, dur_avgs = read_durations_csv(directory / DURATIONS_FILE)
     duration_of = dict(zip(dur_fns.tolist(), dur_avgs.tolist()))
     keep = np.array([f in duration_of for f in fns])
     if not keep.any():
@@ -167,7 +234,7 @@ def load_azure_day(directory: Path | str, name: str = "azure-csv") -> Trace:
     fns, apps, matrix = fns[keep], apps[keep], matrix[keep]
     durations = np.array([duration_of[f] for f in fns], dtype=np.float64)
 
-    mem_path = directory / _MEMORY_FILE
+    mem_path = directory / MEMORY_FILE
     memory = read_memory_csv(mem_path) if mem_path.exists() else {}
     return Trace(
         name=name,

@@ -113,3 +113,82 @@ class TestSchemaValidation:
         loaded = load_azure_day(tmp_path)
         assert loaded.n_functions == trace.n_functions - 1
         assert "f0" not in set(loaded.function_ids)
+
+
+class TestMalformedRowContext:
+    """Malformed cells must name the file, 1-based line, and column
+    (ISSUE 5 bugfix): a bad cell in a multi-million-row dump has to be
+    locatable without a debugger."""
+
+    def test_invocations_bad_count_cell(self, tmp_path):
+        p = tmp_path / "inv.csv"
+        p.write_text(
+            "HashOwner,HashApp,HashFunction,Trigger,1,2,3\n"
+            "o,a,f1,http,1,2,3\n"
+            "o,a,f2,http,4,oops,6\n"
+        )
+        with pytest.raises(ValueError) as err:
+            read_invocations_csv(p)
+        msg = str(err.value)
+        assert str(p) in msg
+        assert "line 3" in msg
+        assert "column 6" in msg and "minute 2" in msg
+        assert "'oops'" in msg
+
+    def test_invocations_float_count_cell(self, tmp_path):
+        # floats are not valid invocation counts; the scan must still
+        # name the offending cell rather than die inside numpy
+        p = tmp_path / "inv.csv"
+        p.write_text(
+            "HashOwner,HashApp,HashFunction,Trigger,1,2\n"
+            "o,a,f1,http,1.5,2\n"
+        )
+        with pytest.raises(ValueError, match=r"line 2.*column 5"):
+            read_invocations_csv(p)
+
+    def test_invocations_ragged_row_names_line(self, tmp_path):
+        p = tmp_path / "inv.csv"
+        p.write_text(
+            "HashOwner,HashApp,HashFunction,Trigger,1,2\n"
+            "o,a,f1,http,1,2\n"
+            "o,a,f2,http,1,2,3\n"
+        )
+        with pytest.raises(ValueError, match=r"line 3: ragged row.*'f2'"):
+            read_invocations_csv(p)
+
+    def test_durations_bad_average(self, tmp_path):
+        p = tmp_path / "dur.csv"
+        p.write_text(
+            "HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum\n"
+            "o,a,f1,12.5,3,1,20\n"
+            "o,a,f2,NOT_A_NUMBER,3,1,20\n"
+        )
+        with pytest.raises(ValueError) as err:
+            read_durations_csv(p)
+        msg = str(err.value)
+        assert str(p) in msg
+        assert "line 3" in msg
+        assert "column Average" in msg
+        assert "'NOT_A_NUMBER'" in msg
+
+    def test_durations_missing_average_cell(self, tmp_path):
+        p = tmp_path / "dur.csv"
+        # DictReader yields None for the missing trailing field
+        p.write_text("HashFunction,Average\nf1\n")
+        with pytest.raises(ValueError, match=r"line 2.*Average is missing"):
+            read_durations_csv(p)
+
+    def test_memory_bad_value(self, tmp_path):
+        p = tmp_path / "mem.csv"
+        p.write_text(
+            "HashOwner,HashApp,SampleCount,AverageAllocatedMb\n"
+            "o,a0,1,128\n"
+            "o,a1,1,many\n"
+        )
+        with pytest.raises(ValueError) as err:
+            read_memory_csv(p)
+        msg = str(err.value)
+        assert str(p) in msg
+        assert "line 3" in msg
+        assert "column AverageAllocatedMb" in msg
+        assert "'many'" in msg
