@@ -207,6 +207,154 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _sim_backend_factory(spec_path, nodes, node_memory, scheduler_name,
+                         keepalive_name, keepalive_ttl, seed,
+                         error_rate):
+    """Build one fresh simulator backend inside a service worker.
+
+    Module-level (and driven through ``functools.partial`` over plain
+    values) so the factory pickles cleanly into spawned processes.
+    """
+    from repro.core import ExperimentSpec
+    from repro.platform import (
+        FaaSCluster,
+        FaultProfile,
+        FaultyBackend,
+        FixedKeepAlive,
+        HashAffinityScheduler,
+        HistogramKeepAlive,
+        LeastLoadedScheduler,
+        NoKeepAlive,
+        RandomScheduler,
+        profiles_from_spec,
+    )
+
+    spec = ExperimentSpec.load(spec_path)
+    scheduler = {
+        "least-loaded": LeastLoadedScheduler(),
+        "random": RandomScheduler(seed),
+        "hash": HashAffinityScheduler(),
+    }[scheduler_name]
+    keepalive = {
+        "none": NoKeepAlive(),
+        "fixed": FixedKeepAlive(keepalive_ttl),
+        "histogram": HistogramKeepAlive(),
+    }[keepalive_name]
+    profile = None
+    if error_rate is not None:
+        profile = FaultProfile()
+        profile.error_rate = error_rate
+    backend = FaaSCluster(
+        profiles_from_spec(spec),
+        n_nodes=nodes,
+        node_memory_mb=node_memory,
+        scheduler=scheduler,
+        keepalive=keepalive,
+        fault_hook=(profile.simulator_hook()
+                    if profile is not None else None),
+    )
+    if profile is not None:
+        backend = FaultyBackend(backend, profile)
+    return backend
+
+
+def _http_backend_factory(base_url, timeout_s):
+    from repro.platform import HTTPBackend
+
+    return HTTPBackend(base_url, timeout_s=timeout_s)
+
+
+def _cmd_replay_service(args, spec, registry, retry) -> int:
+    """The ``--service`` branch: supervised multi-process open loop."""
+    import functools
+    import math
+
+    from repro.loadgen import generate_request_trace
+    from repro.loadgen.service import (
+        BreakerSpec,
+        ServiceConfig,
+        ServiceFaultPlan,
+        run_service,
+    )
+    from repro.platform import summarize
+
+    if args.target_url is not None:
+        factory = functools.partial(
+            _http_backend_factory, base_url=args.target_url,
+            timeout_s=args.http_timeout,
+        )
+    else:
+        factory = functools.partial(
+            _sim_backend_factory, spec_path=args.spec, nodes=args.nodes,
+            node_memory=args.node_memory, scheduler_name=args.scheduler,
+            keepalive_name=args.keepalive,
+            keepalive_ttl=args.keepalive_ttl, seed=args.seed,
+            error_rate=args.error_rate,
+        )
+    breaker_spec = BreakerSpec(
+        failure_threshold=args.breaker_threshold,
+        reset_timeout_s=args.breaker_reset,
+    ) if args.breaker else None
+    # Simulator-side error injection happens inside the worker's
+    # backend factory; the service-level keyed plan covers backends
+    # without their own fault hooks (HTTP targets).
+    fault_plan = None
+    if args.error_rate is not None and args.target_url is not None:
+        fault_plan = ServiceFaultPlan(error_rate=args.error_rate,
+                                      seed=args.seed)
+    config = ServiceConfig(
+        workers=args.workers,
+        speed=(math.inf if args.speed is None else args.speed),
+        max_lag_s=args.max_lag,
+        checkpoint_every=args.checkpoint_every,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        service_timeout_s=args.service_timeout,
+    )
+    with _scoped_telemetry(registry):
+        trace = generate_request_trace(spec, seed=args.seed,
+                                       arrival_mode=args.arrival_mode)
+        result = run_service(
+            trace, factory,
+            service_dir=args.service_dir,
+            config=config,
+            retry=retry,
+            breaker=breaker_spec,
+            fault_plan=fault_plan,
+            resume=args.resume,
+        )
+    cov = result.coverage
+    print(f"service replay: {cov.n_scheduled} requests over "
+          f"{cov.n_shards} shards / {cov.n_workers} workers in "
+          f"{result.wall_clock_s:.2f}s")
+    print(f"  coverage            : "
+          f"{'complete' if cov.ok else 'INCOMPLETE'} "
+          f"(ledger {cov.ledger_sha256[:16]})")
+    counts = result.outcome_counts()
+    shown = ", ".join(f"{k}={v}" for k, v in counts.items() if v)
+    print(f"  request outcomes    : {shown}")
+    if cov.restarts or cov.heartbeat_misses:
+        print(f"  supervision         : {cov.restarts} restarts, "
+              f"{cov.heartbeat_misses} heartbeat misses")
+    if cov.shed_overload or cov.shed_breaker:
+        print(f"  shed                : {cov.shed_overload} overload, "
+              f"{cov.shed_breaker} breaker")
+    if cov.dispatch_lag_ms["max"] > 0:
+        lag = cov.dispatch_lag_ms
+        print(f"  dispatch lag        : mean {lag['mean']:.2f} ms, "
+              f"p99 {lag['p99']:.2f} ms, "
+              f"late {lag['late_fraction']:.2%}")
+    if result.records:
+        summary = summarize(result.records)
+        lat = summary["latency_ms"]
+        print(f"  latency p50/p90/p99 : {lat['p50']:.1f} / "
+              f"{lat['p90']:.1f} / {lat['p99']:.1f} ms")
+    print(f"  coverage report     : "
+          f"{Path(args.service_dir) / 'coverage.json'}")
+    if registry is not None:
+        _finish_telemetry(args, registry)
+    return 0 if cov.ok else 1
+
+
 def _cmd_replay(args) -> int:
     from repro.core import ExperimentSpec
     from repro.loadgen import (
@@ -231,6 +379,26 @@ def _cmd_replay(args) -> int:
 
     spec = ExperimentSpec.load(args.spec)
     registry, drift = _setup_telemetry(args, spec)
+
+    if args.error_rate is not None and not 0 <= args.error_rate <= 1:
+        raise SystemExit("--error-rate must be in [0, 1]")
+    retry = None
+    if args.retry is not None:
+        if args.retry < 1:
+            raise SystemExit("--retry must be at least 1")
+        retry = RetryPolicy(
+            max_attempts=args.retry,
+            base_delay_s=args.retry_base_delay,
+            deadline_s=args.retry_deadline,
+            seed=args.seed,
+        )
+
+    if args.service:
+        if args.fault_profile is not None:
+            raise SystemExit("--fault-profile is not supported with "
+                             "--service (use --error-rate)")
+        return _cmd_replay_service(args, spec, registry, retry)
+
     scheduler = {
         "least-loaded": LeastLoadedScheduler(),
         "random": RandomScheduler(args.seed),
@@ -249,8 +417,6 @@ def _cmd_replay(args) -> int:
         except (OSError, ValueError) as exc:
             raise SystemExit(f"cannot load fault profile: {exc}") from exc
     if args.error_rate is not None:
-        if not 0 <= args.error_rate <= 1:
-            raise SystemExit("--error-rate must be in [0, 1]")
         profile = profile or FaultProfile()
         profile.error_rate = args.error_rate
 
@@ -266,16 +432,6 @@ def _cmd_replay(args) -> int:
     if profile is not None:
         backend = FaultyBackend(backend, profile)
 
-    retry = None
-    if args.retry is not None:
-        if args.retry < 1:
-            raise SystemExit("--retry must be at least 1")
-        retry = RetryPolicy(
-            max_attempts=args.retry,
-            base_delay_s=args.retry_base_delay,
-            deadline_s=args.retry_deadline,
-            seed=args.seed,
-        )
     breaker = CircuitBreaker(
         failure_threshold=args.breaker_threshold,
         reset_timeout_s=args.breaker_reset,
@@ -614,7 +770,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint-every", type=int, default=1000,
                    help="requests between checkpoints")
     p.add_argument("--resume", action="store_true",
-                   help="resume from --checkpoint if it exists")
+                   help="resume from --checkpoint if it exists (with "
+                        "--service: from the per-shard checkpoints in "
+                        "--service-dir)")
+    p.add_argument("--service", action="store_true",
+                   help="run the supervised multi-process open-loop "
+                        "load service instead of the in-process loop "
+                        "(crash-tolerant workers, verified schedule "
+                        "coverage; see docs/LOADSERVICE.md)")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="service worker processes (0 = run shards "
+                        "inline; the reconciled ledger is identical "
+                        "for any value)")
+    p.add_argument("--target-url", default=None, metavar="URL",
+                   help="drive generated load at a real HTTP endpoint "
+                        "instead of the simulator")
+    p.add_argument("--http-timeout", type=float, default=10.0,
+                   help="per-request HTTP timeout in seconds")
+    p.add_argument("--service-dir", default="service-run", metavar="DIR",
+                   help="per-shard checkpoints + coverage report "
+                        "directory for --service")
+    p.add_argument("--speed", type=float, default=None, metavar="X",
+                   help="open-loop pacing speedup (1 = trace real "
+                        "time; default: unpaced, as fast as the "
+                        "backend accepts)")
+    p.add_argument("--max-lag", type=float, default=None, metavar="S",
+                   help="shed a request once its dispatch lags more "
+                        "than S seconds behind schedule (outcome "
+                        "'shed'; default: never shed)")
+    p.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                   help="seconds of worker silence before the "
+                        "supervisor kills and restarts its shard")
+    p.add_argument("--service-timeout", type=float, default=300.0,
+                   help="global wall-clock deadline for the whole "
+                        "service run")
     _add_telemetry_flags(p)
     p.set_defaults(func=_cmd_replay)
 

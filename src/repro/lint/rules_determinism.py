@@ -9,7 +9,12 @@ from repro.lint.context import FileContext, dotted_name
 from repro.lint.engine import Rule
 from repro.lint.findings import Finding
 
-__all__ = ["NoGlobalRng", "NoUnorderedIteration", "NoWallClock"]
+__all__ = [
+    "NoClosedLoopPacing",
+    "NoGlobalRng",
+    "NoUnorderedIteration",
+    "NoWallClock",
+]
 
 
 class NoWallClock(Rule):
@@ -211,3 +216,111 @@ class NoUnorderedIteration(Rule):
             parts = dotted_name(node.func)
             if parts and parts[-1] in self._ORDERING_CONSUMERS and node.args:
                 yield node.args[0], f"{parts[-1]}(...)"
+
+
+#: Identifier fragments that betray a sleep computed from *response*
+#: timing rather than the trace schedule.
+_COMPLETION_TOKENS = (
+    "latency",
+    "elapsed",
+    "response",
+    "reply",
+    "rtt",
+    "completion",
+    "roundtrip",
+    "service_time",
+    "took",
+)
+
+
+def _name_tokens(node: ast.expr) -> set[str]:
+    """Lower-cased identifier fragments appearing in an expression."""
+    out: set[str] = set()
+    for n in ast.walk(node):
+        if isinstance(n, ast.Name):
+            out.add(n.id.lower())
+        elif isinstance(n, ast.Attribute):
+            out.add(n.attr.lower())
+    return out
+
+
+def _completion_tokens(tokens: set[str]) -> set[str]:
+    return {t for t in tokens
+            if any(frag in t for frag in _COMPLETION_TOKENS)}
+
+
+class NoClosedLoopPacing(Rule):
+    """DET004: no response-completion-driven scheduling in loadgen.
+
+    An open-loop load generator schedules every send from the *trace
+    clock*; sleeping for a duration derived from the previous response's
+    completion time (its latency, elapsed time, RTT, ...) turns the
+    dispatcher closed-loop, which silently stretches the schedule under
+    backend slowness and hides queueing delay from the measured
+    latencies -- the coordinated-omission failure the wrk2
+    constant-throughput model exists to avoid.  Scoped to
+    ``repro.loadgen``: pacing sleeps keyed on schedule targets
+    (``epoch + ts/speed``) or on retry backoff are fine; sleeps keyed on
+    completion-timing identifiers are flagged.  Intentional sites carry
+    ``# repro: allow-closed-loop-pacing`` pragmas.
+    """
+
+    rule_id = "DET004"
+    slug = "closed-loop-pacing"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.module.startswith("repro.loadgen"):
+            return
+        for scope in self._scopes(ctx.tree):
+            assigns: dict[str, set[str]] = {}
+            sleeps: list[ast.Call] = []
+            for node in self._scope_walk(scope):
+                if (isinstance(node, ast.Assign)
+                        and len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Name)):
+                    assigns.setdefault(
+                        node.targets[0].id, set()
+                    ).update(_name_tokens(node.value))
+                elif (isinstance(node, ast.AugAssign)
+                      and isinstance(node.target, ast.Name)):
+                    assigns.setdefault(
+                        node.target.id, set()
+                    ).update(_name_tokens(node.value))
+                elif (isinstance(node, ast.Call) and node.args
+                      and ctx.resolve(node.func) == "time.sleep"):
+                    sleeps.append(node)
+            for call in sleeps:
+                arg = call.args[0]
+                hits = _completion_tokens(_name_tokens(arg))
+                if not hits and isinstance(arg, ast.Name):
+                    # one level of local dataflow: `pause = latency * k;
+                    # time.sleep(pause)` is still closed-loop pacing
+                    hits = _completion_tokens(
+                        assigns.get(arg.id, set())
+                    )
+                if hits:
+                    named = ", ".join(sorted(hits))
+                    yield ctx.finding(
+                        self.rule_id, self.slug, call,
+                        "sleep derived from response-completion timing "
+                        f"(`{named}`) -- closed-loop pacing hides "
+                        "queueing delay (coordinated omission); "
+                        "schedule sends from the trace clock instead",
+                    )
+
+    def _scopes(self, tree: ast.Module) -> Iterator[ast.AST]:
+        yield tree
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def _scope_walk(self, scope: ast.AST) -> Iterator[ast.AST]:
+        """Walk a scope without descending into nested function bodies
+        (each nested function is analysed as its own scope)."""
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))

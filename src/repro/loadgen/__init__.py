@@ -21,15 +21,32 @@ from repro.loadgen.resilience import (
     load_checkpoint,
     save_checkpoint,
 )
+from repro.loadgen.service import (
+    BreakerSpec,
+    CoverageReport,
+    CrashPoint,
+    ServiceConfig,
+    ServiceError,
+    ServiceFaultPlan,
+    ServiceResult,
+    run_service,
+)
 
 __all__ = [
     "ARRIVAL_MODES",
     "Backend",
+    "BreakerSpec",
     "CircuitBreaker",
+    "CoverageReport",
+    "CrashPoint",
     "OUTCOMES",
     "ReplayResult",
     "RequestTrace",
     "RetryPolicy",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceFaultPlan",
+    "ServiceResult",
     "cell_counts",
     "generate_from_second_matrix",
     "generate_request_trace",
@@ -39,6 +56,7 @@ __all__ = [
     "load_request_trace_npz",
     "minute_offsets",
     "replay",
+    "run_service",
     "save_checkpoint",
     "save_request_trace_csv",
     "save_request_trace_npz",

@@ -177,38 +177,49 @@ _CKPT_VERSION = 1
 
 def save_checkpoint(path: Path | str, *, offset: int,
                     outcomes: np.ndarray, attempts: np.ndarray,
-                    trace_fingerprint: tuple[int, float, float]) -> None:
+                    trace_fingerprint: tuple[int, float, float],
+                    shard: tuple[int, int, int] | None = None) -> None:
     """Atomically write replay progress through request ``offset``.
 
     The fingerprint (``n_requests, first_ts, last_ts``) guards a resume
-    against a different trace.  The write goes through a temp file +
-    ``os.replace`` so a kill mid-write never leaves a torn checkpoint.
+    against a different trace.  ``shard`` -- ``(shard_index, lo, hi)``
+    in global request coordinates -- extends the fingerprint for the
+    supervised load service, whose per-shard checkpoints must never be
+    resumed into a different shard of the same trace.  The write goes
+    through a temp file + ``os.replace`` so a kill mid-write never
+    leaves a torn checkpoint.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_suffix(path.suffix + ".tmp")
     n, first_ts, last_ts = trace_fingerprint
+    arrays = dict(
+        version=np.int64(_CKPT_VERSION),
+        offset=np.int64(offset),
+        outcomes=np.asarray(outcomes[:offset], dtype=np.uint8),
+        attempts=np.asarray(attempts[:offset], dtype=np.int32),
+        n_requests=np.int64(n),
+        first_ts=np.float64(first_ts),
+        last_ts=np.float64(last_ts),
+    )
+    if shard is not None:
+        arrays["shard"] = np.asarray(shard, dtype=np.int64)
     with open(tmp, "wb") as fh:  # file handle: savez must not append .npz
-        np.savez(
-            fh,
-            version=np.int64(_CKPT_VERSION),
-            offset=np.int64(offset),
-            outcomes=np.asarray(outcomes[:offset], dtype=np.uint8),
-            attempts=np.asarray(attempts[:offset], dtype=np.int32),
-            n_requests=np.int64(n),
-            first_ts=np.float64(first_ts),
-            last_ts=np.float64(last_ts),
-        )
+        np.savez(fh, **arrays)
     os.replace(tmp, path)
 
 
 def load_checkpoint(path: Path | str,
                     trace_fingerprint: tuple[int, float, float],
+                    *, shard: tuple[int, int, int] | None = None,
                     ) -> tuple[int, np.ndarray, np.ndarray]:
     """Read a checkpoint, returning ``(offset, outcomes, attempts)``.
 
     Raises ValueError if the file does not match ``trace_fingerprint`` --
     resuming one trace's replay with another is almost certainly a bug.
+    With ``shard`` given, the stored per-shard fingerprint must match it
+    exactly; a whole-trace checkpoint (no stored shard) is likewise
+    rejected, and vice versa.
     """
     path = Path(path)
     with np.load(path, allow_pickle=False) as data:
@@ -232,6 +243,18 @@ def load_checkpoint(path: Path | str,
             raise ValueError(
                 f"{path}: checkpoint was taken for a different trace "
                 f"(fingerprint {stored}, trace {trace_fingerprint})"
+            )
+        stored_shard = (tuple(int(v) for v in data["shard"])
+                        if "shard" in data.files else None)
+        if shard is not None and stored_shard is None:
+            raise ValueError(
+                f"{path}: whole-trace checkpoint cannot resume shard "
+                f"{shard}"
+            )
+        if stored_shard is not None and stored_shard != shard:
+            raise ValueError(
+                f"{path}: checkpoint belongs to shard {stored_shard}, "
+                f"not {shard}"
             )
         offset = int(data["offset"])
         if not 0 <= offset <= n:

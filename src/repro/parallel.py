@@ -32,6 +32,7 @@ __all__ = [
     "auto_shards",
     "effective_jobs",
     "map_shards",
+    "plan_shards",
     "shard_bounds",
     "spawn_rngs",
 ]
@@ -97,6 +98,27 @@ def shard_bounds(n_items: int, n_shards: int) -> list[tuple[int, int]]:
         bounds.append((lo, hi))
         lo = hi
     return bounds
+
+
+def plan_shards(
+    n_items: int,
+    *,
+    max_shards: int = DEFAULT_MAX_SHARDS,
+    min_per_shard: int = 1,
+) -> list[tuple[int, int]]:
+    """Data-derived contiguous shard bounds for ``n_items`` work items.
+
+    Composes :func:`auto_shards` and :func:`shard_bounds`: the partition
+    is a pure function of ``n_items`` (and the explicit knobs), never of
+    the worker count, so any consumer executing the shards -- inline, a
+    process pool, or the supervised load service -- produces the same
+    per-shard decomposition.  An empty input yields an empty plan.
+    """
+    n_shards = auto_shards(n_items, max_shards=max_shards,
+                           min_per_shard=min_per_shard)
+    if n_shards == 0:
+        return []
+    return shard_bounds(n_items, n_shards)
 
 
 def spawn_rngs(

@@ -22,10 +22,18 @@ from repro.platform.keepalive import (
     HistogramKeepAlive,
     NoKeepAlive,
 )
+from repro.platform.http_backend import (
+    HTTPBackend,
+    HTTPConnectionError,
+    HTTPStatusError,
+    HTTPTimeoutError,
+    StubServer,
+)
 from repro.platform.live import LiveBackend
 from repro.platform.metrics import (
     InvocationRecord,
     breaker_uptime,
+    dispatch_lag_summary,
     memory_utilization,
     outcome_summary,
     per_workload_cold_rates,
@@ -60,6 +68,10 @@ __all__ = [
     "FaultProfile",
     "FaultyBackend",
     "FixedKeepAlive",
+    "HTTPBackend",
+    "HTTPConnectionError",
+    "HTTPStatusError",
+    "HTTPTimeoutError",
     "HashAffinityScheduler",
     "HistogramKeepAlive",
     "InvocationFault",
@@ -78,10 +90,12 @@ __all__ = [
     "RandomScheduler",
     "ReactiveAutoscaler",
     "SandboxCrashFault",
+    "StubServer",
     "TelemetryTracer",
     "WorkloadProfile",
     "breaker_uptime",
     "default_cold_start_s",
+    "dispatch_lag_summary",
     "lifecycle_summary",
     "memory_utilization",
     "outcome_summary",

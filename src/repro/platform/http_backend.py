@@ -1,0 +1,289 @@
+"""HTTP backend: drive generated load against real FaaS endpoints.
+
+:class:`HTTPBackend` satisfies the replay :class:`~repro.loadgen.replay.
+Backend` protocol over stdlib ``urllib`` -- no third-party HTTP stack --
+and additionally implements the service dispatcher's extended
+``invoke_at`` form, which carries the *scheduled* send time (so records
+stay coordinated-omission-safe) and the remaining per-request deadline
+budget (propagated to the endpoint as a header and enforced as the
+socket timeout).
+
+Failures map onto the :class:`~repro.platform.faults.FaultError`
+taxonomy the resilient replay loop already understands:
+
+- connection errors and timeouts are **retryable** (the request may
+  never have reached the endpoint);
+- ``5xx`` and ``429`` responses are **retryable** (server-side, often
+  transient);
+- any other ``4xx`` is **non-retryable** (the request itself is bad;
+  outcome ``dropped``).
+
+:class:`StubServer` is the in-repo test endpoint: a threaded stdlib HTTP
+server with configurable per-request delay and deterministic periodic
+failures, so the full service path is exercisable hermetically in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.platform.faults import FaultError
+from repro.platform.metrics import InvocationRecord
+
+__all__ = [
+    "HTTPBackend",
+    "HTTPConnectionError",
+    "HTTPStatusError",
+    "HTTPTimeoutError",
+    "StubServer",
+]
+
+
+class HTTPConnectionError(FaultError):
+    """The endpoint could not be reached (DNS, refused, reset)."""
+
+    retryable = True
+
+
+class HTTPTimeoutError(FaultError):
+    """The request exceeded its socket timeout / deadline budget."""
+
+    retryable = True
+
+
+class HTTPStatusError(FaultError):
+    """The endpoint answered with a non-2xx status.
+
+    ``retryable`` is decided per status: server-side (5xx) and
+    throttling (429) responses may clear on retry; any other 4xx means
+    the request itself is malformed and retrying cannot help.
+    """
+
+    def __init__(self, status: int, message: str = ""):
+        super().__init__(f"HTTP {status}" + (f": {message}" if message
+                                             else ""))
+        self.status = status
+        self.retryable = status >= 500 or status == 429
+
+
+class HTTPBackend:
+    """Replay backend that POSTs each request to a real HTTP endpoint.
+
+    Records are :class:`~repro.platform.metrics.InvocationRecord` in
+    wall-clock seconds relative to the backend's construction epoch.
+    With a scheduled send time supplied (service dispatcher), the
+    record's ``arrival_s`` is the *scheduled* time and ``start_s`` the
+    actual send -- so ``latency_ms`` includes dispatch lag (CO-safe) and
+    ``queueing_ms`` isolates the dispatcher stall from backend service
+    time.  The plain ``invoke`` form (classic replay loop) uses the
+    actual send time for both.
+
+    ``timeout_s`` caps every request; a tighter per-request deadline
+    (remaining retry budget) further lowers the socket timeout and is
+    forwarded as the ``X-Repro-Deadline-S`` header so cooperating
+    endpoints can shed doomed work early.
+    """
+
+    def __init__(self, base_url: str, *, timeout_s: float = 10.0,
+                 collect_records: bool = True):
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+        self.collect_records = collect_records
+        self.records: list[InvocationRecord] = []
+        self.n_sent = 0
+        # repro: allow-wall-clock (records are wall-relative by design)
+        self._epoch = time.time()
+
+    # ------------------------------------------------------------------
+    def invoke(self, timestamp_s: float, workload_id: str) -> None:
+        self.invoke_at(timestamp_s, workload_id)
+
+    def invoke_at(self, timestamp_s: float, workload_id: str, *,
+                  scheduled_wall_s: float | None = None,
+                  deadline_s: float | None = None) -> None:
+        """Send one request; raise a mapped :class:`FaultError` on failure.
+
+        ``scheduled_wall_s`` is the open-loop dispatcher's intended send
+        time (absolute wall clock); ``deadline_s`` the remaining retry
+        deadline budget, if any.
+        """
+        timeout = self.timeout_s
+        if deadline_s is not None:
+            if deadline_s <= 0:
+                raise HTTPTimeoutError(
+                    f"deadline exhausted before send of {workload_id}"
+                )
+            timeout = min(timeout, deadline_s)
+        body = json.dumps(
+            {"workload_id": workload_id, "timestamp_s": timestamp_s}
+        ).encode()
+        headers = {
+            "Content-Type": "application/json",
+            "X-Repro-Workload": workload_id,
+            "X-Repro-Timestamp-S": f"{timestamp_s:.6f}",
+        }
+        if deadline_s is not None:
+            headers["X-Repro-Deadline-S"] = f"{deadline_s:.3f}"
+        req = urllib.request.Request(
+            self.base_url + "/invoke", data=body, headers=headers,
+            method="POST",
+        )
+        # repro: allow-wall-clock (real send/completion instants)
+        sent = time.time()
+        self.n_sent += 1
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                resp.read()
+                status = resp.status
+        except urllib.error.HTTPError as exc:
+            exc.read()
+            raise HTTPStatusError(exc.code, exc.reason) from exc
+        except (socket.timeout, TimeoutError) as exc:
+            raise HTTPTimeoutError(
+                f"request for {workload_id} timed out after {timeout:g}s"
+            ) from exc
+        except urllib.error.URLError as exc:
+            if isinstance(exc.reason, (socket.timeout, TimeoutError)):
+                raise HTTPTimeoutError(
+                    f"request for {workload_id} timed out after "
+                    f"{timeout:g}s"
+                ) from exc
+            raise HTTPConnectionError(
+                f"cannot reach {self.base_url}: {exc.reason}"
+            ) from exc
+        except (ConnectionError, OSError) as exc:
+            raise HTTPConnectionError(
+                f"cannot reach {self.base_url}: {exc}"
+            ) from exc
+        if status >= 300:  # pragma: no cover - urllib raises first
+            raise HTTPStatusError(status)
+        if self.collect_records:
+            # repro: allow-wall-clock (completion instant)
+            done = time.time()
+            # CO-safety: anchor arrival at the *scheduled* send when the
+            # dispatcher supplies one, so dispatcher stall is measured
+            # latency, never a silently stretched schedule.
+            arrival = (scheduled_wall_s
+                       if scheduled_wall_s is not None else sent)
+            arrival = min(arrival, sent)  # early sends cannot go negative
+            self.records.append(InvocationRecord(
+                workload_id=workload_id,
+                node=0,
+                arrival_s=arrival - self._epoch,
+                start_s=sent - self._epoch,
+                end_s=max(done, sent) - self._epoch,
+                cold=False,
+                ok=True,
+            ))
+
+    def drain(self) -> list[InvocationRecord]:
+        records, self.records = self.records, []
+        return records
+
+
+# ----------------------------------------------------------------------
+# in-repo stub endpoint
+# ----------------------------------------------------------------------
+
+
+class _StubHandler(BaseHTTPRequestHandler):
+    server: "StubServer"  # set by ThreadingHTTPServer machinery
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        stub = self.server  # type: ignore[assignment]
+        n = stub.count_request()
+        length = int(self.headers.get("Content-Length", 0))
+        if length:
+            self.rfile.read(length)
+        if stub.delay_s > 0:
+            # repro: allow-wall-clock (simulated backend service time)
+            time.sleep(stub.delay_s)
+        if stub.fail_every and n % stub.fail_every == 0:
+            self.send_response(503)
+            self.send_header("Content-Length", "0")
+            self.end_headers()
+            return
+        body = b'{"ok": true}'
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args) -> None:  # noqa: D102 - silence stdout
+        pass
+
+
+class StubServer(ThreadingHTTPServer):
+    """Hermetic HTTP endpoint for exercising :class:`HTTPBackend`.
+
+    Binds ``127.0.0.1`` on an ephemeral port.  ``delay_s`` adds a fixed
+    per-request service delay (artificially slow backend for CO-safety
+    tests); ``fail_every=k`` makes every ``k``-th request (1-based,
+    counted across all connections) answer 503 -- deterministic in
+    *request order*, which single-shard or retry-free runs guarantee.
+
+    Use as a context manager::
+
+        with StubServer(delay_s=0.05) as stub:
+            backend = HTTPBackend(stub.url)
+            ...
+    """
+
+    daemon_threads = True
+
+    def __init__(self, *, delay_s: float = 0.0, fail_every: int = 0):
+        if delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+        if fail_every < 0:
+            raise ValueError("fail_every must be non-negative")
+        super().__init__(("127.0.0.1", 0), _StubHandler)
+        self.delay_s = delay_s
+        self.fail_every = fail_every
+        self._n_requests = 0
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    @property
+    def n_requests(self) -> int:
+        with self._lock:
+            return self._n_requests
+
+    def count_request(self) -> int:
+        with self._lock:
+            self._n_requests += 1
+            return self._n_requests
+
+    def start(self) -> "StubServer":
+        self._thread = threading.Thread(
+            target=self.serve_forever, kwargs={"poll_interval": 0.05},
+            daemon=True, name="repro-stub-http",
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        self.server_close()
+
+    def __enter__(self) -> "StubServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -9,6 +9,7 @@ import numpy as np
 __all__ = [
     "InvocationRecord",
     "breaker_uptime",
+    "dispatch_lag_summary",
     "memory_utilization",
     "outcome_summary",
     "per_workload_cold_rates",
@@ -125,6 +126,29 @@ def outcome_summary(result) -> dict:
             if result.attempts is not None and np.any(result.attempts > 0)
             else 0.0
         ),
+    }
+
+
+def dispatch_lag_summary(lag_ms: np.ndarray,
+                         *, late_threshold_ms: float = 1.0) -> dict:
+    """Intended-vs-actual dispatch lag, the open-loop health signal.
+
+    ``lag_ms`` is the per-request lag array a service run records (0 for
+    on-time sends).  High lag with low backend ``service_ms`` means the
+    *dispatcher* stalled (under-provisioned load driver); high latency
+    with near-zero lag means the *backend* is slow -- the distinction
+    coordinated-omission-safe measurement exists to preserve.
+    """
+    lag_ms = np.asarray(lag_ms, dtype=np.float64)
+    if lag_ms.size == 0:
+        raise ValueError("no dispatch lag samples")
+    late = lag_ms > late_threshold_ms
+    return {
+        "n_requests": int(lag_ms.size),
+        "mean_ms": float(lag_ms.mean()),
+        "p99_ms": float(np.percentile(lag_ms, 99)),
+        "max_ms": float(lag_ms.max()),
+        "late_fraction": float(late.mean()),
     }
 
 

@@ -30,6 +30,8 @@ SRC_ROOT = Path(__file__).resolve().parents[1] / "src" / "repro"
 #: (DET003 is scoped to those).
 SEEDED_PATH = "src/repro/core/fixture_mod.py"
 UNSEEDED_PATH = "src/repro/platform/fixture_mod.py"
+#: Module path inside the load-generator package (DET004 is scoped there).
+LOADGEN_PATH = "src/repro/loadgen/fixture_mod.py"
 
 
 def rules_of(snippet: str, *, path: str = SEEDED_PATH) -> set[str]:
@@ -175,6 +177,43 @@ FIXTURES = [
     ),
 ]
 
+#: DET004 only fires for modules under ``repro.loadgen``, so its fixtures
+#: run at LOADGEN_PATH rather than SEEDED_PATH.
+LOADGEN_FIXTURES = [
+    (
+        "DET004",
+        # sleeping for the previous response's latency: closed-loop
+        "import time\n\n"
+        "def replay(reqs, backend):\n"
+        "    for r in reqs:\n"
+        "        latency_s = backend.invoke(r)\n"
+        "        time.sleep(latency_s)\n",
+        # pacing toward an absolute schedule target: open-loop
+        "import time\n\n"
+        "def replay(reqs, backend, epoch, speed):\n"
+        "    for ts, wid in reqs:\n"
+        "        delay = epoch + ts / speed - time.monotonic()\n"
+        "        if delay > 0:\n"
+        "            time.sleep(delay)\n"
+        "        backend.invoke(wid)\n",
+    ),
+    (
+        "DET004",
+        # one level of local dataflow still counts as completion-derived
+        "import time\n\n"
+        "def replay(reqs, backend):\n"
+        "    for r in reqs:\n"
+        "        elapsed = backend.invoke(r)\n"
+        "        pause = elapsed * 0.5\n"
+        "        time.sleep(pause)\n",
+        # retry backoff keyed on the attempt counter is fine
+        "import time\n\n"
+        "def retry_pause(attempt):\n"
+        "    backoff_s = 0.1 * 2 ** attempt\n"
+        "    time.sleep(backoff_s)\n",
+    ),
+]
+
 
 @pytest.mark.parametrize(
     "rule,bad,good",
@@ -186,9 +225,46 @@ def test_rule_detects_bad_and_passes_good(rule, bad, good):
     assert rule not in rules_of(good), f"{rule} false-positive on good fixture"
 
 
+@pytest.mark.parametrize(
+    "rule,bad,good",
+    LOADGEN_FIXTURES,
+    ids=[f"{r}-{i}" for i, (r, _, _) in enumerate(LOADGEN_FIXTURES)],
+)
+def test_loadgen_rule_detects_bad_and_passes_good(rule, bad, good):
+    assert rule in rules_of(bad, path=LOADGEN_PATH), \
+        f"{rule} missed its hazard fixture"
+    assert rule not in rules_of(good, path=LOADGEN_PATH), \
+        f"{rule} false-positive on good fixture"
+
+
 def test_every_rule_id_has_a_failing_fixture():
     covered = {rule for rule, _, _ in FIXTURES}
+    covered |= {rule for rule, _, _ in LOADGEN_FIXTURES}
     assert covered == {r.rule_id for r in all_rules()}
+
+
+def test_det004_scoped_to_loadgen():
+    snippet = (
+        "import time\n\n"
+        "def f(backend):\n"
+        "    rtt = backend.ping()\n"
+        "    time.sleep(rtt)\n"
+    )
+    assert "DET004" in rules_of(snippet, path=LOADGEN_PATH)
+    assert "DET004" not in rules_of(snippet, path=SEEDED_PATH)
+    assert "DET004" not in rules_of(snippet, path=UNSEEDED_PATH)
+
+
+def test_det004_pragma_suppresses():
+    snippet = (
+        "import time\n\n"
+        "def f(backend):\n"
+        "    rtt = backend.ping()\n"
+        "    time.sleep(rtt)  # repro: allow-closed-loop-pacing\n"
+    )
+    result = lint_source(snippet, LOADGEN_PATH)
+    assert "DET004" not in {f.rule for f in result.unsuppressed}
+    assert "DET004" in {f.rule for f in result.suppressed}
 
 
 def test_det003_scoped_to_seeded_packages():

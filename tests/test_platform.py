@@ -308,3 +308,67 @@ class TestEndToEnd:
         colds = [r.cold for r in result.records]
         assert colds == [True, True, False]  # pyaes warm on second call
         assert all(r.latency_ms > 0 for r in result.records)
+
+
+class TestLiveBackendBoundedGrowth:
+    """The two unbounded stores in LiveBackend are cappable: a record
+    sink replaces in-memory record accumulation and the payload cache
+    evicts LRU entries past ``max_cached_payloads``."""
+
+    @staticmethod
+    def _pool():
+        from repro.workloads import Workload, WorkloadPool
+
+        return WorkloadPool([
+            Workload("pyaes:t", "pyaes", {"length": 64, "rounds": 1},
+                     1.0, 28.0),
+            Workload("matmul:t", "matmul", {"n": 16, "reps": 1}, 1.0, 32.0),
+            Workload("matmul:u", "matmul", {"n": 8, "reps": 1}, 1.0, 30.0),
+        ])
+
+    def test_record_sink_streams_instead_of_accumulating(self):
+        from repro.platform import LiveBackend
+
+        streamed = []
+        backend = LiveBackend(self._pool(), record_sink=streamed.append)
+        for i in range(4):
+            backend.invoke(float(i), "pyaes:t")
+        assert backend.records == []
+        assert backend.drain() == []
+        assert len(streamed) == 4
+        assert [r.cold for r in streamed] == [True, False, False, False]
+
+    def test_payload_cache_evicts_lru_and_reruns_cold(self):
+        from repro.platform import LiveBackend
+
+        backend = LiveBackend(self._pool(), max_cached_payloads=2)
+        backend.invoke(0.0, "pyaes:t")    # cache: pyaes
+        backend.invoke(1.0, "matmul:t")   # cache: pyaes, matmul:t
+        backend.invoke(2.0, "pyaes:t")    # warm hit -> pyaes now MRU
+        backend.invoke(3.0, "matmul:u")   # evicts matmul:t (LRU)
+        assert backend.evictions == 1
+        backend.invoke(4.0, "matmul:t")   # cold again after eviction
+        colds = [(r.workload_id, r.cold) for r in backend.records]
+        assert colds == [
+            ("pyaes:t", True),
+            ("matmul:t", True),
+            ("pyaes:t", False),
+            ("matmul:u", True),
+            ("matmul:t", True),
+        ]
+        assert backend.evictions == 2  # matmul:t's return evicted pyaes
+
+    def test_unbounded_by_default(self):
+        from repro.platform import LiveBackend
+
+        backend = LiveBackend(self._pool())
+        for wid in ("pyaes:t", "matmul:t", "matmul:u", "pyaes:t"):
+            backend.invoke(0.0, wid)
+        assert backend.evictions == 0
+        assert len(backend.records) == 4
+
+    def test_cache_cap_validation(self):
+        from repro.platform import LiveBackend
+
+        with pytest.raises(ValueError, match="max_cached_payloads"):
+            LiveBackend(self._pool(), max_cached_payloads=0)
