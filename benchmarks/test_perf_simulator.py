@@ -1,0 +1,157 @@
+"""Performance of the array-native simulator core (ISSUE 7 acceptance).
+
+Pins the tentpole's headline numbers on a synthetic 1M-invocation day:
+
+- batched vectorised simulation must be >= 20x the per-record throughput
+  of the reference object engine on the same workload;
+- peak allocation of the vectorised run must stay under a fixed ceiling
+  (columns plus transient event calendar -- far below the object
+  engine's per-record object graph);
+- and the two paths must agree on the workload's summary metrics, so the
+  speedup is measured over identical semantics, not a shortcut.
+
+Throughput is best-of-N on both sides: the first vectorised trial pays
+one-time page-fault and allocator costs that a steady-state load service
+never sees again.
+"""
+
+import gc
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.platform import (
+    FaaSCluster,
+    NoKeepAlive,
+    ObjectFaaSCluster,
+    RandomScheduler,
+    WorkloadProfile,
+    summarize,
+    summarize_columns,
+)
+
+N_INVOCATIONS = 1_000_000
+N_WORKLOADS = 200
+DAY_S = 86_400.0
+OBJECT_SLICE = 50_000  # the object engine gets a slice, not the day
+MIN_SPEEDUP = 20.0
+PEAK_CEILING_MIB = 450.0
+
+
+def _day_load(seed=42):
+    rng = np.random.default_rng(seed)
+    ts = np.sort(rng.uniform(0.0, DAY_S, N_INVOCATIONS))
+    wids = [
+        f"w{c}"
+        for c in rng.integers(0, N_WORKLOADS, N_INVOCATIONS).tolist()
+    ]
+    return ts, wids
+
+
+def _profiles():
+    return {
+        f"w{i}": WorkloadProfile(
+            f"w{i}",
+            runtime_ms=float(20 + (i * 7) % 400),
+            memory_mb=float(128 * (1 + i % 4)),
+        )
+        for i in range(N_WORKLOADS)
+    }
+
+
+def _make_cluster(cls):
+    # roomy nodes: the whole day is admissible, so the vectorised run
+    # takes the bulk path and the object run never queues
+    return cls(
+        _profiles(),
+        n_nodes=8,
+        node_memory_mb=float(1 << 20),
+        keepalive=NoKeepAlive(),
+        scheduler=RandomScheduler(seed=9),
+    )
+
+
+def _run_vec(ts, wids):
+    cluster = _make_cluster(FaaSCluster)
+    cluster.invoke_many(ts, wids)
+    return summarize_columns(cluster.drain_columns())
+
+
+def _run_object(ts, wids):
+    cluster = _make_cluster(ObjectFaaSCluster)
+    invoke = cluster.invoke
+    for t, w in zip(ts.tolist(), wids):
+        invoke(t, w)
+    return summarize(cluster.drain())
+
+
+def _best_of(fn, trials):
+    best = float("inf")
+    result = None
+    for _ in range(trials):
+        gc.collect()
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _peak_bytes(fn):
+    gc.collect()
+    tracemalloc.start()
+    try:
+        result = fn()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak, result
+
+
+def test_perf_simulator_throughput_floor():
+    ts, wids = _day_load()
+    vec_s, vec_summary = _best_of(lambda: _run_vec(ts, wids), trials=3)
+    obj_s, obj_summary = _best_of(
+        lambda: _run_object(ts[:OBJECT_SLICE], wids[:OBJECT_SLICE]),
+        trials=2,
+    )
+    vec_rate = N_INVOCATIONS / vec_s
+    obj_rate = OBJECT_SLICE / obj_s
+    speedup = vec_rate / obj_rate
+    print(
+        f"\nvectorised: {vec_rate:,.0f} rec/s over the full day; "
+        f"object: {obj_rate:,.0f} rec/s on a {OBJECT_SLICE:,}-slice; "
+        f"speedup {speedup:.1f}x"
+    )
+    assert vec_summary["n_invocations"] == N_INVOCATIONS
+    assert obj_summary["n_invocations"] == OBJECT_SLICE
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorised engine only {speedup:.1f}x the object engine "
+        f"(floor {MIN_SPEEDUP}x)"
+    )
+
+
+def test_perf_simulator_peak_memory_ceiling():
+    ts, wids = _day_load()
+    peak, summary = _peak_bytes(lambda: _run_vec(ts, wids))
+    peak_mib = peak / 2**20
+    print(f"\nvectorised day peak allocations: {peak_mib:.1f} MiB")
+    assert summary["n_invocations"] == N_INVOCATIONS
+    assert peak_mib < PEAK_CEILING_MIB, (
+        f"peak {peak_mib:.1f} MiB exceeds the {PEAK_CEILING_MIB} MiB "
+        "ceiling; the bulk path has grown a per-record cost"
+    )
+
+
+def test_perf_simulator_measures_identical_semantics():
+    # the slice both engines can afford must agree byte for byte --
+    # otherwise the throughput ratio above compares different work
+    ts, wids = _day_load()
+    sl = slice(0, 20_000)
+    vec = _make_cluster(FaaSCluster)
+    vec.invoke_many(ts[sl], wids[sl])
+    obj = _make_cluster(ObjectFaaSCluster)
+    for t, w in zip(ts[sl].tolist(), wids[sl]):
+        obj.invoke(t, w)
+    assert vec.drain() == obj.drain()
+    assert vec.clock_s == obj.clock_s

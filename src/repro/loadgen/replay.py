@@ -264,9 +264,18 @@ def replay(
             if runtimes is not None:
                 drift.observe(runtimes[i], ts)
     else:
-        invoke = backend.invoke
-        for ts, wid in zip(timestamps, workload_ids):
-            invoke(ts, wid)
+        # Batched dispatch when the backend supports it (the array-native
+        # simulator and any decorator that *explicitly* implements it).
+        # Looked up on the type, not the instance: a decorator that only
+        # forwards attribute access (e.g. FaultyBackend.__getattr__) must
+        # not let the batch bypass its per-request invoke() logic.
+        batch_invoke = getattr(type(backend), "invoke_many", None)
+        if batch_invoke is not None:
+            batch_invoke(backend, trace.timestamps_s, workload_ids)
+        else:
+            invoke = backend.invoke
+            for ts, wid in zip(timestamps, workload_ids):
+                invoke(ts, wid)
         if drift is not None:
             drift.observe_many(trace.runtimes_ms, trace.timestamps_s)
     if drift is not None:

@@ -40,6 +40,7 @@ from repro.platform.metrics import (
     record_outcome_metrics,
     retry_histogram,
     summarize,
+    summarize_columns,
 )
 from repro.platform.schedulers import (
     HashAffinityScheduler,
@@ -57,6 +58,8 @@ from repro.platform.tracing import (
 from repro.platform.simulator import (
     FaaSCluster,
     Node,
+    ObjectFaaSCluster,
+    RecordColumns,
     WorkloadProfile,
     default_cold_start_s,
 )
@@ -83,12 +86,14 @@ __all__ = [
     "NoKeepAlive",
     "Node",
     "NodeOutageFault",
+    "ObjectFaaSCluster",
     "OutageWindow",
     "PlatformEvent",
     "PlatformTracer",
     "PowerOfTwoScheduler",
     "RandomScheduler",
     "ReactiveAutoscaler",
+    "RecordColumns",
     "SandboxCrashFault",
     "StubServer",
     "TelemetryTracer",
@@ -104,6 +109,7 @@ __all__ = [
     "record_outcome_metrics",
     "retry_histogram",
     "summarize",
+    "summarize_columns",
 ]
 
 

@@ -19,6 +19,11 @@ every request arrival; scaling events are recorded for analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.platform.simcore import Node
 
 __all__ = ["ReactiveAutoscaler"]
 
@@ -65,7 +70,7 @@ class ReactiveAutoscaler:
         if self.evaluate_every_s <= 0 or self.scale_down_grace_s < 0:
             raise ValueError("invalid controller timing")
 
-    def decide(self, now_s: float, nodes) -> int:
+    def decide(self, now_s: float, nodes: Sequence[Node]) -> int:
         """Return the desired node count given the current topology.
 
         Called by the cluster on request arrivals; rate-limited internally

@@ -259,6 +259,22 @@ class FaultyBackend:
             )
         self.inner.invoke(timestamp_s, workload_id)
 
+    def invoke_many(self, timestamps_s, workload_ids) -> None:
+        """Batched submission: still one fault gauntlet per request.
+
+        Defined explicitly -- not left to ``__getattr__`` forwarding --
+        so the replay engine's batched dispatch cannot silently hand the
+        slab straight to the inner backend and skip fault injection.
+        The per-request draw order matches :meth:`invoke` exactly, so
+        batched and scalar submission produce identical fault sequences.
+        """
+        invoke = self.invoke
+        for ts, wid in zip(
+            np.asarray(timestamps_s, dtype=np.float64).tolist(),
+            workload_ids,
+        ):
+            invoke(ts, wid)
+
     def drain(self) -> list:
         records = self.inner.drain()
         if not self._spikes:

@@ -34,7 +34,7 @@ class NoKeepAlive:
 class FixedKeepAlive:
     """Constant keep-alive TTL for every workload."""
 
-    def __init__(self, ttl_s: float = 600.0):
+    def __init__(self, ttl_s: float = 600.0) -> None:
         if ttl_s < 0:
             raise ValueError("ttl must be non-negative")
         self._ttl = float(ttl_s)
@@ -65,7 +65,7 @@ class HistogramKeepAlive:
         max_ttl_s: float = 3600.0,
         window: int = 64,
         min_observations: int = 4,
-    ):
+    ) -> None:
         if not 0 < percentile <= 100:
             raise ValueError("percentile must be in (0, 100]")
         if min_ttl_s < 0 or max_ttl_s < min_ttl_s:
@@ -77,7 +77,7 @@ class HistogramKeepAlive:
         self._min = min_ttl_s
         self._max = max_ttl_s
         self._min_obs = min_observations
-        self._gaps: dict[str, deque] = defaultdict(
+        self._gaps: dict[str, deque[float]] = defaultdict(
             lambda: deque(maxlen=window)
         )
 

@@ -3,8 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.platform.simulator_vec import RecordColumns
 
 __all__ = [
     "InvocationRecord",
@@ -16,6 +20,7 @@ __all__ = [
     "record_outcome_metrics",
     "retry_histogram",
     "summarize",
+    "summarize_columns",
 ]
 
 
@@ -69,6 +74,42 @@ def summarize(records: list[InvocationRecord]) -> dict:
     node_ids, node_counts = np.unique(nodes, return_counts=True)
     return {
         "n_invocations": len(records),
+        "ok_fraction": float(ok.mean()),
+        "cold_fraction": float(cold.mean()),
+        "latency_ms": {
+            "p50": float(np.percentile(lat, 50)),
+            "p90": float(np.percentile(lat, 90)),
+            "p99": float(np.percentile(lat, 99)),
+            "mean": float(lat.mean()),
+        },
+        "queueing_ms_mean": float(queue.mean()),
+        "per_node_invocations": dict(
+            zip(node_ids.tolist(), node_counts.tolist())
+        ),
+        "node_imbalance": float(node_counts.max() / node_counts.mean()),
+    }
+
+
+def summarize_columns(columns: RecordColumns) -> dict:
+    """Columnar :func:`summarize`: identical output, no record objects.
+
+    Takes the :class:`~repro.platform.simulator_vec.RecordColumns` a
+    cluster's ``drain_columns()`` / ``record_columns()`` returns and
+    computes the same summary dict as :func:`summarize` does from the
+    materialised record list, byte for byte -- every intermediate is the
+    same float64 array the record-by-record path would build, so the
+    percentile and mean reductions see identical inputs.
+    """
+    n = len(columns)
+    if not n:
+        raise ValueError("no records to summarise")
+    lat = columns.latency_ms
+    queue = columns.queueing_ms
+    cold = columns.cold
+    ok = columns.ok
+    node_ids, node_counts = np.unique(columns.node, return_counts=True)
+    return {
+        "n_invocations": n,
         "ok_fraction": float(ok.mean()),
         "cold_fraction": float(cold.mean()),
         "latency_ms": {

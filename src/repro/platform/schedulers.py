@@ -12,7 +12,15 @@ examples exercise under FaaSRail load:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
+
 import numpy as np
+
+if TYPE_CHECKING:
+    import numpy.typing as npt
+
+    from repro.platform.simcore import Node
 
 __all__ = [
     "HashAffinityScheduler",
@@ -26,18 +34,42 @@ __all__ = [
 class RandomScheduler:
     """Uniformly random node choice."""
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self._rng = np.random.default_rng(seed)
 
-    def pick(self, nodes, workload_id: str) -> int:
+    def pick(self, nodes: Sequence[Node], workload_id: str) -> int:
         del workload_id
         return int(self._rng.integers(0, len(nodes)))
+
+    def pick_many(
+        self, nodes: Sequence[Node], count: int
+    ) -> npt.NDArray[np.int64]:
+        """Batched :meth:`pick` for the array engine's bulk path.
+
+        One draw per request, bitwise stream-equal to ``count``
+        sequential ``pick`` calls (``Generator.integers`` consumes the
+        stream identically whether sized or scalar -- pinned by the
+        simulator property suite), so bulk and scalar submission see
+        identical placements.
+        """
+        return np.asarray(
+            self._rng.integers(0, len(nodes), size=count), dtype=np.int64
+        )
+
+    def snapshot(self) -> Any:
+        """Opaque RNG state, to rewind a speculative batched pick."""
+        return self._rng.bit_generator.state
+
+    def restore(self, state: Any) -> None:
+        """Rewind to a :meth:`snapshot` (the array engine calls this
+        when a speculative bulk batch must fall back to scalar picks)."""
+        self._rng.bit_generator.state = state
 
 
 class LeastLoadedScheduler:
     """Node with the fewest busy sandboxes (ties to the lowest index)."""
 
-    def pick(self, nodes, workload_id: str) -> int:
+    def pick(self, nodes: Sequence[Node], workload_id: str) -> int:
         del workload_id
         loads = [n.busy_count for n in nodes]
         return int(np.argmin(loads))
@@ -52,10 +84,10 @@ class PowerOfTwoScheduler:
     the cluster-scheduler literature the paper's section 2.2 surveys).
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self._rng = np.random.default_rng(seed)
 
-    def pick(self, nodes, workload_id: str) -> int:
+    def pick(self, nodes: Sequence[Node], workload_id: str) -> int:
         del workload_id
         n = len(nodes)
         if n == 1:
@@ -74,7 +106,7 @@ class LocalityAwareScheduler:
     of inspecting per-node sandbox state.
     """
 
-    def pick(self, nodes, workload_id: str) -> int:
+    def pick(self, nodes: Sequence[Node], workload_id: str) -> int:
         warm = [k for k, n in enumerate(nodes)
                 if workload_id in n.idle]
         candidates = warm if warm else range(len(nodes))
@@ -89,12 +121,12 @@ class HashAffinityScheduler:
     linear probing), trading some affinity for load spreading.
     """
 
-    def __init__(self, spill_threshold: int = 8):
+    def __init__(self, spill_threshold: int = 8) -> None:
         if spill_threshold <= 0:
             raise ValueError("spill_threshold must be positive")
         self._spill = spill_threshold
 
-    def pick(self, nodes, workload_id: str) -> int:
+    def pick(self, nodes: Sequence[Node], workload_id: str) -> int:
         n = len(nodes)
         home = hash(workload_id) % n
         for probe in range(n):

@@ -1,0 +1,104 @@
+"""Shared primitives of the cluster simulators.
+
+Both simulator engines -- the array-native
+:class:`~repro.platform.simulator_vec.FaaSCluster` production engine and
+the reference :class:`~repro.platform.simulator.ObjectFaaSCluster` it is
+differentially tested against -- share the same workload description,
+node bookkeeping, and cold-start cost model.  They live here so the two
+engines cannot drift apart on the data model and so neither module has
+to import the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Node", "WorkloadProfile", "default_cold_start_s"]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """What the platform needs to know to run one workload."""
+
+    workload_id: str
+    runtime_ms: float
+    memory_mb: float
+
+    def __post_init__(self) -> None:
+        if self.runtime_ms <= 0 or self.memory_mb <= 0:
+            raise ValueError(
+                f"{self.workload_id}: runtime and memory must be positive"
+            )
+
+
+def default_cold_start_s(profile: WorkloadProfile) -> float:
+    """Cold-start cost model: fixed sandbox boot + memory-proportional
+    image/runtime initialisation (~150 ms + 0.8 ms/MiB)."""
+    return 0.150 + 0.0008 * profile.memory_mb
+
+
+@dataclass
+class _Sandbox:
+    """Reference-engine sandbox: one warm (or busy) execution environment.
+
+    ``expire_generation`` is the guard against stale lifecycle events: it
+    is bumped on every reuse, eviction, crash, and idle transition, and a
+    queued keep-alive expiry only fires when the generation it captured
+    still matches -- so an expiry scheduled before a crash (or reuse) of
+    the same sandbox can never double-reclaim its memory.  The array
+    engine keeps the same counter in its ``generation`` column.
+    """
+
+    sandbox_id: int
+    workload_id: str
+    memory_mb: float
+    idle_since: float = 0.0
+    expire_generation: int = 0
+
+
+@dataclass
+class Node:
+    """One worker node: memory-bounded sandbox pool plus a FIFO backlog.
+
+    ``idle`` maps workload id to a stack of idle sandboxes, most recently
+    idled last.  The reference engine stores :class:`_Sandbox` objects in
+    the stacks; the array engine stores integer rows into its sandbox
+    arrays.  External policies only rely on the mapping's keys and the
+    per-node counters, which are identical either way.
+    """
+
+    node_id: int
+    memory_capacity_mb: float
+    used_memory_mb: float = 0.0
+    busy_count: int = 0
+    idle: dict[str, list[Any]] = field(default_factory=dict)
+    pending: list[tuple[float, str]] = field(default_factory=list)
+
+    def pop_idle(self, workload_id: str) -> _Sandbox | None:
+        stack = self.idle.get(workload_id)
+        if not stack:
+            return None
+        sandbox: _Sandbox = stack.pop()
+        if not stack:
+            del self.idle[workload_id]
+        return sandbox
+
+    def lru_idle(self) -> _Sandbox | None:
+        best: _Sandbox | None = None
+        for stack in self.idle.values():
+            for sb in stack:
+                if best is None or sb.idle_since < best.idle_since:
+                    best = sb
+        return best
+
+    def remove_idle(self, sandbox: _Sandbox) -> None:
+        stack = self.idle[sandbox.workload_id]
+        stack.remove(sandbox)
+        if not stack:
+            del self.idle[sandbox.workload_id]
+        self.used_memory_mb -= sandbox.memory_mb
+
+    @property
+    def idle_count(self) -> int:
+        return sum(len(s) for s in self.idle.values())

@@ -1,4 +1,4 @@
-"""Discrete-event FaaS cluster simulator.
+"""Discrete-event FaaS cluster simulator (public façade + reference engine).
 
 The backend the replayer drives when no physical cluster is available (see
 DESIGN.md's substitution table).  It models the parts of a FaaS platform
@@ -13,96 +13,56 @@ that FaaSRail-generated load exercises:
 Requests must arrive in non-decreasing timestamp order (the replayer
 guarantees this); the simulator advances its virtual clock through an event
 heap of completions and expiries.
+
+Two engines implement these semantics:
+
+- :class:`FaaSCluster` (re-exported here from
+  :mod:`repro.platform.simulator_vec`) is the production, array-native
+  engine -- struct-of-arrays record columns, batched admission, and
+  vectorised drain reductions;
+- :class:`ObjectFaaSCluster` (below) is the reference engine: one Python
+  object per sandbox, one heap event per transition.  It is the
+  readable, obviously-correct statement of the simulator's semantics
+  and the oracle the differential equivalence suite
+  (``tests/test_simulator_equivalence.py``) pins the array engine
+  against, byte for byte.  Changes to simulator behaviour must land in
+  both engines (or the suite fails).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.platform.keepalive import FixedKeepAlive
 from repro.platform.metrics import InvocationRecord
 from repro.platform.schedulers import LeastLoadedScheduler
+from repro.platform.simcore import _Sandbox as _Sandbox
+from repro.platform.simcore import (
+    Node,
+    WorkloadProfile,
+    default_cold_start_s,
+)
+from repro.platform.simulator_vec import FaaSCluster, RecordColumns
 from repro.telemetry import registry as _telemetry
 
-__all__ = ["WorkloadProfile", "Node", "FaaSCluster", "default_cold_start_s"]
+__all__ = [
+    "FaaSCluster",
+    "Node",
+    "ObjectFaaSCluster",
+    "RecordColumns",
+    "WorkloadProfile",
+    "default_cold_start_s",
+]
 
 
-@dataclass(frozen=True)
-class WorkloadProfile:
-    """What the platform needs to know to run one workload."""
-
-    workload_id: str
-    runtime_ms: float
-    memory_mb: float
-
-    def __post_init__(self) -> None:
-        if self.runtime_ms <= 0 or self.memory_mb <= 0:
-            raise ValueError(
-                f"{self.workload_id}: runtime and memory must be positive"
-            )
-
-
-def default_cold_start_s(profile: WorkloadProfile) -> float:
-    """Cold-start cost model: fixed sandbox boot + memory-proportional
-    image/runtime initialisation (~150 ms + 0.8 ms/MiB)."""
-    return 0.150 + 0.0008 * profile.memory_mb
-
-
-@dataclass
-class _Sandbox:
-    sandbox_id: int
-    workload_id: str
-    memory_mb: float
-    idle_since: float = 0.0
-    expire_generation: int = 0
-
-
-@dataclass
-class Node:
-    """One worker node: memory-bounded sandbox pool plus a FIFO backlog."""
-
-    node_id: int
-    memory_capacity_mb: float
-    used_memory_mb: float = 0.0
-    busy_count: int = 0
-    idle: dict = field(default_factory=dict)    # wid -> list[_Sandbox]
-    pending: list = field(default_factory=list)  # FIFO of (arrival, wid)
-
-    def pop_idle(self, workload_id: str) -> _Sandbox | None:
-        stack = self.idle.get(workload_id)
-        if not stack:
-            return None
-        sandbox = stack.pop()
-        if not stack:
-            del self.idle[workload_id]
-        return sandbox
-
-    def lru_idle(self) -> _Sandbox | None:
-        best = None
-        for stack in self.idle.values():
-            for sb in stack:
-                if best is None or sb.idle_since < best.idle_since:
-                    best = sb
-        return best
-
-    def remove_idle(self, sandbox: _Sandbox) -> None:
-        stack = self.idle[sandbox.workload_id]
-        stack.remove(sandbox)
-        if not stack:
-            del self.idle[sandbox.workload_id]
-        self.used_memory_mb -= sandbox.memory_mb
-
-    @property
-    def idle_count(self) -> int:
-        return sum(len(s) for s in self.idle.values())
-
-
-class FaaSCluster:
-    """Simulated cluster satisfying the replayer's Backend protocol."""
+class ObjectFaaSCluster:
+    """Reference simulated cluster satisfying the replayer's Backend
+    protocol: the object-per-event statement of the simulator semantics
+    that :class:`~repro.platform.simulator_vec.FaaSCluster` must match
+    bit-for-bit."""
 
     def __init__(
         self,
@@ -203,7 +163,6 @@ class FaaSCluster:
         self._heap: list = []
         self._seq = itertools.count()
         self._sandbox_ids = itertools.count()
-        self._dropped = 0
 
     # ------------------------------------------------------------------
     # Backend protocol

@@ -1,0 +1,942 @@
+"""Array-native discrete-event FaaS cluster simulator.
+
+This is the production engine behind :class:`FaaSCluster` (the name
+``repro.platform.simulator`` re-exports).  It keeps the reference object
+engine's *semantics* -- byte-identical records, traces, metrics, and
+policy interactions, pinned by ``tests/test_simulator_equivalence.py``
+-- while moving every cost that scales with invocation count onto
+struct-of-arrays storage:
+
+- **Records** live in growable NumPy columns (workload code, node,
+  arrival/start/end, cold, ok).  ``InvocationRecord`` objects are
+  materialised lazily and only on demand; :meth:`record_columns` /
+  :meth:`drain_columns` expose the columns directly so metrics can be
+  NumPy reductions (:func:`repro.platform.metrics.summarize_columns`)
+  with no per-record Python at all.
+- **Batched admission**: :meth:`invoke_many` takes a whole
+  timestamp-ordered slab of requests.  When the configuration provably
+  cannot diverge from the scalar path (see :meth:`_bulk_eligible`), the
+  cold-start, completion, and memory transitions of the entire slab are
+  applied with one lexsort + cumsum per node instead of one event-heap
+  cycle per request; outstanding completions become a :class:`_BulkTail`
+  that is finalised vectorised at drain (or materialised into ordinary
+  heap events if scalar traffic follows).
+- **Everything else** -- keep-alive LRU stacks, stateful schedulers,
+  autoscaling, fault hooks, tracing -- runs the exact control flow of
+  the reference engine, on the same :class:`~repro.platform.simcore.Node`
+  objects, so the cluster-size-bounded control plane stays a faithful
+  oracle target and external policies observe identical state.
+
+Determinism contract: for any input and configuration, this engine and
+:class:`repro.platform.simulator.ObjectFaaSCluster` produce bit-equal
+record fields, clocks, drops, memory samples, and trace event streams.
+The bulk path preserves this down to IEEE float accumulation order
+(``used_memory_mb`` is folded with ``cumsum`` in the reference engine's
+exact event order) and RNG stream position (batched scheduler draws are
+stream-equal to sequential ones; a speculative batch that must fall back
+rewinds the scheduler RNG via its ``snapshot``/``restore`` protocol).
+See docs/SIMULATOR.md for how to add a policy without breaking this.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+from typing import Any, Protocol, cast
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.platform.keepalive import FixedKeepAlive, NoKeepAlive
+from repro.platform.metrics import InvocationRecord
+from repro.platform.schedulers import (
+    HashAffinityScheduler,
+    LeastLoadedScheduler,
+    LocalityAwareScheduler,
+    PowerOfTwoScheduler,
+)
+from repro.platform.simcore import (
+    Node,
+    WorkloadProfile,
+    _Sandbox,
+    default_cold_start_s,
+)
+from repro.telemetry import registry as _telemetry
+
+__all__ = [
+    "FaaSCluster",
+    "Node",
+    "RecordColumns",
+    "WorkloadProfile",
+    "default_cold_start_s",
+]
+
+
+# ----------------------------------------------------------------------
+# policy protocols (what the engine requires of its pluggable parts)
+# ----------------------------------------------------------------------
+class Scheduler(Protocol):
+    """Cluster scheduler: node index for one arriving request."""
+
+    def pick(self, nodes: Sequence[Node], workload_id: str) -> int: ...
+
+
+class BatchScheduler(Scheduler, Protocol):
+    """Scheduler supporting speculative batched picks (bulk path).
+
+    ``pick_many`` must consume exactly the randomness ``count``
+    sequential ``pick`` calls would; ``snapshot``/``restore`` let the
+    engine rewind a speculative batch that has to fall back to the
+    scalar path.
+    """
+
+    def pick_many(
+        self, nodes: Sequence[Node], count: int
+    ) -> npt.NDArray[np.int64]: ...
+
+    def snapshot(self) -> Any: ...
+
+    def restore(self, state: Any) -> None: ...
+
+
+class KeepAlivePolicy(Protocol):
+    def ttl_s(self, workload_id: str) -> float: ...
+
+    def observe_idle_gap(self, workload_id: str, gap_s: float) -> None: ...
+
+
+class Autoscaler(Protocol):
+    def decide(self, now_s: float, nodes: Sequence[Node]) -> int: ...
+
+
+class Tracer(Protocol):
+    def emit(
+        self, time_s: float, kind: str, node: int, workload_id: str
+    ) -> None: ...
+
+
+class FaultHook(Protocol):
+    def crash_fraction(
+        self, now_s: float, node_id: int, workload_id: str
+    ) -> float | None: ...
+
+
+#: Schedulers whose single-node pick is a pure ``return 0`` -- no RNG
+#: consumed, no mutable state -- so the bulk path may bypass them.
+_PURE_SINGLE_NODE_SCHEDULERS = (
+    LeastLoadedScheduler,
+    PowerOfTwoScheduler,
+    LocalityAwareScheduler,
+    HashAffinityScheduler,
+)
+
+
+# ----------------------------------------------------------------------
+# columnar record storage
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RecordColumns:
+    """Struct-of-arrays view of a run's invocation records.
+
+    The columnar equivalent of ``list[InvocationRecord]``: row ``i`` of
+    every array is record ``i``, in the same order the reference engine
+    appends records.  ``workload_codes`` indexes into ``vocabulary``
+    (first-appearance order).  Arrays are defensive copies -- safe to
+    keep after the cluster keeps running.
+    """
+
+    workload_codes: npt.NDArray[np.int32]
+    vocabulary: tuple[str, ...]
+    node: npt.NDArray[np.int32]
+    arrival_s: npt.NDArray[np.float64]
+    start_s: npt.NDArray[np.float64]
+    end_s: npt.NDArray[np.float64]
+    cold: npt.NDArray[np.bool_]
+    ok: npt.NDArray[np.bool_]
+
+    def __len__(self) -> int:
+        return int(self.arrival_s.size)
+
+    @property
+    def latency_ms(self) -> npt.NDArray[np.float64]:
+        return (self.end_s - self.arrival_s) * 1e3
+
+    @property
+    def queueing_ms(self) -> npt.NDArray[np.float64]:
+        return (self.start_s - self.arrival_s) * 1e3
+
+    @property
+    def service_ms(self) -> npt.NDArray[np.float64]:
+        return (self.end_s - self.start_s) * 1e3
+
+    def workload_ids(self) -> list[str]:
+        words = self.vocabulary
+        return [words[c] for c in self.workload_codes.tolist()]
+
+    def to_records(self) -> list[InvocationRecord]:
+        """Materialise fresh ``InvocationRecord`` objects (one per row)."""
+        words = self.vocabulary
+        return [
+            InvocationRecord(
+                workload_id=words[c],
+                node=nd,
+                arrival_s=a,
+                start_s=s,
+                end_s=e,
+                cold=co,
+                ok=o,
+            )
+            for c, nd, a, s, e, co, o in zip(
+                self.workload_codes.tolist(),
+                self.node.tolist(),
+                self.arrival_s.tolist(),
+                self.start_s.tolist(),
+                self.end_s.tolist(),
+                self.cold.tolist(),
+                self.ok.tolist(),
+            )
+        ]
+
+
+class _RecordStore:
+    """Growable struct-of-arrays record buffer with a string vocabulary."""
+
+    __slots__ = (
+        "n", "code", "node", "arrival", "start", "end", "cold", "ok",
+        "vocab", "words",
+    )
+
+    def __init__(self) -> None:
+        cap = 1024
+        self.n = 0
+        self.code = np.empty(cap, np.int32)
+        self.node = np.empty(cap, np.int32)
+        self.arrival = np.empty(cap, np.float64)
+        self.start = np.empty(cap, np.float64)
+        self.end = np.empty(cap, np.float64)
+        self.cold = np.empty(cap, np.bool_)
+        self.ok = np.empty(cap, np.bool_)
+        self.vocab: dict[str, int] = {}
+        self.words: list[str] = []
+
+    def code_for(self, workload_id: str) -> int:
+        code = self.vocab.get(workload_id)
+        if code is None:
+            code = len(self.words)
+            self.vocab[workload_id] = code
+            self.words.append(workload_id)
+        return code
+
+    def _reserve(self, need: int) -> None:
+        cap = self.code.size
+        if need <= cap:
+            return
+        while cap < need:
+            cap *= 2
+        for name in ("code", "node", "arrival", "start", "end", "cold", "ok"):
+            old = getattr(self, name)
+            grown = np.empty(cap, old.dtype)
+            grown[: self.n] = old[: self.n]
+            setattr(self, name, grown)
+
+    def append(
+        self,
+        code: int,
+        node_id: int,
+        arrival_s: float,
+        start_s: float,
+        end_s: float,
+        cold: bool,
+        ok: bool,
+    ) -> None:
+        i = self.n
+        if i == self.code.size:
+            self._reserve(i + 1)
+        self.code[i] = code
+        self.node[i] = node_id
+        self.arrival[i] = arrival_s
+        self.start[i] = start_s
+        self.end[i] = end_s
+        self.cold[i] = cold
+        self.ok[i] = ok
+        self.n = i + 1
+
+    def extend(
+        self,
+        codes: npt.NDArray[np.int32],
+        node_ids: npt.NDArray[np.int64],
+        arrival_s: npt.NDArray[np.float64],
+        start_s: npt.NDArray[np.float64],
+        end_s: npt.NDArray[np.float64],
+        *,
+        cold: bool,
+        ok: bool,
+    ) -> None:
+        n0 = self.n
+        n1 = n0 + int(codes.size)
+        self._reserve(n1)
+        self.code[n0:n1] = codes
+        self.node[n0:n1] = node_ids
+        self.arrival[n0:n1] = arrival_s
+        self.start[n0:n1] = start_s
+        self.end[n0:n1] = end_s
+        self.cold[n0:n1] = cold
+        self.ok[n0:n1] = ok
+        self.n = n1
+
+    def columns(self) -> RecordColumns:
+        n = self.n
+        return RecordColumns(
+            workload_codes=self.code[:n].copy(),
+            vocabulary=tuple(self.words),
+            node=self.node[:n].copy(),
+            arrival_s=self.arrival[:n].copy(),
+            start_s=self.start[:n].copy(),
+            end_s=self.end[:n].copy(),
+            cold=self.cold[:n].copy(),
+            ok=self.ok[:n].copy(),
+        )
+
+
+@dataclass
+class _BulkTail:
+    """Completions a bulk slab left outstanding past its last arrival.
+
+    Row ``j`` is the ``j``-th still-running invocation in submission
+    order.  ``seqs``/``sids`` are the event-heap sequence numbers and
+    sandbox ids the reference engine would have assigned, so
+    materialising the tail into real heap events reproduces its exact
+    tie-breaking.  ``final_used`` is the per-node ``used_memory_mb``
+    after *all* tail completions fire, folded in the reference engine's
+    IEEE accumulation order -- drain applies it directly.
+    """
+
+    ends: npt.NDArray[np.float64]
+    seqs: npt.NDArray[np.int64]
+    sids: npt.NDArray[np.int64]
+    node_idx: npt.NDArray[np.int64]
+    mem_mb: npt.NDArray[np.float64]
+    codes: npt.NDArray[np.int64]
+    words: list[str]
+    final_used: npt.NDArray[np.float64]
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+class FaaSCluster:
+    """Array-native simulated cluster satisfying the replayer's Backend
+    protocol, plus the batched extensions (:meth:`invoke_many`,
+    :meth:`drain_columns`, :meth:`record_columns`).
+
+    Semantics, parameters, and error behaviour are those of the
+    reference :class:`repro.platform.simulator.ObjectFaaSCluster`; see
+    its docstring for the realism knobs.  The differential equivalence
+    suite pins byte-identity between the two.
+    """
+
+    def __init__(
+        self,
+        profiles: dict[str, WorkloadProfile],
+        *,
+        n_nodes: int = 4,
+        node_memory_mb: float = 8192.0,
+        scheduler: Scheduler | None = None,
+        keepalive: KeepAlivePolicy | None = None,
+        cold_start_model: Callable[
+            [WorkloadProfile], float
+        ] = default_cold_start_s,
+        service_time_cv: float = 0.0,
+        cores_per_node: int | None = None,
+        track_memory: bool = False,
+        queue_timeout_s: float | None = None,
+        autoscaler: Autoscaler | None = None,
+        tracer: Tracer | None = None,
+        fault_hook: FaultHook | None = None,
+        seed: int = 0,
+    ) -> None:
+        if n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        if node_memory_mb <= 0:
+            raise ValueError("node_memory_mb must be positive")
+        if not profiles:
+            raise ValueError("cluster needs at least one workload profile")
+        if service_time_cv < 0:
+            raise ValueError("service_time_cv must be non-negative")
+        if cores_per_node is not None and cores_per_node <= 0:
+            raise ValueError("cores_per_node must be positive")
+        if queue_timeout_s is not None and queue_timeout_s <= 0:
+            raise ValueError("queue_timeout_s must be positive")
+        biggest = max(p.memory_mb for p in profiles.values())
+        if biggest > node_memory_mb:
+            raise ValueError(
+                f"largest workload ({biggest} MiB) exceeds node memory "
+                f"({node_memory_mb} MiB); no placement can ever succeed"
+            )
+        self.profiles = dict(profiles)
+        self.nodes: list[Node] = [
+            Node(i, node_memory_mb) for i in range(n_nodes)
+        ]
+        self.scheduler: Scheduler = scheduler or LeastLoadedScheduler()
+        self.keepalive: KeepAlivePolicy = keepalive or FixedKeepAlive(600.0)
+        self.cold_start_model = cold_start_model
+        self.queue_timeout_s = queue_timeout_s
+        self.autoscaler = autoscaler
+        self.tracer = tracer
+        self.fault_hook = fault_hook
+        #: (arrival_s, workload_id) of requests dropped on queue timeout.
+        self.dropped: list[tuple[float, str]] = []
+        self._node_memory_mb = node_memory_mb
+        self._next_node_id = n_nodes
+        self.service_time_cv = service_time_cv
+        self.cores_per_node = cores_per_node
+        self.track_memory = track_memory
+        self.memory_samples: list[tuple[float, int, float]] = []
+        self._rng = np.random.default_rng(seed)
+        self._lognorm: tuple[float, float] | None
+        if service_time_cv > 0:
+            sigma = float(np.sqrt(np.log1p(service_time_cv**2)))
+            self._lognorm = (sigma, -0.5 * sigma * sigma)
+        else:
+            self._lognorm = None
+        self._store = _RecordStore()
+        self._records_list: list[InvocationRecord] = []
+        self._clock = 0.0
+        self._heap: list[tuple[float, int, str, tuple[Any, ...]]] = []
+        self._seq_n = 0
+        self._sandbox_n = 0
+        self._tail: _BulkTail | None = None
+
+    # ------------------------------------------------------------------
+    # Backend protocol
+    # ------------------------------------------------------------------
+    def invoke(self, timestamp_s: float, workload_id: str) -> None:
+        if workload_id not in self.profiles:
+            raise KeyError(f"no profile for workload {workload_id!r}")
+        if timestamp_s < self._clock:
+            raise ValueError(
+                f"request at t={timestamp_s} is in the simulator's past "
+                f"(clock={self._clock}); submit in timestamp order"
+            )
+        if self._tail is not None:
+            self._materialize_tail()
+        self._advance(timestamp_s)
+        if self.autoscaler is not None:
+            self._apply_autoscaling(timestamp_s)
+        node = self.nodes[self.scheduler.pick(self.nodes, workload_id)]
+        if not self._try_start(node, timestamp_s, workload_id):
+            self._trace("request_queued", node.node_id, workload_id)
+            node.pending.append((timestamp_s, workload_id))
+
+    def invoke_many(
+        self,
+        timestamps_s: npt.ArrayLike,
+        workload_ids: Sequence[str],
+    ) -> None:
+        """Submit a timestamp-ordered batch of requests.
+
+        Semantically identical to calling :meth:`invoke` per element;
+        when the configuration is provably safe the whole slab is
+        applied vectorised, otherwise this falls back to the scalar
+        loop (including for invalid input, so errors surface exactly
+        where the per-element loop would raise them, with the same
+        partial state).
+        """
+        ts = np.asarray(timestamps_s, dtype=np.float64)
+        if ts.ndim != 1:
+            raise ValueError("timestamps_s must be one-dimensional")
+        n = int(ts.size)
+        if n != len(workload_ids):
+            raise ValueError(
+                f"got {n} timestamps but {len(workload_ids)} workload ids"
+            )
+        if n == 0:
+            return
+        if self._bulk_eligible() and self._bulk_invoke(ts, workload_ids):
+            return
+        self._invoke_loop(ts, workload_ids)
+
+    def drain(self) -> list[InvocationRecord]:
+        self._drain_events()
+        self._drain_telemetry()
+        return self.records
+
+    def drain_columns(self) -> RecordColumns:
+        """Array-native :meth:`drain`: finish all outstanding work and
+        return the records as columns, materialising no record objects."""
+        self._drain_events()
+        self._drain_telemetry()
+        return self._store.columns()
+
+    # ------------------------------------------------------------------
+    # record access
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> list[InvocationRecord]:
+        """The run's records so far, as one stable list object.
+
+        Rows are materialised from the columns lazily; repeated access
+        returns the *same* list (decorators rely on the identity), with
+        any new rows appended.
+        """
+        store = self._store
+        out = self._records_list
+        n = store.n
+        if len(out) < n:
+            words = store.words
+            code, node = store.code, store.node
+            arrival, start, end = store.arrival, store.start, store.end
+            cold, ok = store.cold, store.ok
+            for i in range(len(out), n):
+                out.append(
+                    InvocationRecord(
+                        workload_id=words[code[i]],
+                        node=int(node[i]),
+                        arrival_s=float(arrival[i]),
+                        start_s=float(start[i]),
+                        end_s=float(end[i]),
+                        cold=bool(cold[i]),
+                        ok=bool(ok[i]),
+                    )
+                )
+        return out
+
+    def record_columns(self) -> RecordColumns:
+        """Columnar snapshot of the records appended so far."""
+        return self._store.columns()
+
+    @property
+    def clock_s(self) -> float:
+        return self._clock
+
+    # ------------------------------------------------------------------
+    # bulk fast path
+    # ------------------------------------------------------------------
+    def _bulk_eligible(self) -> bool:
+        """Whether a batch can be applied vectorised without any chance
+        of diverging from the scalar path.
+
+        The gate is intentionally strict: immediate sandbox teardown
+        (``NoKeepAlive``) kills the warm-reuse/LRU feedback loop, no
+        policy callbacks observe intermediate state, service times and
+        cold starts are pure per-profile values, and the engine holds no
+        outstanding events whose interleaving would matter.  Everything
+        else takes the exact scalar path.
+        """
+        if type(self.keepalive) is not NoKeepAlive:
+            return False
+        if (
+            self.autoscaler is not None
+            or self.tracer is not None
+            or self.fault_hook is not None
+        ):
+            return False
+        if self.service_time_cv > 0 or self.cores_per_node is not None:
+            return False
+        if self.track_memory:
+            return False
+        if self.cold_start_model is not default_cold_start_s:
+            return False
+        if self._heap or self._tail is not None:
+            return False
+        for node in self.nodes:
+            if node.pending or node.idle or node.busy_count:
+                return False
+        sched_t = type(self.scheduler)
+        if (
+            getattr(sched_t, "pick_many", None) is not None
+            and getattr(sched_t, "snapshot", None) is not None
+            and getattr(sched_t, "restore", None) is not None
+        ):
+            return True
+        return (
+            len(self.nodes) == 1
+            and sched_t in _PURE_SINGLE_NODE_SCHEDULERS
+        )
+
+    def _bulk_invoke(
+        self,
+        ts: npt.NDArray[np.float64],
+        workload_ids: Sequence[str],
+    ) -> bool:
+        """Apply one eligible slab vectorised; False = caller must fall
+        back to the scalar loop (no state was mutated)."""
+        n = int(ts.size)
+        words = list(self.profiles)
+        index = {w: i for i, w in enumerate(words)}
+        try:
+            codes = np.fromiter(
+                map(index.__getitem__, workload_ids), np.int64, count=n
+            )
+        except KeyError:  # unknown workload: let the loop raise
+            return False
+        if float(ts[0]) < self._clock:
+            return False
+        if n > 1 and bool(np.any(np.diff(ts) < 0)):
+            return False
+
+        profs = [self.profiles[w] for w in words]
+        mem = np.array([p.memory_mb for p in profs], np.float64)
+        svc = np.array([p.runtime_ms for p in profs], np.float64) / 1e3
+        coldcost = np.array(
+            [self.cold_start_model(p) for p in profs], np.float64
+        )
+
+        sched = self.scheduler
+        speculative = getattr(type(sched), "pick_many", None) is not None
+        saved: Any = None
+        if speculative:
+            bsched = cast(BatchScheduler, sched)
+            saved = bsched.snapshot()
+            node_idx = np.asarray(
+                bsched.pick_many(self.nodes, n), dtype=np.int64
+            )
+        else:
+            node_idx = np.zeros(n, dtype=np.int64)
+
+        req_mem = mem[codes]
+        start = ts + coldcost[codes]
+        end = start + svc[codes]
+        last_t = float(ts[-1])
+        n_nodes = len(self.nodes)
+
+        # The whole slab as one event calendar per node: allocation at
+        # arrival (+mem), release at completion (-mem).  Sorting by
+        # (node, time, release-before-allocation, submission index)
+        # reproduces the reference engine's heap order exactly: events
+        # with ``when <= t`` pop before the arrival at ``t``, ties
+        # break on push sequence == submission order.  Priority and
+        # submission index pack into one int64 tie key (prio dominates;
+        # fine while n < 2**33), keeping the lexsort at three keys.
+        sub = np.arange(n, dtype=np.int64)
+        ev_time = np.concatenate((ts, end))
+        ev_tie = np.concatenate((sub | (1 << 33), sub))
+        ev_node = np.concatenate((node_idx, node_idx))
+        ev_delta = np.concatenate((req_mem, -req_mem))
+        order = np.lexsort((ev_tie, ev_time, ev_node))
+        s_time = ev_time[order]
+        s_alloc = ev_tie[order] >= (1 << 33)
+        s_delta = ev_delta[order]
+
+        counts = 2 * np.bincount(node_idx, minlength=n_nodes)
+        bounds = np.zeros(n_nodes + 1, np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        new_used = np.empty(n_nodes, np.float64)
+        final_used = np.empty(n_nodes, np.float64)
+        busy_after = np.zeros(n_nodes, np.int64)
+        for b, node in enumerate(self.nodes):
+            lo, hi = int(bounds[b]), int(bounds[b + 1])
+            # cumsum folds the deltas sequentially, so the running
+            # usage is bitwise the reference engine's +=/-= chain
+            block = np.empty(hi - lo + 1, np.float64)
+            block[0] = node.used_memory_mb
+            block[1:] = s_delta[lo:hi]
+            usage = np.cumsum(block)
+            admitted = usage[1:][s_alloc[lo:hi]]
+            if bool(np.any(admitted > node.memory_capacity_mb)):
+                # at least one admission would queue: scalar path owns
+                # the backlog semantics
+                if speculative:
+                    cast(BatchScheduler, sched).restore(saved)
+                return False
+            cut = int(np.searchsorted(s_time[lo:hi], last_t, side="right"))
+            new_used[b] = usage[cut]
+            final_used[b] = usage[-1]
+            busy_after[b] = (hi - lo) - cut
+
+        # -- commit ----------------------------------------------------
+        seq0 = self._seq_n
+        sid0 = self._sandbox_n
+        self._seq_n += n
+        self._sandbox_n += n
+        self._clock = last_t
+        store = self._store
+        store_code = np.fromiter(
+            (store.code_for(w) for w in words), np.int32, count=len(words)
+        )
+        node_ids = np.fromiter(
+            (nd.node_id for nd in self.nodes), np.int64, count=n_nodes
+        )
+        store.extend(
+            store_code[codes], node_ids[node_idx], ts, start, end,
+            cold=True, ok=True,
+        )
+        for b, node in enumerate(self.nodes):
+            node.busy_count = int(busy_after[b])
+            node.used_memory_mb = float(new_used[b])
+        out = np.nonzero(end > last_t)[0]
+        if out.size:
+            self._tail = _BulkTail(
+                ends=end[out],
+                seqs=seq0 + out,
+                sids=sid0 + out,
+                node_idx=node_idx[out],
+                mem_mb=req_mem[out],
+                codes=codes[out],
+                words=words,
+                final_used=final_used,
+            )
+        return True
+
+    def _invoke_loop(
+        self,
+        ts: npt.NDArray[np.float64],
+        workload_ids: Sequence[str],
+    ) -> None:
+        invoke = self.invoke
+        for t, w in zip(ts.tolist(), workload_ids):
+            invoke(t, w)
+
+    def _materialize_tail(self) -> None:
+        """Turn a bulk slab's outstanding completions into ordinary heap
+        events so scalar traffic can interleave with them exactly."""
+        tail = self._tail
+        if tail is None:
+            return
+        self._tail = None
+        heap = self._heap
+        words = tail.words
+        for j in range(int(tail.ends.size)):
+            sandbox = _Sandbox(
+                sandbox_id=int(tail.sids[j]),
+                workload_id=words[int(tail.codes[j])],
+                memory_mb=float(tail.mem_mb[j]),
+            )
+            node = self.nodes[int(tail.node_idx[j])]
+            heapq.heappush(
+                heap,
+                (
+                    float(tail.ends[j]),
+                    int(tail.seqs[j]),
+                    "end",
+                    (node, sandbox),
+                ),
+            )
+
+    def _finalize_tail(self) -> None:
+        """Drain-time shortcut: apply every outstanding bulk completion
+        in one pass (busy to zero, the precomputed exactly-ordered
+        memory residue, clock to the last completion)."""
+        tail = self._tail
+        if tail is None:
+            return
+        self._tail = None
+        self._clock = max(self._clock, float(tail.ends.max()))
+        for b, node in enumerate(self.nodes):
+            node.busy_count = 0
+            node.used_memory_mb = float(tail.final_used[b])
+
+    # ------------------------------------------------------------------
+    # drain internals
+    # ------------------------------------------------------------------
+    def _drain_events(self) -> None:
+        if self._tail is not None:
+            self._finalize_tail()
+        while self._heap:
+            self._advance(self._heap[0][0])
+        stuck = sum(len(n.pending) for n in self.nodes)
+        if stuck:
+            if self.queue_timeout_s is not None:
+                # every still-queued request has outlived its deadline by
+                # now (all service events have fired)
+                for node in self.nodes:
+                    for arrival_s, wid in node.pending:
+                        self.dropped.append((arrival_s, wid))
+                        self._trace("request_dropped", node.node_id, wid)
+                    node.pending.clear()
+            else:
+                raise RuntimeError(
+                    f"{stuck} requests remain queued after drain; the "
+                    "cluster deadlocked on memory (raise node_memory_mb "
+                    "or n_nodes, or set queue_timeout_s)"
+                )
+
+    def _drain_telemetry(self) -> None:
+        reg = _telemetry.active()
+        if reg is not None:
+            # gauges are idempotent, so repeated drains stay correct
+            reg.gauge("platform_nodes",
+                      "cluster size at drain time").set(len(self.nodes))
+            reg.gauge("platform_completed_invocations",
+                      "invocation records held by the cluster"
+                      ).set(self._store.n)
+            reg.gauge("platform_dropped_requests",
+                      "requests dropped on queue timeout so far"
+                      ).set(len(self.dropped))
+
+    # ------------------------------------------------------------------
+    # elasticity
+    # ------------------------------------------------------------------
+    def _apply_autoscaling(self, now_s: float) -> None:
+        scaler = self.autoscaler
+        if scaler is None:
+            return
+        desired = scaler.decide(now_s, self.nodes)
+        while desired > len(self.nodes):
+            self.nodes.append(
+                Node(self._next_node_id, self._node_memory_mb)
+            )
+            self._next_node_id += 1
+        while desired < len(self.nodes) and len(self.nodes) > 1:
+            victim = min(self.nodes, key=lambda n: n.busy_count)
+            if victim.busy_count > 0:
+                break  # nothing retirable right now; try next evaluation
+            # reclaim idle sandboxes and hand any backlog to a survivor
+            for stack in list(victim.idle.values()):
+                for sandbox in list(stack):
+                    sandbox.expire_generation += 1
+                    victim.remove_idle(sandbox)
+                    self._trace("sandbox_evicted", victim.node_id,
+                                sandbox.workload_id)
+            self.nodes.remove(victim)
+            if victim.pending:
+                self.nodes[0].pending.extend(victim.pending)
+
+    # ------------------------------------------------------------------
+    # scalar event machinery (exact reference-engine control flow)
+    # ------------------------------------------------------------------
+    def _trace(self, kind: str, node_id: int, workload_id: str) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(self._clock, kind, node_id, workload_id)
+
+    def _push(self, when: float, kind: str, payload: tuple[Any, ...]) -> None:
+        heapq.heappush(self._heap, (when, self._seq_n, kind, payload))
+        self._seq_n += 1
+
+    def _advance(self, until: float) -> None:
+        while self._heap and self._heap[0][0] <= until:
+            when, _, kind, payload = heapq.heappop(self._heap)
+            self._clock = when
+            if kind == "end":
+                self._on_completion(when, *payload)
+            elif kind == "crash":
+                self._on_crash(when, *payload)
+            else:  # "expire"
+                self._on_expiry(when, *payload)
+        self._clock = max(self._clock, until)
+
+    def _try_start(self, node: Node, arrival_s: float,
+                   workload_id: str) -> bool:
+        """Start an invocation now if a sandbox can be had; else False."""
+        now = self._clock
+        profile = self.profiles[workload_id]
+        sandbox = node.pop_idle(workload_id)
+        if sandbox is not None:
+            self.keepalive.observe_idle_gap(
+                workload_id, now - sandbox.idle_since
+            )
+            sandbox.expire_generation += 1  # cancels the queued expiry
+            self._trace("sandbox_reused", node.node_id, workload_id)
+            start = now
+            cold = False
+        else:
+            # Make room, evicting the least recently used idle sandboxes.
+            while (
+                node.used_memory_mb + profile.memory_mb
+                > node.memory_capacity_mb
+            ):
+                victim = node.lru_idle()
+                if victim is None:
+                    return False
+                victim.expire_generation += 1
+                node.remove_idle(victim)
+                self._trace("sandbox_evicted", node.node_id,
+                            victim.workload_id)
+            node.used_memory_mb += profile.memory_mb
+            if self.track_memory:
+                self.memory_samples.append(
+                    (now, node.node_id, node.used_memory_mb)
+                )
+            sandbox = _Sandbox(
+                sandbox_id=self._sandbox_n,
+                workload_id=workload_id,
+                memory_mb=profile.memory_mb,
+            )
+            self._sandbox_n += 1
+            self._trace("sandbox_created", node.node_id, workload_id)
+            start = now + self.cold_start_model(profile)
+            cold = True
+
+        service_s = profile.runtime_ms / 1e3
+        if self._lognorm is not None:
+            sigma, mu = self._lognorm
+            service_s *= float(self._rng.lognormal(mu, sigma))
+        if self.cores_per_node is not None:
+            # oversubscription slowdown, fixed at admission time
+            concurrent = node.busy_count + 1
+            if concurrent > self.cores_per_node:
+                service_s *= concurrent / self.cores_per_node
+        end = start + service_s
+        ok = True
+        if self.fault_hook is not None:
+            frac = self.fault_hook.crash_fraction(
+                now, node.node_id, workload_id
+            )
+            if frac is not None:
+                end = start + service_s * min(max(frac, 0.0), 1.0)
+                ok = False
+        node.busy_count += 1
+        self._store.append(
+            self._store.code_for(workload_id),
+            node.node_id, arrival_s, start, end, cold, ok,
+        )
+        # Events carry the Node object itself: under autoscaling the
+        # nodes list mutates, so positional ids are not stable handles.
+        self._push(end, "end" if ok else "crash", (node, sandbox))
+        return True
+
+    def _on_completion(self, now: float, node: Node,
+                       sandbox: _Sandbox) -> None:
+        node.busy_count -= 1
+        sandbox.idle_since = now
+        sandbox.expire_generation += 1
+        node.idle.setdefault(sandbox.workload_id, []).append(sandbox)
+        ttl = self.keepalive.ttl_s(sandbox.workload_id)
+        if ttl <= 0:
+            node.remove_idle(sandbox)
+        else:
+            self._push(now + ttl, "expire",
+                       (node, sandbox, sandbox.expire_generation))
+        self._serve_pending(node)
+
+    def _on_crash(self, now: float, node: Node,
+                  sandbox: _Sandbox) -> None:
+        """The sandbox died mid-invocation: destroy it outright."""
+        del now
+        node.busy_count -= 1
+        sandbox.expire_generation += 1
+        node.used_memory_mb -= sandbox.memory_mb
+        self._trace("sandbox_crashed", node.node_id, sandbox.workload_id)
+        if self.track_memory:
+            self.memory_samples.append(
+                (self._clock, node.node_id, node.used_memory_mb)
+            )
+        self._serve_pending(node)
+
+    def _on_expiry(self, now: float, node: Node, sandbox: _Sandbox,
+                   generation: int) -> None:
+        del now
+        if sandbox.expire_generation != generation:
+            return  # sandbox was reused or evicted in the meantime
+        node.remove_idle(sandbox)
+        self._trace("sandbox_expired", node.node_id, sandbox.workload_id)
+        if self.track_memory:
+            self.memory_samples.append(
+                (self._clock, node.node_id, node.used_memory_mb)
+            )
+        self._serve_pending(node)
+
+    def _serve_pending(self, node: Node) -> None:
+        while node.pending:
+            arrival_s, workload_id = node.pending[0]
+            if (
+                self.queue_timeout_s is not None
+                and self._clock - arrival_s > self.queue_timeout_s
+            ):
+                self.dropped.append(node.pending.pop(0))
+                self._trace("request_dropped", node.node_id, workload_id)
+                continue
+            if not self._try_start(node, arrival_s, workload_id):
+                return
+            node.pending.pop(0)

@@ -60,7 +60,7 @@ class PlatformEvent:
 class PlatformTracer:
     """Collects :class:`PlatformEvent` records from a cluster run."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.events: list[PlatformEvent] = []
 
     def emit(self, time_s: float, kind: str, node: int,

@@ -1,0 +1,466 @@
+"""Differential equivalence: array engine vs reference object engine.
+
+The headline contract of ISSUE 7: for every configuration, the
+array-native :class:`~repro.platform.simulator_vec.FaaSCluster` and the
+reference :class:`~repro.platform.simulator.ObjectFaaSCluster` produce
+*byte-identical* invocation records, clocks, drops, memory samples, and
+trace streams.  Policies are stateful, so each engine run constructs its
+own fresh policy objects from a factory -- sharing one RNG-bearing
+scheduler between runs would compare a run against its own side effects.
+"""
+
+import numpy as np
+import pytest
+
+from repro.platform import (
+    CrashHook,
+    FaaSCluster,
+    FixedKeepAlive,
+    HashAffinityScheduler,
+    HistogramKeepAlive,
+    LeastLoadedScheduler,
+    LocalityAwareScheduler,
+    NoKeepAlive,
+    ObjectFaaSCluster,
+    PlatformTracer,
+    PowerOfTwoScheduler,
+    RandomScheduler,
+    ReactiveAutoscaler,
+    WorkloadProfile,
+    summarize,
+    summarize_columns,
+)
+
+SEEDS = (0, 1, 2)
+
+KEEPALIVES = {
+    "none": NoKeepAlive,
+    "fixed": lambda: FixedKeepAlive(1.5),
+    "histogram": lambda: HistogramKeepAlive(
+        default_ttl_s=1.5, min_ttl_s=0.1, window=32, min_observations=4
+    ),
+}
+
+SCHEDULERS = {
+    "least-loaded": LeastLoadedScheduler,
+    "random": lambda: RandomScheduler(seed=7),
+    "power-of-two": lambda: PowerOfTwoScheduler(seed=7),
+    "locality": LocalityAwareScheduler,
+    "hash": HashAffinityScheduler,
+}
+
+
+def make_profiles(n=6):
+    return {
+        f"w{i}": WorkloadProfile(
+            f"w{i}",
+            runtime_ms=40.0 + 17.0 * i,
+            memory_mb=128.0 * (1 + i % 4),
+        )
+        for i in range(n)
+    }
+
+
+def make_load(seed, n=300, horizon_s=20.0, n_workloads=6):
+    rng = np.random.default_rng(seed)
+    ts = np.sort(rng.uniform(0.0, horizon_s, n))
+    wids = [f"w{int(i)}" for i in rng.integers(0, n_workloads, n)]
+    return ts, wids
+
+
+def run_engine(cls, ts, wids, make_kwargs, *, batch=False):
+    """One full run on a freshly-built cluster; returns its observables."""
+    cluster = cls(make_profiles(), **make_kwargs())
+    if batch:
+        cluster.invoke_many(ts, wids)
+    else:
+        for t, w in zip(ts.tolist(), wids):
+            cluster.invoke(t, w)
+    records = cluster.drain()
+    return {
+        "records": records,
+        "clock": cluster.clock_s,
+        "dropped": cluster.dropped,
+        "memory_samples": cluster.memory_samples,
+        "n_nodes": len(cluster.nodes),
+        "node_state": [
+            (n.node_id, n.used_memory_mb, n.busy_count, n.idle_count)
+            for n in cluster.nodes
+        ],
+    }
+
+
+def assert_equivalent(ts, wids, make_kwargs, *, batch=False):
+    ref = run_engine(ObjectFaaSCluster, ts, wids, make_kwargs)
+    vec = run_engine(FaaSCluster, ts, wids, make_kwargs, batch=batch)
+    assert vec["records"] == ref["records"]
+    assert vec["clock"] == ref["clock"]
+    assert vec["dropped"] == ref["dropped"]
+    assert vec["memory_samples"] == ref["memory_samples"]
+    assert vec["n_nodes"] == ref["n_nodes"]
+    assert vec["node_state"] == ref["node_state"]
+    return ref, vec
+
+
+# ---------------------------------------------------------------------------
+# the core matrix: seeds x keep-alive policies x schedulers
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("ka", sorted(KEEPALIVES))
+@pytest.mark.parametrize("sched", sorted(SCHEDULERS))
+def test_equivalence_matrix(seed, ka, sched):
+    ts, wids = make_load(seed)
+    assert_equivalent(
+        ts,
+        wids,
+        lambda: dict(
+            n_nodes=3,
+            node_memory_mb=1024.0,
+            keepalive=KEEPALIVES[ka](),
+            scheduler=SCHEDULERS[sched](),
+        ),
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("crash_rate", [0.05, 0.4])
+def test_equivalence_crash_profiles(seed, crash_rate):
+    ts, wids = make_load(seed)
+    assert_equivalent(
+        ts,
+        wids,
+        lambda: dict(
+            n_nodes=2,
+            node_memory_mb=2048.0,
+            keepalive=FixedKeepAlive(2.0),
+            fault_hook=CrashHook(crash_rate, seed=seed),
+            service_time_cv=0.5,
+            seed=seed,
+        ),
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_equivalence_autoscaler_and_memory_tracking(seed):
+    ts, wids = make_load(seed, n=400, horizon_s=40.0)
+    assert_equivalent(
+        ts,
+        wids,
+        lambda: dict(
+            n_nodes=2,
+            node_memory_mb=1024.0,
+            keepalive=FixedKeepAlive(1.0),
+            autoscaler=ReactiveAutoscaler(
+                min_nodes=1,
+                max_nodes=5,
+                target_busy_per_node=2.0,
+                evaluate_every_s=2.0,
+                scale_down_grace_s=4.0,
+            ),
+            track_memory=True,
+        ),
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_equivalence_queue_pressure_and_drops(seed):
+    # tight memory so requests queue, time out, and drop
+    ts, wids = make_load(seed, n=250, horizon_s=2.0)
+    ref, vec = assert_equivalent(
+        ts,
+        wids,
+        lambda: dict(
+            n_nodes=1,
+            node_memory_mb=640.0,
+            keepalive=NoKeepAlive(),
+            queue_timeout_s=1.0,
+            cores_per_node=2,
+        ),
+    )
+    assert ref["dropped"], "config must actually exercise drops"
+
+
+def test_equivalence_trace_streams():
+    ts, wids = make_load(3, n=300, horizon_s=6.0)
+    tracers = {}
+
+    def make(cls_name):
+        tracer = tracers[cls_name] = PlatformTracer()
+        return dict(
+            n_nodes=2,
+            node_memory_mb=768.0,
+            keepalive=FixedKeepAlive(0.8),
+            queue_timeout_s=2.0,
+            tracer=tracer,
+        )
+
+    run_engine(ObjectFaaSCluster, ts, wids, lambda: make("ref"))
+    run_engine(FaaSCluster, ts, wids, lambda: make("vec"))
+    assert tracers["vec"].events == tracers["ref"].events
+
+
+# ---------------------------------------------------------------------------
+# the bulk fast path against the scalar oracle
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "sched", ["least-loaded", "random", "power-of-two", "locality", "hash"]
+)
+def test_bulk_path_matches_object_loop(seed, sched):
+    single_node_only = sched != "random"
+    ts, wids = make_load(seed)
+    make_kwargs = lambda: dict(  # noqa: E731
+        n_nodes=1 if single_node_only else 3,
+        node_memory_mb=8192.0,
+        keepalive=NoKeepAlive(),
+        scheduler=SCHEDULERS[sched](),
+    )
+    # prove the vectorised path actually engages for this configuration
+    probe = FaaSCluster(make_profiles(), **make_kwargs())
+    probe.invoke_many(ts, wids)
+    assert probe._tail is not None and not probe._heap, (
+        "bulk path did not engage; this test would only re-test the "
+        "scalar loop"
+    )
+    assert_equivalent(ts, wids, make_kwargs, batch=True)
+
+
+def test_bulk_tail_interleaves_with_scalar_traffic():
+    ts, wids = make_load(4, n=400)
+    half = 200
+    profiles = make_profiles()
+
+    ref = ObjectFaaSCluster(
+        profiles, n_nodes=2, node_memory_mb=8192.0,
+        keepalive=NoKeepAlive(), scheduler=RandomScheduler(seed=5),
+    )
+    vec = FaaSCluster(
+        profiles, n_nodes=2, node_memory_mb=8192.0,
+        keepalive=NoKeepAlive(), scheduler=RandomScheduler(seed=5),
+    )
+    for t, w in zip(ts[:half].tolist(), wids[:half]):
+        ref.invoke(t, w)
+    vec.invoke_many(ts[:half], wids[:half])
+    assert vec._tail is not None
+    # scalar traffic lands while bulk completions are still outstanding
+    for t, w in zip(ts[half:].tolist(), wids[half:]):
+        ref.invoke(t, w)
+        vec.invoke(t, w)
+    assert vec.drain() == ref.drain()
+    assert vec.clock_s == ref.clock_s
+    assert [n.used_memory_mb for n in vec.nodes] == [
+        n.used_memory_mb for n in ref.nodes
+    ]
+
+
+def test_bulk_infeasible_slab_falls_back_identically():
+    # a burst a 512 MiB node cannot admit outright: the bulk path must
+    # detect infeasibility, rewind the scheduler RNG, and replay the
+    # slab through the scalar loop with identical queueing and drops
+    rng = np.random.default_rng(1)
+    ts = np.sort(rng.uniform(0.0, 0.5, 300))
+    wids = [f"w{int(i)}" for i in rng.integers(0, 6, 300)]
+    make_kwargs = lambda: dict(  # noqa: E731
+        n_nodes=1,
+        node_memory_mb=512.0,
+        keepalive=NoKeepAlive(),
+        scheduler=RandomScheduler(seed=4),
+        queue_timeout_s=3.0,
+    )
+    probe = FaaSCluster(make_profiles(), **make_kwargs())
+    probe.invoke_many(ts, wids)
+    assert probe._tail is None, "slab must be infeasible for this test"
+    ref, _vec = assert_equivalent(ts, wids, make_kwargs, batch=True)
+    assert ref["dropped"]
+
+
+def test_bulk_unknown_workload_raises_like_the_loop():
+    ts, wids = make_load(0, n=50)
+    wids = list(wids)
+    wids[30] = "not-a-workload"
+    profiles = make_profiles()
+
+    def run(cls, batch):
+        cluster = cls(
+            profiles, n_nodes=2, node_memory_mb=8192.0,
+            keepalive=NoKeepAlive(), scheduler=RandomScheduler(seed=0),
+        )
+        with pytest.raises(KeyError, match="not-a-workload"):
+            if batch:
+                cluster.invoke_many(ts, wids)
+            else:
+                for t, w in zip(ts.tolist(), wids):
+                    cluster.invoke(t, w)
+        return cluster.drain()
+
+    assert run(FaaSCluster, True) == run(ObjectFaaSCluster, False)
+
+
+def test_bulk_rejects_requests_behind_the_clock():
+    cluster = FaaSCluster(
+        make_profiles(), n_nodes=1, node_memory_mb=8192.0,
+        keepalive=NoKeepAlive(),
+    )
+    cluster.invoke(10.0, "w0")
+    cluster.drain()  # clock is now past 10
+    with pytest.raises(ValueError, match="past"):
+        cluster.invoke_many(np.array([1.0, 2.0]), ["w0", "w1"])
+
+
+def test_bulk_rejects_unsorted_slab_like_the_loop():
+    # a non-monotone slab must raise exactly where the per-element loop
+    # would: after the in-order prefix is admitted
+    cluster = FaaSCluster(
+        make_profiles(), n_nodes=1, node_memory_mb=8192.0,
+        keepalive=NoKeepAlive(),
+    )
+    with pytest.raises(ValueError, match="past"):
+        cluster.invoke_many(np.array([1.0, 5.0, 2.0]), ["w0"] * 3)
+    assert len(cluster.drain()) == 2  # the prefix before the bad element
+
+
+def test_record_store_growth_past_initial_capacity():
+    # both the scalar append and the bulk extend must grow the columns
+    # transparently past the initial 1024-row capacity
+    profiles = {"w0": WorkloadProfile("w0", runtime_ms=5.0, memory_mb=64.0)}
+    n = 3000
+    ts = np.linspace(0.0, 300.0, n)
+
+    bulk = FaaSCluster(
+        profiles, n_nodes=1, node_memory_mb=8192.0, keepalive=NoKeepAlive()
+    )
+    bulk.invoke_many(ts, ["w0"] * n)
+    scalar = FaaSCluster(
+        profiles, n_nodes=1, node_memory_mb=8192.0, keepalive=NoKeepAlive()
+    )
+    for t in ts.tolist():
+        scalar.invoke(t, "w0")
+    assert bulk.drain() == scalar.drain()
+    cols = bulk.record_columns()
+    assert len(cols) == n
+    # derived columns agree with the scalar record properties
+    recs = scalar.records
+    assert cols.service_ms[0] == recs[0].service_ms
+    assert cols.latency_ms[-1] == recs[-1].latency_ms
+
+
+def test_invoke_many_input_validation():
+    cluster = FaaSCluster(make_profiles())
+    with pytest.raises(ValueError, match="one-dimensional"):
+        cluster.invoke_many(np.zeros((2, 2)), ["w0"] * 4)
+    with pytest.raises(ValueError, match="workload ids"):
+        cluster.invoke_many(np.zeros(3), ["w0"] * 2)
+    cluster.invoke_many(np.empty(0), [])  # no-op, not an error
+    assert cluster.drain() == []
+
+
+# ---------------------------------------------------------------------------
+# columnar access and metrics parity
+# ---------------------------------------------------------------------------
+def test_drain_columns_and_summaries_match_object_engine():
+    ts, wids = make_load(2)
+    make_kwargs = lambda: dict(  # noqa: E731
+        n_nodes=3,
+        node_memory_mb=8192.0,
+        keepalive=NoKeepAlive(),
+        scheduler=RandomScheduler(seed=1),
+    )
+    ref = ObjectFaaSCluster(make_profiles(), **make_kwargs())
+    for t, w in zip(ts.tolist(), wids):
+        ref.invoke(t, w)
+    ref_records = ref.drain()
+
+    vec = FaaSCluster(make_profiles(), **make_kwargs())
+    vec.invoke_many(ts, wids)
+    cols = vec.drain_columns()
+
+    assert cols.to_records() == ref_records
+    assert cols.workload_ids() == [r.workload_id for r in ref_records]
+    assert summarize_columns(cols) == summarize(ref_records)
+    assert len(cols) == len(ref_records)
+
+
+def test_records_property_is_stable_and_lazy():
+    ts, wids = make_load(0, n=40)
+    cluster = FaaSCluster(make_profiles(), keepalive=NoKeepAlive())
+    cluster.invoke_many(ts[:20], wids[:20])
+    first = cluster.records
+    assert cluster.records is first  # decorators rely on the identity
+    n_before = len(first)
+    for t, w in zip(ts[20:].tolist(), wids[20:]):
+        cluster.invoke(t, w)
+    assert cluster.drain() is first  # same list, now fully materialised
+    assert len(first) == 40
+    assert n_before <= 40
+    cols = cluster.record_columns()
+    assert cols.to_records() == first
+
+
+# ---------------------------------------------------------------------------
+# expiry/crash double-reclaim regression (ISSUE 7 satellite)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("cls", [ObjectFaaSCluster, FaaSCluster])
+def test_expiry_after_crash_never_double_reclaims(cls):
+    """A sandbox that crashes must not be reclaimed again by its queued
+    expiry event.
+
+    Scenario: warm sandbox sits idle with an expiry queued, gets reused,
+    then crashes mid-run.  The crash frees its memory; the stale expiry
+    event still pops later and -- without the generation counter -- would
+    free the same memory twice, driving ``used_memory_mb`` negative and
+    letting the node over-admit.
+    """
+
+    class CrashSecond:
+        """Crash exactly the second invocation, mid-service."""
+
+        def __init__(self):
+            self.calls = 0
+
+        def crash_fraction(self, now_s, node_id, workload_id):
+            self.calls += 1
+            return 0.5 if self.calls == 2 else None
+
+    profiles = {"w": WorkloadProfile("w", runtime_ms=100.0, memory_mb=256.0)}
+    cluster = cls(
+        profiles,
+        n_nodes=1,
+        node_memory_mb=512.0,
+        keepalive=FixedKeepAlive(5.0),
+        fault_hook=CrashSecond(),
+    )
+    cluster.invoke(0.0, "w")   # cold; finishes ~0.455, expiry queued @ ~5.455
+    cluster.invoke(1.0, "w")   # warm reuse; crashes at half service
+    records = cluster.drain()  # stale expiry event pops during drain
+    node = cluster.nodes[0]
+    assert node.used_memory_mb == 0.0
+    assert node.busy_count == 0
+    assert node.idle_count == 0
+    assert [r.ok for r in records] == [True, False]
+
+
+@pytest.mark.parametrize("cls", [ObjectFaaSCluster, FaaSCluster])
+def test_eviction_cancels_queued_expiry(cls):
+    """An evicted sandbox's queued expiry must be a no-op, not a second
+    reclaim of memory that a new tenant now owns."""
+    profiles = {
+        "big": WorkloadProfile("big", runtime_ms=50.0, memory_mb=400.0),
+        "small": WorkloadProfile("small", runtime_ms=4000.0, memory_mb=200.0),
+    }
+    cluster = cls(
+        profiles,
+        n_nodes=1,
+        node_memory_mb=512.0,
+        keepalive=FixedKeepAlive(2.0),
+    )
+    cluster.invoke(0.0, "big")    # idle ~0.52s, expiry queued @ ~2.52
+    cluster.invoke(1.0, "small")  # evicts big to fit; runs past the expiry
+    # drain pops big's stale expiry (must be a generation-guarded no-op:
+    # a second remove_idle would raise or double-free 400 MiB) and then
+    # small's own expiry, leaving the node exactly empty
+    records = cluster.drain()
+    node = cluster.nodes[0]
+    assert len(records) == 2
+    assert node.busy_count == 0
+    assert node.used_memory_mb == 0.0
+    assert node.idle_count == 0
