@@ -63,6 +63,7 @@ from repro.platform.simulator import (
     WorkloadProfile,
     default_cold_start_s,
 )
+from repro.platform.simulator_vec import iter_trace_slabs
 
 __all__ = [
     "CrashHook",
@@ -101,6 +102,7 @@ __all__ = [
     "breaker_uptime",
     "default_cold_start_s",
     "dispatch_lag_summary",
+    "iter_trace_slabs",
     "lifecycle_summary",
     "memory_utilization",
     "outcome_summary",

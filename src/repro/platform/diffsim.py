@@ -40,7 +40,11 @@ from repro.platform.schedulers import (
     RandomScheduler,
 )
 from repro.platform.simulator import ObjectFaaSCluster
-from repro.platform.simulator_vec import FaaSCluster, WorkloadProfile
+from repro.platform.simulator_vec import (
+    FaaSCluster,
+    WorkloadProfile,
+    iter_trace_slabs,
+)
 from repro.platform.tracing import PlatformTracer
 
 __all__ = [
@@ -55,7 +59,7 @@ KEEPALIVES = ("none", "fixed", "histogram")
 SCHEDULERS = (
     "least-loaded", "random", "power-of-two", "locality", "hash",
 )
-BATCH_MODES = ("scalar", "bulk", "mixed")
+BATCH_MODES = ("scalar", "bulk", "mixed", "chunked")
 
 #: Workload memory sizes the generator draws from (MiB).
 _MEMORY_CHOICES = (128.0, 256.0, 384.0, 512.0)
@@ -82,6 +86,10 @@ class FuzzConfig:
     track_memory: bool
     quantize: bool
     batch: str
+    #: TTL for ``keepalive="fixed"`` (other policies ignore it).
+    keepalive_ttl: float = 1.0
+    #: Slab size for ``batch="chunked"``; 0 defers to a small default.
+    chunk_rows: int = 0
 
     def __post_init__(self) -> None:
         if self.keepalive not in KEEPALIVES:
@@ -90,6 +98,10 @@ class FuzzConfig:
             raise ValueError(f"unknown scheduler {self.scheduler!r}")
         if self.batch not in BATCH_MODES:
             raise ValueError(f"unknown batch mode {self.batch!r}")
+        if self.keepalive_ttl < 0:
+            raise ValueError("keepalive_ttl must be non-negative")
+        if self.chunk_rows < 0:
+            raise ValueError("chunk_rows must be non-negative")
 
 
 def random_config(rng: np.random.Generator) -> FuzzConfig:
@@ -115,6 +127,10 @@ def random_config(rng: np.random.Generator) -> FuzzConfig:
         track_memory=bool(rng.random() < 0.3),
         quantize=bool(rng.random() < 0.4),
         batch=str(rng.choice(BATCH_MODES)),
+        # zero TTL is a distinct code path (immediate teardown despite a
+        # "fixed" policy), so it gets explicit weight
+        keepalive_ttl=float(rng.choice([0.0, 0.2, 1.0, 5.0])),
+        chunk_rows=int(rng.choice([1, 7, 64])),
     )
 
 
@@ -153,7 +169,7 @@ def _build_kwargs(cfg: FuzzConfig, tracer: PlatformTracer | None
                   ) -> dict[str, Any]:
     keepalive = {
         "none": NoKeepAlive,
-        "fixed": lambda: FixedKeepAlive(1.0),
+        "fixed": lambda: FixedKeepAlive(cfg.keepalive_ttl),
         "histogram": lambda: HistogramKeepAlive(
             default_ttl_s=1.0, min_ttl_s=0.1, window=32, min_observations=4
         ),
@@ -206,6 +222,12 @@ def run_once(cls: type, cfg: FuzzConfig) -> dict[str, Any]:
     try:
         if cls is FaaSCluster and cfg.batch == "bulk":
             cluster.invoke_many(ts, wids)
+        elif cls is FaaSCluster and cfg.batch == "chunked":
+            cluster.invoke_chunked(
+                iter_trace_slabs(
+                    ts, wids, chunk_rows=cfg.chunk_rows or 16
+                )
+            )
         elif cls is FaaSCluster and cfg.batch == "mixed":
             half = len(wids) // 2
             cluster.invoke_many(ts[:half], wids[:half])
@@ -278,6 +300,14 @@ def _candidates(cfg: FuzzConfig) -> list[FuzzConfig]:
     alt(keepalive="none")
     if cfg.n_nodes > 1:
         alt(n_nodes=1)
+    if cfg.keepalive == "fixed":
+        alt(keepalive_ttl=1.0)  # alt() drops the no-op candidate
+    if cfg.batch == "chunked":
+        # a chunk-boundary bug often survives with bigger chunks, and a
+        # non-chunked mode is simpler still
+        if 0 < cfg.chunk_rows < 64:
+            alt(chunk_rows=cfg.chunk_rows * 2)
+        alt(batch="bulk")
     alt(batch="scalar")
     return out
 

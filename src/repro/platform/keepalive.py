@@ -23,6 +23,12 @@ __all__ = ["NoKeepAlive", "FixedKeepAlive", "HistogramKeepAlive"]
 class NoKeepAlive:
     """Tear sandboxes down as soon as they go idle."""
 
+    #: Constant TTL every workload sees (the bulk fast path's eligibility
+    #: probe reads this instead of calling ``ttl_s`` per workload; a
+    #: policy without the attribute -- or a subclass overriding behaviour
+    #: -- is treated as non-constant and takes the scalar path).
+    constant_ttl_s: float = 0.0
+
     def ttl_s(self, workload_id: str) -> float:
         del workload_id
         return 0.0
@@ -38,6 +44,11 @@ class FixedKeepAlive:
         if ttl_s < 0:
             raise ValueError("ttl must be non-negative")
         self._ttl = float(ttl_s)
+
+    @property
+    def constant_ttl_s(self) -> float:
+        """The workload-independent TTL (bulk-path eligibility probe)."""
+        return self._ttl
 
     def ttl_s(self, workload_id: str) -> float:
         del workload_id

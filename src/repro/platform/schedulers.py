@@ -41,19 +41,24 @@ class RandomScheduler:
         del workload_id
         return int(self._rng.integers(0, len(nodes)))
 
+    #: Load-independent picks: the bulk path never needs to validate
+    #: busy counts against a threshold (see ``HashAffinityScheduler``).
+    bulk_busy_threshold: int | None = None
+
     def pick_many(
-        self, nodes: Sequence[Node], count: int
+        self, nodes: Sequence[Node], workload_ids: Sequence[str]
     ) -> npt.NDArray[np.int64]:
         """Batched :meth:`pick` for the array engine's bulk path.
 
-        One draw per request, bitwise stream-equal to ``count``
-        sequential ``pick`` calls (``Generator.integers`` consumes the
-        stream identically whether sized or scalar -- pinned by the
-        simulator property suite), so bulk and scalar submission see
-        identical placements.
+        One draw per request, bitwise stream-equal to sequential
+        ``pick`` calls (``Generator.integers`` consumes the stream
+        identically whether sized or scalar -- pinned by the simulator
+        property suite), so bulk and scalar submission see identical
+        placements.
         """
         return np.asarray(
-            self._rng.integers(0, len(nodes), size=count), dtype=np.int64
+            self._rng.integers(0, len(nodes), size=len(workload_ids)),
+            dtype=np.int64,
         )
 
     def snapshot(self) -> Any:
@@ -126,6 +131,18 @@ class HashAffinityScheduler:
             raise ValueError("spill_threshold must be positive")
         self._spill = spill_threshold
 
+    @property
+    def bulk_busy_threshold(self) -> int:
+        """Validation contract for speculative batched picks.
+
+        :meth:`pick_many` returns home nodes unconditionally; the batch
+        is only byte-equal to sequential :meth:`pick` calls if no home
+        node was at or above the spill threshold when its request
+        arrived.  The array engine checks that from its event calendar
+        and falls back to scalar submission on any violation.
+        """
+        return self._spill
+
     def pick(self, nodes: Sequence[Node], workload_id: str) -> int:
         n = len(nodes)
         home = hash(workload_id) % n
@@ -134,3 +151,25 @@ class HashAffinityScheduler:
             if nodes[k].busy_count < self._spill:
                 return k
         return home
+
+    def pick_many(
+        self, nodes: Sequence[Node], workload_ids: Sequence[str]
+    ) -> npt.NDArray[np.int64]:
+        """Speculative batched :meth:`pick`: every request to its home.
+
+        Valid only while no home node is at the spill threshold at any
+        arrival -- the caller must verify via ``bulk_busy_threshold``.
+        """
+        n = len(nodes)
+        return np.fromiter(
+            (hash(w) % n for w in workload_ids),
+            dtype=np.int64,
+            count=len(workload_ids),
+        )
+
+    def snapshot(self) -> Any:
+        """No RNG state to rewind (deterministic picks)."""
+        return None
+
+    def restore(self, state: Any) -> None:
+        """No RNG state to rewind (deterministic picks)."""

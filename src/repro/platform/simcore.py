@@ -75,6 +75,16 @@ class Node:
     idle: dict[str, list[Any]] = field(default_factory=dict)
     pending: list[tuple[float, str]] = field(default_factory=list)
 
+    def push_idle(self, sandbox: _Sandbox) -> None:
+        """Append to the workload's idle stack (most recently idled last).
+
+        Creates the stack on first use -- dict-key *insertion order* is
+        semantically load-bearing: :meth:`lru_idle` breaks idle-time
+        ties by it, and the array engine's bulk carry reproduces it when
+        rematerialising idle state (see ``_BulkTail``).
+        """
+        self.idle.setdefault(sandbox.workload_id, []).append(sandbox)
+
     def pop_idle(self, workload_id: str) -> _Sandbox | None:
         stack = self.idle.get(workload_id)
         if not stack:

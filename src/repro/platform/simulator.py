@@ -347,7 +347,7 @@ class ObjectFaaSCluster:
         node.busy_count -= 1
         sandbox.idle_since = now
         sandbox.expire_generation += 1
-        node.idle.setdefault(sandbox.workload_id, []).append(sandbox)
+        node.push_idle(sandbox)
         ttl = self.keepalive.ttl_s(sandbox.workload_id)
         if ttl <= 0:
             node.remove_idle(sandbox)

@@ -16,11 +16,17 @@ struct-of-arrays storage:
 - **Batched admission**: :meth:`invoke_many` takes a whole
   timestamp-ordered slab of requests.  When the configuration provably
   cannot diverge from the scalar path (see :meth:`_bulk_eligible`), the
-  cold-start, completion, and memory transitions of the entire slab are
-  applied with one lexsort + cumsum per node instead of one event-heap
-  cycle per request; outstanding completions become a :class:`_BulkTail`
-  that is finalised vectorised at drain (or materialised into ordinary
-  heap events if scalar traffic follows).
+  cold-start, warm-reuse, expiry, completion, and memory transitions of
+  the entire slab are applied with per-pool replay plus one lexsort +
+  cumsum per node instead of one event-heap cycle per request.  The
+  envelope covers constant keep-alive TTLs (``NoKeepAlive`` and
+  ``FixedKeepAlive``), lognormal service-time jitter (one pre-drawn
+  array per slab, stream-equal to the scalar draws, rewound on
+  fallback), and batch-capable schedulers; whatever the slab leaves
+  outstanding -- running invocations *and* warm idle sandboxes --
+  becomes a :class:`_BulkTail` carry that survives chunk boundaries
+  (:meth:`invoke_chunked`), is finalised vectorised at drain, or is
+  materialised into ordinary heap events if scalar traffic follows.
 - **Everything else** -- keep-alive LRU stacks, stateful schedulers,
   autoscaling, fault hooks, tracing -- runs the exact control flow of
   the reference engine, on the same :class:`~repro.platform.simcore.Node`
@@ -41,8 +47,9 @@ See docs/SIMULATOR.md for how to add a policy without breaking this.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from collections.abc import Callable, Sequence
+from collections import deque
+from dataclasses import dataclass, field
+from collections.abc import Callable, Iterable, Iterator, Sequence
 from typing import Any, Protocol, cast
 
 import numpy as np
@@ -70,6 +77,7 @@ __all__ = [
     "RecordColumns",
     "WorkloadProfile",
     "default_cold_start_s",
+    "iter_trace_slabs",
 ]
 
 
@@ -85,14 +93,19 @@ class Scheduler(Protocol):
 class BatchScheduler(Scheduler, Protocol):
     """Scheduler supporting speculative batched picks (bulk path).
 
-    ``pick_many`` must consume exactly the randomness ``count``
-    sequential ``pick`` calls would; ``snapshot``/``restore`` let the
-    engine rewind a speculative batch that has to fall back to the
-    scalar path.
+    ``pick_many`` must return one node index per workload id and
+    consume exactly the randomness the same number of sequential
+    ``pick`` calls would; ``snapshot``/``restore`` let the engine
+    rewind a speculative batch that has to fall back to the scalar
+    path.  A scheduler whose batched picks are only valid while node
+    load stays below a bound (hash affinity's spill threshold) exposes
+    the bound as a ``bulk_busy_threshold`` attribute; the engine then
+    verifies the picked node's busy count at every arrival against it
+    and falls back on any violation.
     """
 
     def pick_many(
-        self, nodes: Sequence[Node], count: int
+        self, nodes: Sequence[Node], workload_ids: Sequence[str]
     ) -> npt.NDArray[np.int64]: ...
 
     def snapshot(self) -> Any: ...
@@ -270,7 +283,7 @@ class _RecordStore:
         start_s: npt.NDArray[np.float64],
         end_s: npt.NDArray[np.float64],
         *,
-        cold: bool,
+        cold: bool | npt.NDArray[np.bool_],
         ok: bool,
     ) -> None:
         n0 = self.n
@@ -299,27 +312,113 @@ class _RecordStore:
         )
 
 
+#: Shared empty columns for carries with no idle component (zero TTL).
+_F0 = np.empty(0, np.float64)
+_I0 = np.empty(0, np.int64)
+
+
+def _event_order(
+    t: npt.NDArray[np.float64],
+    phase: npt.NDArray[np.uint8],
+    tie: npt.NDArray[np.int64],
+) -> npt.NDArray[np.int64]:
+    """Exact argsort by ``(t, phase, tie)``.
+
+    Equivalent to ``np.lexsort((tie, phase, t))`` but built to exploit
+    the bulk path's event streams: each stream is emitted almost sorted
+    by time, so one adaptive stable sort on ``t`` does nearly all the
+    work and the remaining ``(phase, tie)`` discipline only matters
+    inside runs of exactly equal timestamps, which are resolved with a
+    lexsort confined to those rows.
+    """
+    so = np.argsort(t, kind="stable")
+    ts_ = t[so]
+    eq = ts_[1:] == ts_[:-1]
+    if bool(eq.any()):
+        in_run = np.zeros(t.size, np.bool_)
+        in_run[:-1] = eq
+        in_run[1:] |= eq
+        rows = np.nonzero(in_run)[0]
+        sub = so[rows]
+        # lexsort keeps distinct-time runs in place (t is the major
+        # key) and orders each run by (phase, tie)
+        so[rows] = sub[np.lexsort((tie[sub], phase[sub], t[sub]))]
+    return so
+
+
+def _group_stable(
+    labels: npt.NDArray[np.int64],
+) -> npt.NDArray[np.int64]:
+    """Stable argsort of small non-negative integer labels.
+
+    Groups events by pool/node while preserving their existing order,
+    via one value sort of ``label << shift | position`` -- far cheaper
+    than a comparison argsort when the payload order is already
+    meaningful.  Falls back to a stable argsort if the packed key
+    cannot hold both fields exactly.
+    """
+    n = int(labels.size)
+    if n == 0:
+        return np.empty(0, np.int64)
+    shift = max(n - 1, 1).bit_length()
+    lmax = int(labels[labels.argmax()]) if n else 0
+    if lmax.bit_length() + shift > 62:
+        return np.argsort(labels, kind="stable")
+    if lmax.bit_length() + shift <= 31:
+        packed32 = np.sort(
+            (labels.astype(np.int32) << shift)
+            | np.arange(n, dtype=np.int32)
+        )
+        return (packed32 & ((1 << shift) - 1)).astype(np.int64)
+    packed = np.sort((labels << shift) | np.arange(n, dtype=np.int64))
+    return packed & ((1 << shift) - 1)
+
+
 @dataclass
 class _BulkTail:
-    """Completions a bulk slab left outstanding past its last arrival.
+    """Vectorised carry a bulk slab leaves behind past its last arrival.
 
-    Row ``j`` is the ``j``-th still-running invocation in submission
-    order.  ``seqs``/``sids`` are the event-heap sequence numbers and
-    sandbox ids the reference engine would have assigned, so
-    materialising the tail into real heap events reproduces its exact
-    tie-breaking.  ``final_used`` is the per-node ``used_memory_mb``
-    after *all* tail completions fire, folded in the reference engine's
-    IEEE accumulation order -- drain applies it directly.
+    The carry survives chunk boundaries (:meth:`FaaSCluster.invoke_chunked`
+    folds it into the next slab's event calendar) and supports both
+    exits: drain applies the precomputed ``final_used``/``drain_clock``
+    directly, while scalar traffic materialises it into ordinary heap
+    events and node state so interleaving stays byte-identical to the
+    reference engine.
+
+    Still-running invocations: row ``j`` holds the completion time, the
+    end-event heap sequence number the reference engine would have
+    assigned (exact tie-breaking on materialisation), node, memory, and
+    workload code.  Warm idle sandboxes (``ttl > 0`` only; empty
+    columns otherwise): rows sorted by (pool, idled-at, append
+    sequence) -- pool meaning a ``(node, workload)`` idle stack -- with
+    each row's queued expiry time/sequence and its pool's stack
+    *creation key*, i.e. when the reference engine's ``node.idle`` dict
+    key was (re)inserted, which ``lru_idle`` tie-breaks on.
+    ``final_used`` is the per-node ``used_memory_mb`` after every
+    outstanding completion and expiry fires, folded in the reference
+    engine's exact IEEE accumulation order.
     """
 
+    ttl: float
+    words: list[str]
+    final_used: npt.NDArray[np.float64]
+    drain_clock: float
     ends: npt.NDArray[np.float64]
     seqs: npt.NDArray[np.int64]
-    sids: npt.NDArray[np.int64]
     node_idx: npt.NDArray[np.int64]
     mem_mb: npt.NDArray[np.float64]
     codes: npt.NDArray[np.int64]
-    words: list[str]
-    final_used: npt.NDArray[np.float64]
+    idle_from: npt.NDArray[np.float64] = field(default_factory=lambda: _F0)
+    idle_xa: npt.NDArray[np.float64] = field(default_factory=lambda: _F0)
+    idle_seq: npt.NDArray[np.int64] = field(default_factory=lambda: _I0)
+    idle_order: npt.NDArray[np.int64] = field(default_factory=lambda: _I0)
+    idle_node: npt.NDArray[np.int64] = field(default_factory=lambda: _I0)
+    idle_mem: npt.NDArray[np.float64] = field(default_factory=lambda: _F0)
+    idle_codes: npt.NDArray[np.int64] = field(default_factory=lambda: _I0)
+    idle_key_time: npt.NDArray[np.float64] = field(
+        default_factory=lambda: _F0
+    )
+    idle_key_tie: npt.NDArray[np.int64] = field(default_factory=lambda: _I0)
 
 
 # ----------------------------------------------------------------------
@@ -457,6 +556,24 @@ class FaaSCluster:
             return
         self._invoke_loop(ts, workload_ids)
 
+    def invoke_chunked(
+        self,
+        slabs: Iterable[tuple[npt.ArrayLike, Sequence[str]]],
+    ) -> None:
+        """Submit a stream of timestamp-ordered ``(timestamps,
+        workload_ids)`` slabs.
+
+        Equivalent to one :meth:`invoke_many` over the concatenation --
+        the bulk carry (:class:`_BulkTail`) survives chunk boundaries,
+        so results are invariant to how the stream is sliced -- while
+        holding only one slab in memory at a time.  Feed it from
+        :func:`iter_trace_slabs` (or any generator over a trace file)
+        to stream arbitrarily long traces through the engine
+        memory-bounded.
+        """
+        for ts, wids in slabs:
+            self.invoke_many(ts, wids)
+
     def drain(self) -> list[InvocationRecord]:
         self._drain_events()
         self._drain_telemetry()
@@ -513,18 +630,35 @@ class FaaSCluster:
     # ------------------------------------------------------------------
     # bulk fast path
     # ------------------------------------------------------------------
+    def _bulk_ttl(self) -> float | None:
+        """The keep-alive TTL if it is provably workload-independent,
+        else None.  Exact types only: a subclass may override behaviour
+        the bulk path cannot see."""
+        ka = self.keepalive
+        if type(ka) is NoKeepAlive:
+            return 0.0
+        if type(ka) is FixedKeepAlive:
+            return float(ka.constant_ttl_s)
+        return None
+
     def _bulk_eligible(self) -> bool:
         """Whether a batch can be applied vectorised without any chance
         of diverging from the scalar path.
 
-        The gate is intentionally strict: immediate sandbox teardown
-        (``NoKeepAlive``) kills the warm-reuse/LRU feedback loop, no
-        policy callbacks observe intermediate state, service times and
-        cold starts are pure per-profile values, and the engine holds no
-        outstanding events whose interleaving would matter.  Everything
-        else takes the exact scalar path.
+        Per-feature capability checks (docs/SIMULATOR.md tabulates the
+        full envelope): the keep-alive TTL must be a constant
+        (``NoKeepAlive`` / ``FixedKeepAlive``; a histogram policy learns
+        from reuse order mid-slab), no policy callback may observe
+        intermediate state (autoscaler / tracer / fault hook), cold
+        starts are pure per-profile values, no oversubscription slowdown
+        or memory sampling, and no *scalar* events are in flight -- an
+        outstanding bulk carry with the same TTL is fine, it is part of
+        the vectorised state.  Service-time jitter is allowed: the slab
+        pre-draws one lognormal array stream-equal to the scalar
+        per-request draws and rewinds the RNG on fallback.
         """
-        if type(self.keepalive) is not NoKeepAlive:
+        ttl = self._bulk_ttl()
+        if ttl is None:
             return False
         if (
             self.autoscaler is not None
@@ -532,27 +666,30 @@ class FaaSCluster:
             or self.fault_hook is not None
         ):
             return False
-        if self.service_time_cv > 0 or self.cores_per_node is not None:
-            return False
-        if self.track_memory:
+        if self.cores_per_node is not None or self.track_memory:
             return False
         if self.cold_start_model is not default_cold_start_s:
             return False
-        if self._heap or self._tail is not None:
+        if self._heap:
+            return False
+        tail = self._tail
+        if tail is not None and tail.ttl != ttl:
             return False
         for node in self.nodes:
-            if node.pending or node.idle or node.busy_count:
+            if node.pending or node.idle:
+                return False
+            if tail is None and node.busy_count:
                 return False
         sched_t = type(self.scheduler)
         if (
-            getattr(sched_t, "pick_many", None) is not None
-            and getattr(sched_t, "snapshot", None) is not None
-            and getattr(sched_t, "restore", None) is not None
+            len(self.nodes) == 1
+            and sched_t in _PURE_SINGLE_NODE_SCHEDULERS
         ):
             return True
         return (
-            len(self.nodes) == 1
-            and sched_t in _PURE_SINGLE_NODE_SCHEDULERS
+            getattr(sched_t, "pick_many", None) is not None
+            and getattr(sched_t, "snapshot", None) is not None
+            and getattr(sched_t, "restore", None) is not None
         )
 
     def _bulk_invoke(
@@ -561,9 +698,16 @@ class FaaSCluster:
         workload_ids: Sequence[str],
     ) -> bool:
         """Apply one eligible slab vectorised; False = caller must fall
-        back to the scalar loop (no state was mutated)."""
+        back to the scalar loop (no state was mutated and every
+        speculatively consumed RNG stream was rewound)."""
         n = int(ts.size)
+        ttl = self._bulk_ttl()
+        if ttl is None:  # pragma: no cover - guarded by _bulk_eligible
+            return False
+        old = self._tail
         words = list(self.profiles)
+        if old is not None and old.words != words:
+            return False
         index = {w: i for i, w in enumerate(words)}
         try:
             codes = np.fromiter(
@@ -584,42 +728,114 @@ class FaaSCluster:
         )
 
         sched = self.scheduler
-        speculative = getattr(type(sched), "pick_many", None) is not None
+        speculative = not (
+            len(self.nodes) == 1
+            and type(sched) in _PURE_SINGLE_NODE_SCHEDULERS
+        )
         saved: Any = None
+        busy_cap: int | None = None
         if speculative:
             bsched = cast(BatchScheduler, sched)
             saved = bsched.snapshot()
             node_idx = np.asarray(
-                bsched.pick_many(self.nodes, n), dtype=np.int64
+                bsched.pick_many(self.nodes, workload_ids), dtype=np.int64
             )
+            cap = getattr(sched, "bulk_busy_threshold", None)
+            busy_cap = int(cap) if cap is not None else None
         else:
             node_idx = np.zeros(n, dtype=np.int64)
 
+        # One sized draw consumes the jitter stream exactly like n
+        # scalar draws (pinned by the property suite); saving the
+        # bit-generator state first makes fallback a perfect rewind.
+        svc_req = svc[codes]
+        rng_state: Any = None
+        if self._lognorm is not None:
+            sigma, mu = self._lognorm
+            rng_state = self._rng.bit_generator.state
+            svc_req = svc_req * self._rng.lognormal(mu, sigma, n)
+
+        if ttl > 0:
+            ok = self._bulk_commit_keepalive(
+                ts, codes, node_idx, mem, coldcost, svc_req, ttl,
+                busy_cap, words, old,
+            )
+        else:
+            ok = self._bulk_commit_teardown(
+                ts, codes, node_idx, mem, coldcost, svc_req,
+                busy_cap, words, old,
+            )
+        if not ok:
+            if speculative:
+                cast(BatchScheduler, sched).restore(saved)
+            if rng_state is not None:
+                self._rng.bit_generator.state = rng_state
+        return ok
+
+    def _store_codes(self) -> npt.NDArray[np.int32]:
+        store = self._store
+        return np.fromiter(
+            (store.code_for(w) for w in self.profiles),
+            np.int32, count=len(self.profiles),
+        )
+
+    def _node_ids(self) -> npt.NDArray[np.int64]:
+        return np.fromiter(
+            (nd.node_id for nd in self.nodes), np.int64,
+            count=len(self.nodes),
+        )
+
+    def _bulk_commit_teardown(
+        self,
+        ts: npt.NDArray[np.float64],
+        codes: npt.NDArray[np.int64],
+        node_idx: npt.NDArray[np.int64],
+        mem: npt.NDArray[np.float64],
+        coldcost: npt.NDArray[np.float64],
+        svc_req: npt.NDArray[np.float64],
+        busy_cap: int | None,
+        words: list[str],
+        old: _BulkTail | None,
+    ) -> bool:
+        """Zero-TTL slab: every start is cold, memory frees at
+        completion, no expiry events exist -- so the whole slab is one
+        event calendar per node (+mem at arrival, -mem at completion,
+        completions carried from earlier chunks included), cumsum-folded
+        in the reference engine's exact order."""
+        n = int(ts.size)
+        n_nodes = len(self.nodes)
+        last_t = float(ts[-1])
+        seq0 = self._seq_n
         req_mem = mem[codes]
         start = ts + coldcost[codes]
-        end = start + svc[codes]
-        last_t = float(ts[-1])
-        n_nodes = len(self.nodes)
+        end = start + svc_req
+        if old is not None:
+            c_end, c_seq = old.ends, old.seqs
+            c_node, c_mem, c_codes = old.node_idx, old.mem_mb, old.codes
+        else:
+            c_end, c_mem = _F0, _F0
+            c_seq, c_node, c_codes = _I0, _I0, _I0
 
-        # The whole slab as one event calendar per node: allocation at
-        # arrival (+mem), release at completion (-mem).  Sorting by
-        # (node, time, release-before-allocation, submission index)
-        # reproduces the reference engine's heap order exactly: events
-        # with ``when <= t`` pop before the arrival at ``t``, ties
-        # break on push sequence == submission order.  Priority and
-        # submission index pack into one int64 tie key (prio dominates;
-        # fine while n < 2**33), keeping the lexsort at three keys.
+        # Sorting by (node, time, completion-before-arrival, heap seq)
+        # reproduces the reference engine's event order exactly: events
+        # with ``when <= t`` pop before the arrival at ``t``, ties break
+        # on push sequence.  Carried completions keep their absolute
+        # sequence numbers (all below seq0), new events use seq0+i as an
+        # order-preserving proxy.
         sub = np.arange(n, dtype=np.int64)
-        ev_time = np.concatenate((ts, end))
-        ev_tie = np.concatenate((sub | (1 << 33), sub))
-        ev_node = np.concatenate((node_idx, node_idx))
-        ev_delta = np.concatenate((req_mem, -req_mem))
-        order = np.lexsort((ev_tie, ev_time, ev_node))
+        new_seq = seq0 + sub
+        ev_time = np.concatenate((ts, end, c_end))
+        ev_phase = np.concatenate(
+            (np.ones(n, np.uint8), np.zeros(n + c_end.size, np.uint8))
+        )
+        ev_tie = np.concatenate((new_seq, new_seq, c_seq))
+        ev_node = np.concatenate((node_idx, node_idx, c_node))
+        ev_delta = np.concatenate((req_mem, -req_mem, -c_mem))
+        order = np.lexsort((ev_tie, ev_phase, ev_time, ev_node))
         s_time = ev_time[order]
-        s_alloc = ev_tie[order] >= (1 << 33)
+        s_alloc = ev_phase[order] == 1
         s_delta = ev_delta[order]
-
-        counts = 2 * np.bincount(node_idx, minlength=n_nodes)
+        counts = np.bincount(ev_node, minlength=n_nodes)
         bounds = np.zeros(n_nodes + 1, np.int64)
         np.cumsum(counts, out=bounds[1:])
         new_used = np.empty(n_nodes, np.float64)
@@ -633,51 +849,769 @@ class FaaSCluster:
             block[0] = node.used_memory_mb
             block[1:] = s_delta[lo:hi]
             usage = np.cumsum(block)
-            admitted = usage[1:][s_alloc[lo:hi]]
+            alloc_here = s_alloc[lo:hi]
+            admitted = usage[1:][alloc_here]
             if bool(np.any(admitted > node.memory_capacity_mb)):
                 # at least one admission would queue: scalar path owns
                 # the backlog semantics
-                if speculative:
-                    cast(BatchScheduler, sched).restore(saved)
                 return False
+            if busy_cap is not None:
+                busy = np.empty(hi - lo + 1, np.int64)
+                busy[0] = node.busy_count
+                busy[1:] = np.where(alloc_here, 1, -1)
+                trail = np.cumsum(busy)
+                if bool(
+                    np.any(trail[1:][alloc_here] - 1 >= busy_cap)
+                ):
+                    # a pick saw a full node: the scalar scheduler would
+                    # have spilled, so the speculative batch is invalid
+                    return False
             cut = int(np.searchsorted(s_time[lo:hi], last_t, side="right"))
             new_used[b] = usage[cut]
             final_used[b] = usage[-1]
             busy_after[b] = (hi - lo) - cut
 
         # -- commit ----------------------------------------------------
-        seq0 = self._seq_n
-        sid0 = self._sandbox_n
         self._seq_n += n
         self._sandbox_n += n
         self._clock = last_t
-        store = self._store
-        store_code = np.fromiter(
-            (store.code_for(w) for w in words), np.int32, count=len(words)
-        )
-        node_ids = np.fromiter(
-            (nd.node_id for nd in self.nodes), np.int64, count=n_nodes
-        )
-        store.extend(
-            store_code[codes], node_ids[node_idx], ts, start, end,
-            cold=True, ok=True,
+        self._store.extend(
+            self._store_codes()[codes], self._node_ids()[node_idx],
+            ts, start, end, cold=True, ok=True,
         )
         for b, node in enumerate(self.nodes):
             node.busy_count = int(busy_after[b])
             node.used_memory_mb = float(new_used[b])
-        out = np.nonzero(end > last_t)[0]
-        if out.size:
+        out_new = end > last_t
+        out_old = c_end > last_t
+        t_ends = np.concatenate((end[out_new], c_end[out_old]))
+        if t_ends.size:
             self._tail = _BulkTail(
-                ends=end[out],
-                seqs=seq0 + out,
-                sids=sid0 + out,
-                node_idx=node_idx[out],
-                mem_mb=req_mem[out],
-                codes=codes[out],
+                ttl=0.0,
                 words=words,
                 final_used=final_used,
+                drain_clock=float(t_ends.max()),
+                ends=t_ends,
+                seqs=np.concatenate((new_seq[out_new], c_seq[out_old])),
+                node_idx=np.concatenate(
+                    (node_idx[out_new], c_node[out_old])
+                ),
+                mem_mb=np.concatenate(
+                    (req_mem[out_new], c_mem[out_old])
+                ),
+                codes=np.concatenate((codes[out_new], c_codes[out_old])),
             )
+        else:
+            self._tail = None
         return True
+
+    def _bulk_commit_keepalive(
+        self,
+        ts: npt.NDArray[np.float64],
+        codes: npt.NDArray[np.int64],
+        node_idx: npt.NDArray[np.int64],
+        mem: npt.NDArray[np.float64],
+        coldcost: npt.NDArray[np.float64],
+        svc_req: npt.NDArray[np.float64],
+        ttl: float,
+        busy_cap: int | None,
+        words: list[str],
+        old: _BulkTail | None,
+    ) -> bool:
+        """Fixed positive-TTL slab.
+
+        Warm-versus-cold is decided by replaying each ``(node,
+        workload)`` idle pool in isolation -- placement is fixed up
+        front, so pools only couple through memory pressure, which is
+        checked vectorised afterwards and falls back to scalar on any
+        overflow (exactly when the scalar engine would evict or queue).
+        Sequence numbers, the memory trajectory, and the carry are then
+        reconstructed in the reference engine's exact event order:
+        every arrival pushes an end event and every in-slab completion
+        pushes an expiry event, so heap sequence numbers interleave and
+        are assigned by a merged sort rather than arithmetic.
+        """
+        n = int(ts.size)
+        n_nodes = len(self.nodes)
+        n_words = len(words)
+        last_t = float(ts[-1])
+        seq0 = self._seq_n
+        req_mem = mem[codes]
+        gid = node_idx * n_words + codes
+        cstart = ts + coldcost[codes]
+
+        if old is not None:
+            ob_end, ob_seq = old.ends, old.seqs
+            ob_node, ob_mem, ob_code = old.node_idx, old.mem_mb, old.codes
+            oi_from, oi_xa = old.idle_from, old.idle_xa
+            oi_seq, oi_order = old.idle_seq, old.idle_order
+            oi_node, oi_mem = old.idle_node, old.idle_mem
+            oi_code = old.idle_codes
+            oi_key_t, oi_key_q = old.idle_key_time, old.idle_key_tie
+        else:
+            ob_end, ob_mem = _F0, _F0
+            ob_seq, ob_node, ob_code = _I0, _I0, _I0
+            oi_from, oi_xa, oi_mem, oi_key_t = _F0, _F0, _F0, _F0
+            oi_seq, oi_order, oi_node, oi_code, oi_key_q = (
+                _I0, _I0, _I0, _I0, _I0
+            )
+        nb = int(ob_end.size)
+        nc = int(oi_from.size)
+
+        # ---- pool decision replay (pure: no engine state touched) ----
+        # Sources are numbered: new invocation k -> k, carried busy row
+        # r -> n + r, carried idle row r -> n + nb + r.
+        #
+        # Pools couple only through memory (checked afterwards), so each
+        # pool replays independently.  The common case -- a pool that
+        # never holds more than two live sandboxes at once -- fits a
+        # two-slot recursion (a slot is warm-reusable iff ``e <= t <
+        # e + ttl``, LIFO picks the later-idled slot, cold starts land
+        # in a non-busy slot), which runs here as a lockstep scan
+        # vectorised *across* pools, one rank at a time.  A pool that
+        # sees an arrival while both slots are busy (or starts with
+        # more than two carried rows) is flagged complex and resumes in
+        # the exact heap-and-deque loop from its frozen state.
+        cold_arr = np.zeros(n, np.bool_)
+        end_new = np.empty(n, np.float64)
+        reuse_src_arr = np.full(n, -1, np.int64)
+        reused_arr = np.zeros(n + nb + nc, np.bool_)
+
+        order = _group_stable(gid)
+        g_sorted = gid[order]
+        head = np.empty(n, np.bool_)
+        head[0] = True
+        np.not_equal(g_sorted[1:], g_sorted[:-1], out=head[1:])
+        pool_start = np.nonzero(head)[0]
+        pool_gids = g_sorted[pool_start]
+        pool_len = np.diff(np.append(pool_start, n))
+        n_pools = int(pool_gids.size)
+
+        # slot state: completion/idle-from time, heap tie, source row
+        e1 = np.full(n_pools, -np.inf, np.float64)
+        q1 = np.zeros(n_pools, np.int64)
+        s1 = np.full(n_pools, -1, np.int64)
+        e2 = np.full(n_pools, -np.inf, np.float64)
+        q2 = np.zeros(n_pools, np.int64)
+        s2 = np.full(n_pools, -1, np.int64)
+        carried_ct = np.zeros(n_pools, np.int64)
+        cr_pos_parts: list[npt.NDArray[np.int64]] = []
+        cr_e_parts: list[npt.NDArray[np.float64]] = []
+        cr_q_parts: list[npt.NDArray[np.int64]] = []
+        cr_s_parts: list[npt.NDArray[np.int64]] = []
+        if nb:
+            bg = ob_node * n_words + ob_code
+            bpos = np.minimum(
+                np.searchsorted(pool_gids, bg), n_pools - 1
+            )
+            b_in = pool_gids[bpos] == bg
+            np.add.at(carried_ct, bpos[b_in], 1)
+            cr_pos_parts.append(bpos[b_in])
+            cr_e_parts.append(ob_end[b_in])
+            cr_q_parts.append(ob_seq[b_in])
+            cr_s_parts.append(n + np.nonzero(b_in)[0])
+        if nc:
+            ig = oi_node * n_words + oi_code
+            ipos = np.minimum(
+                np.searchsorted(pool_gids, ig), n_pools - 1
+            )
+            i_in = pool_gids[ipos] == ig
+            np.add.at(carried_ct, ipos[i_in], 1)
+            # the stored expiry is bitwise ``from + ttl`` (ttl-compat is
+            # an eligibility condition), so carrying ``from`` suffices
+            cr_pos_parts.append(ipos[i_in])
+            cr_e_parts.append(oi_from[i_in])
+            cr_q_parts.append(oi_order[i_in])
+            cr_s_parts.append(n + nb + np.nonzero(i_in)[0])
+        if cr_pos_parts:
+            cr_pos = np.concatenate(cr_pos_parts)
+            cr_e = np.concatenate(cr_e_parts)
+            cr_q = np.concatenate(cr_q_parts)
+            cr_s = np.concatenate(cr_s_parts)
+            co = np.argsort(cr_pos, kind="stable")
+            ps = cr_pos[co]
+            first = np.empty(ps.size, np.bool_)
+            if ps.size:
+                first[0] = True
+                np.not_equal(ps[1:], ps[:-1], out=first[1:])
+            occ = np.arange(ps.size, dtype=np.int64)
+            occ -= np.maximum.accumulate(np.where(first, occ, 0))
+            fill1 = co[occ == 0]
+            e1[cr_pos[fill1]] = cr_e[fill1]
+            q1[cr_pos[fill1]] = cr_q[fill1]
+            s1[cr_pos[fill1]] = cr_s[fill1]
+            fill2 = co[occ == 1]
+            e2[cr_pos[fill2]] = cr_e[fill2]
+            q2[cr_pos[fill2]] = cr_q[fill2]
+            s2[cr_pos[fill2]] = cr_s[fill2]
+
+        # longest pools first, so the active set at rank r is a prefix
+        po = np.argsort(-pool_len, kind="stable")
+        d_start = pool_start[po]
+        d_len = pool_len[po]
+        e1, q1, s1 = e1[po], q1[po], s1[po]
+        e2, q2, s2 = e2[po], q2[po], s2[po]
+        complex_d = (carried_ct > 2)[po]
+        # rank at which a pool froze: its earlier decisions stand and
+        # the exact loop resumes there from the frozen slot state;
+        # -1 + complex means replay from rank 0 off the carried rows
+        flag_rank_d = np.full(n_pools, -1, np.int64)
+        max_len = int(d_len[0]) if n_pools else 0
+        ranks = np.arange(max_len, dtype=np.int64)
+        active_at = np.searchsorted(-d_len, -(ranks + 1), side="right")
+        warm_k_parts: list[npt.NDArray[np.int64]] = []
+        warm_src_parts: list[npt.NDArray[np.int64]] = []
+        for r in range(max_len):
+            m = int(active_at[r])
+            if m < 32:
+                # too few pools left to amortise a vector step: hand
+                # their remaining ranks to the exact loop wholesale
+                fresh = ~complex_d[:m]
+                flag_rank_d[:m][fresh] = r
+                complex_d[:m] = True
+                break
+            k_idx = order[d_start[:m] + r]
+            t = ts[k_idx]
+            a1, a2 = e1[:m], e2[:m]
+            b1 = t < a1
+            b2 = t < a2
+            l1 = ~b1 & (t < a1 + ttl)
+            l2 = ~b2 & (t < a2 + ttl)
+            warm = l1 | l2
+            # LIFO: reuse the later-idled live slot (tie on heap seq)
+            gt2 = (a2 > a1) | ((a2 == a1) & (q2[:m] > q1[:m]))
+            pick2 = l2 & (~l1 | gt2)
+            pick1 = warm & ~pick2
+            # cold starts land in a non-busy (empty or expired) slot
+            place1 = ~warm & ~b1
+            place2 = ~warm & b1 & ~b2
+            overflow = ~(warm | place1 | place2)
+            if bool(overflow.any()):
+                newly = overflow & ~complex_d[:m]
+                flag_rank_d[:m][newly] = r
+                complex_d[:m] |= overflow
+            svc = svc_req[k_idx]
+            endv = np.where(warm, t + svc, cstart[k_idx] + svc)
+            end_new[k_idx] = endv
+            cold_arr[k_idx] = ~warm
+            frozen = complex_d[:m]
+            masked = bool(frozen.any())
+            if masked:
+                warm &= ~frozen
+            w = np.nonzero(warm)[0]
+            if w.size:
+                warm_k_parts.append(k_idx[w])
+                warm_src_parts.append(  # pre-update sources
+                    np.where(pick2[w], s2[w], s1[w])
+                )
+            upd1 = pick1 | place1
+            upd2 = pick2 | place2
+            if masked:
+                upd1 &= ~frozen
+                upd2 &= ~frozen
+            qv = seq0 + k_idx
+            np.copyto(a1, endv, where=upd1)
+            np.copyto(q1[:m], qv, where=upd1)
+            np.copyto(s1[:m], k_idx, where=upd1)
+            np.copyto(a2, endv, where=upd2)
+            np.copyto(q2[:m], qv, where=upd2)
+            np.copyto(s2[:m], k_idx, where=upd2)
+
+        if warm_k_parts:
+            # pre-freeze decisions are exact, so every recorded reuse
+            # stands (freezing suppresses marks from the frozen rank on)
+            wk = np.concatenate(warm_k_parts)
+            ws = np.concatenate(warm_src_parts)
+            reuse_src_arr[wk] = ws
+            reused_arr[ws] = True
+        if bool(complex_d.any()):
+            self._replay_complex_pools(
+                order, d_start, d_len, complex_d, flag_rank_d,
+                (e1, q1, s1), (e2, q2, s2), g_sorted, ts, gid, svc_req,
+                cstart, ttl, seq0, n, nb, n_words, ob_end, ob_seq,
+                ob_node, ob_code, oi_from, oi_xa, oi_order, oi_node,
+                oi_code, cold_arr, end_new, reuse_src_arr, reused_arr,
+            )
+        sub = np.arange(n, dtype=np.int64)
+
+        # completions this slab can observe: new + carried busy
+        if nb:
+            comp_end = np.concatenate((end_new, ob_end))
+            comp_tie = np.concatenate((seq0 + sub, ob_seq))
+            comp_node = np.concatenate((node_idx, ob_node))
+            comp_gid = np.concatenate((gid, ob_node * n_words + ob_code))
+            comp_mem = np.concatenate((req_mem, ob_mem))
+            comp_code = np.concatenate((codes, ob_code))
+            comp_src = np.concatenate(
+                (sub, n + np.arange(nb, dtype=np.int64))
+            )
+        else:
+            comp_end, comp_tie = end_new, seq0 + sub
+            comp_node, comp_gid = node_idx, gid
+            comp_mem, comp_code, comp_src = req_mem, codes, sub
+        processed = comp_end <= last_t
+        proc_idx = np.nonzero(processed)[0]
+        np_proc = int(proc_idx.size)
+
+        # Heap sequence numbers: every arrival pushes its end event and
+        # every in-slab-processed completion pushes an expiry event, in
+        # merged (time, completion-before-arrival, push order) order.
+        proc_end = comp_end[proc_idx]
+        m_time = np.concatenate((ts, proc_end))
+        m_phase = np.concatenate(
+            (np.ones(n, np.uint8), np.zeros(np_proc, np.uint8))
+        )
+        m_tie = np.concatenate((seq0 + sub, comp_tie[proc_idx]))
+        mo = _event_order(m_time, m_phase, m_tie)
+        seq_assign = np.empty(n + np_proc, np.int64)
+        seq_assign[mo] = seq0 + np.arange(n + np_proc, dtype=np.int64)
+        end_seq_new = seq_assign[:n]
+        exp_seq_proc = seq_assign[n:]
+        comp_end_seq = (
+            np.concatenate((end_seq_new, ob_seq)) if nb else end_seq_new
+        )
+
+        # idle-pool lifecycle entries: processed completions + carry
+        if nc:
+            p_from = np.concatenate((proc_end, oi_from))
+            p_xa = np.concatenate((proc_end + ttl, oi_xa))
+            p_exp = np.concatenate((exp_seq_proc, oi_seq))
+            p_node = np.concatenate((comp_node[proc_idx], oi_node))
+            p_gid = np.concatenate(
+                (comp_gid[proc_idx], oi_node * n_words + oi_code)
+            )
+            p_mem = np.concatenate((comp_mem[proc_idx], oi_mem))
+            p_code = np.concatenate((comp_code[proc_idx], oi_code))
+            p_order = np.concatenate((comp_end_seq[proc_idx], oi_order))
+            p_src = np.concatenate(
+                (
+                    comp_src[proc_idx],
+                    n + nb + np.arange(nc, dtype=np.int64),
+                )
+            )
+            p_key_t = np.concatenate(
+                (np.zeros(np_proc, np.float64), oi_key_t)
+            )
+            p_key_q = np.concatenate(
+                (np.full(np_proc, -1, np.int64), oi_key_q)
+            )
+        else:
+            p_from, p_xa = proc_end, proc_end + ttl
+            p_exp = exp_seq_proc
+            p_node = comp_node[proc_idx]
+            p_gid = comp_gid[proc_idx]
+            p_mem = comp_mem[proc_idx]
+            p_code = comp_code[proc_idx]
+            p_order = comp_end_seq[proc_idx]
+            p_src = comp_src[proc_idx]
+            p_key_t = np.zeros(np_proc, np.float64)
+            p_key_q = np.full(np_proc, -1, np.int64)
+        p_reused = reused_arr[p_src]
+        p_fired = ~p_reused & (p_xa <= last_t)
+        p_keep = ~p_reused & (p_xa > last_t)
+
+        # memory calendar: +mem at each cold arrival, -mem at each
+        # in-slab expiry, in the reference heap order per node
+        a_idx = np.nonzero(cold_arr)[0]
+        f_idx = np.nonzero(p_fired)[0]
+        ev_time = np.concatenate((ts[a_idx], p_xa[f_idx]))
+        ev_phase = np.concatenate((
+            np.ones(a_idx.size, np.uint8),
+            np.zeros(f_idx.size, np.uint8),
+        ))
+        ev_tie = np.concatenate((seq0 + a_idx, p_exp[f_idx]))
+        ev_node = np.concatenate((node_idx[a_idx], p_node[f_idx]))
+        ev_delta = np.concatenate((req_mem[a_idx], -p_mem[f_idx]))
+        eo = _event_order(ev_time, ev_phase, ev_tie)
+        order = eo[_group_stable(ev_node[eo])]
+        s_alloc = ev_phase[order] == 1
+        s_delta = ev_delta[order]
+        counts = np.bincount(ev_node, minlength=n_nodes)
+        bounds = np.zeros(n_nodes + 1, np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        new_used = np.empty(n_nodes, np.float64)
+        for b, node in enumerate(self.nodes):
+            lo, hi = int(bounds[b]), int(bounds[b + 1])
+            block = np.empty(hi - lo + 1, np.float64)
+            block[0] = node.used_memory_mb
+            block[1:] = s_delta[lo:hi]
+            usage = np.cumsum(block)
+            admitted = usage[1:][s_alloc[lo:hi]]
+            if bool(np.any(admitted > node.memory_capacity_mb)):
+                # the scalar engine would evict or queue here, and pool
+                # replays assumed neither: fall back entirely
+                return False
+            new_used[b] = usage[-1]
+
+        if busy_cap is not None and not self._bulk_busy_ok(
+            ts, node_idx, comp_end[proc_idx], comp_tie[proc_idx],
+            comp_node[proc_idx], seq0, busy_cap,
+        ):
+            return False
+
+        still = np.nonzero(~processed)[0]
+        busy_after = np.bincount(comp_node[still], minlength=n_nodes)
+
+        # drain residue: remaining idle expiries fire first (all at most
+        # last_t + ttl), then each outstanding completion's eventual
+        # expiry, ordered exactly as the reference drain would fire them
+        kA = np.nonzero(p_keep)[0]
+        kA = kA[np.lexsort((p_exp[kA], p_xa[kA]))]
+        kB = still[np.lexsort((comp_end_seq[still], comp_end[still]))]
+        d_node = np.concatenate((p_node[kA], comp_node[kB]))
+        d_mem = np.concatenate((p_mem[kA], comp_mem[kB]))
+        final_used = new_used.copy()
+        drain_clock = last_t
+        if d_node.size:
+            pos = np.arange(d_node.size, dtype=np.int64)
+            do = np.lexsort((pos, d_node))
+            s_node2 = d_node[do]
+            s_mem2 = d_mem[do]
+            counts2 = np.bincount(s_node2, minlength=n_nodes)
+            bounds2 = np.zeros(n_nodes + 1, np.int64)
+            np.cumsum(counts2, out=bounds2[1:])
+            for b in range(n_nodes):
+                lo, hi = int(bounds2[b]), int(bounds2[b + 1])
+                block = np.empty(hi - lo + 1, np.float64)
+                block[0] = new_used[b]
+                block[1:] = -s_mem2[lo:hi]
+                final_used[b] = float(np.cumsum(block)[-1])
+            drain_clock = float(
+                comp_end[kB[-1]] + ttl if kB.size else p_xa[kA[-1]]
+            )
+
+        key_time, key_tie = self._pool_creation_keys(
+            ts, gid, p_from, p_xa, p_exp, p_order, p_gid, p_src, p_key_t,
+            p_key_q, p_fired, p_reused, p_keep, reuse_src_arr, seq0,
+            n, nb, n_pools, len(self.nodes) * n_words,
+        )
+
+        # -- commit ----------------------------------------------------
+        self._seq_n += n + np_proc
+        self._sandbox_n += int(cold_arr.sum())
+        self._clock = last_t
+        start_vec = np.where(cold_arr, cstart, ts)
+        self._store.extend(
+            self._store_codes()[codes], self._node_ids()[node_idx],
+            ts, start_vec, end_new, cold=cold_arr, ok=True,
+        )
+        for b, node in enumerate(self.nodes):
+            node.busy_count = int(busy_after[b])
+            node.used_memory_mb = float(new_used[b])
+        if still.size or kA.size:
+            keep_idx = np.nonzero(p_keep)[0]
+            keep_idx = keep_idx[np.lexsort(
+                (p_order[keep_idx], p_from[keep_idx], p_gid[keep_idx])
+            )]
+            self._tail = _BulkTail(
+                ttl=ttl,
+                words=words,
+                final_used=final_used,
+                drain_clock=drain_clock,
+                ends=comp_end[still],
+                seqs=comp_end_seq[still],
+                node_idx=comp_node[still],
+                mem_mb=comp_mem[still],
+                codes=comp_code[still],
+                idle_from=p_from[keep_idx],
+                idle_xa=p_xa[keep_idx],
+                idle_seq=p_exp[keep_idx],
+                idle_order=p_order[keep_idx],
+                idle_node=p_node[keep_idx],
+                idle_mem=p_mem[keep_idx],
+                idle_codes=p_code[keep_idx],
+                idle_key_time=key_time[keep_idx],
+                idle_key_tie=key_tie[keep_idx],
+            )
+        else:
+            self._tail = None
+        return True
+
+    def _bulk_busy_ok(
+        self,
+        ts: npt.NDArray[np.float64],
+        node_idx: npt.NDArray[np.int64],
+        proc_end: npt.NDArray[np.float64],
+        proc_tie: npt.NDArray[np.int64],
+        proc_node: npt.NDArray[np.int64],
+        seq0: int,
+        busy_cap: int,
+    ) -> bool:
+        """Validate speculative load-bounded picks: the picked node's
+        busy count, at the moment each request was placed, must stay
+        below ``busy_cap`` (else the scalar scheduler would have made a
+        different choice)."""
+        n = int(ts.size)
+        n_nodes = len(self.nodes)
+        sub = np.arange(n, dtype=np.int64)
+        b_time = np.concatenate((ts, proc_end))
+        b_phase = np.concatenate(
+            (np.ones(n, np.uint8), np.zeros(proc_end.size, np.uint8))
+        )
+        b_tie = np.concatenate((seq0 + sub, proc_tie))
+        b_node = np.concatenate((node_idx, proc_node))
+        order = np.lexsort((b_tie, b_phase, b_time, b_node))
+        s_start = b_phase[order] == 1
+        counts = np.bincount(b_node, minlength=n_nodes)
+        bounds = np.zeros(n_nodes + 1, np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        for b, node in enumerate(self.nodes):
+            lo, hi = int(bounds[b]), int(bounds[b + 1])
+            starts = s_start[lo:hi]
+            busy = np.empty(hi - lo + 1, np.int64)
+            busy[0] = node.busy_count
+            busy[1:] = np.where(starts, 1, -1)
+            trail = np.cumsum(busy)
+            if bool(np.any(trail[1:][starts] - 1 >= busy_cap)):
+                return False
+        return True
+
+    def _pool_creation_keys(
+        self,
+        ts: npt.NDArray[np.float64],
+        gid: npt.NDArray[np.int64],
+        p_from: npt.NDArray[np.float64],
+        p_xa: npt.NDArray[np.float64],
+        p_exp: npt.NDArray[np.int64],
+        p_order: npt.NDArray[np.int64],
+        p_gid: npt.NDArray[np.int64],
+        p_src: npt.NDArray[np.int64],
+        p_key_t: npt.NDArray[np.float64],
+        p_key_q: npt.NDArray[np.int64],
+        p_fired: npt.NDArray[np.bool_],
+        p_reused: npt.NDArray[np.bool_],
+        p_keep: npt.NDArray[np.bool_],
+        reuse_src_arr: npt.NDArray[np.int64],
+        seq0: int,
+        n: int,
+        nb: int,
+        n_pools: int,
+        n_gids: int,
+    ) -> tuple[npt.NDArray[np.float64], npt.NDArray[np.int64]]:
+        """Stack-creation keys for pools that carry idle sandboxes out.
+
+        The reference engine's ``node.idle`` dict orders keys by
+        insertion, and ``lru_idle`` tie-breaks on that order, so the
+        carry must remember when each surviving stack last went
+        empty-to-non-empty.  Each pool's appends (completions idling),
+        reuses (pops), and expiries replay as one global event list --
+        lexsorted by pool, then segmented-cumsum'd to find each pool's
+        latest 0->1 occupancy transition; if a surviving stack never
+        emptied this slab, the key carried from the previous chunk
+        persists.
+        """
+        key_time = np.zeros(p_from.size, np.float64)
+        key_tie = np.zeros(p_from.size, np.int64)
+        if not bool(p_keep.any()):
+            return key_time, key_tie
+        keep_gids = np.unique(p_gid[p_keep])
+        np_rows = int(p_gid.size)
+        # pop events come straight from the consumer arrivals: a warm
+        # reuse always pops from its own pool, so the consumer's gid is
+        # the popped slot's gid and the consumer index is the tie
+        if int(keep_gids.size) == n_pools:
+            # every slab pool survives: no membership filter needed
+            rows = np.arange(np_rows, dtype=np.int64)
+            a_g, a_t, a_tie = p_gid, p_from, p_order
+            k_cons = np.nonzero(reuse_src_arr >= 0)[0]
+            rf = np.nonzero(p_fired)[0]
+        else:
+            keep_mask = np.zeros(n_gids, np.bool_)
+            keep_mask[keep_gids] = True
+            pm = keep_mask[p_gid]
+            rows = np.nonzero(pm)[0]
+            a_g, a_t = p_gid[rows], p_from[rows]
+            a_tie = p_order[rows]
+            k_cons = np.nonzero(
+                (reuse_src_arr >= 0) & keep_mask[gid]
+            )[0]
+            rf = np.nonzero(pm & p_fired)[0]
+        na, nr, nf = rows.size, k_cons.size, rf.size
+        ne = na + nr + nf
+        ev_g = np.concatenate((a_g, gid[k_cons], p_gid[rf]))
+        ev_t = np.concatenate((a_t, ts[k_cons], p_xa[rf]))
+        ev_ph = np.zeros(ne, np.uint8)
+        ev_ph[na:na + nr] = 1  # reuse pops sort after same-time appends
+        ev_tie = np.concatenate((a_tie, seq0 + k_cons, p_exp[rf]))
+        eo = _event_order(ev_t, ev_ph, ev_tie)
+        so = eo[_group_stable(ev_g[eo])]
+        g_s = ev_g[so]
+        head = np.empty(ne, np.bool_)
+        head[0] = True
+        np.not_equal(g_s[1:], g_s[:-1], out=head[1:])
+        seg = np.nonzero(head)[0]
+        seg_len = np.diff(np.append(seg, ne))
+        seg_id = np.repeat(
+            np.arange(seg.size, dtype=np.int64), seg_len
+        )
+        d_s = np.where(so < na, np.int64(1), np.int64(-1))
+        run = np.cumsum(d_s)
+        base = np.zeros(seg.size, np.int64)
+        base[1:] = run[seg[1:] - 1]
+        # latest append that found its stack empty, per pool: every
+        # segment opens with a create, so the last create at or before
+        # the segment's final event is the one that named the stack
+        ci = np.nonzero((d_s == 1) & (run - base[seg_id] == 1))[0]
+        ends = np.empty(seg.size, np.int64)
+        ends[:-1] = seg[1:]
+        ends[-1] = ne
+        latest = ci[np.searchsorted(ci, ends) - 1]
+        so_latest = so[latest]
+        r0 = rows[so_latest]
+        carried = p_src[r0] >= n + nb
+        # carried == stack never emptied since the previous chunk: the
+        # dict key predates this slab
+        kt = np.where(carried, p_key_t[r0], ev_t[so_latest])
+        kq = np.where(carried, p_key_q[r0], ev_tie[so_latest])
+        # only surviving rows' keys are ever read, and the grouped
+        # event list is ascending in gid, so a binary search maps each
+        # kept row straight to its pool's segment
+        krows = np.nonzero(p_keep)[0]
+        kseg = np.searchsorted(g_s[seg], p_gid[krows])
+        key_time[krows] = kt[kseg]
+        key_tie[krows] = kq[kseg]
+        return key_time, key_tie
+
+    def _replay_complex_pools(
+        self,
+        order: npt.NDArray[np.int64],
+        d_start: npt.NDArray[np.int64],
+        d_len: npt.NDArray[np.int64],
+        complex_d: npt.NDArray[np.bool_],
+        flag_rank_d: npt.NDArray[np.int64],
+        slot1: tuple[
+            npt.NDArray[np.float64],
+            npt.NDArray[np.int64],
+            npt.NDArray[np.int64],
+        ],
+        slot2: tuple[
+            npt.NDArray[np.float64],
+            npt.NDArray[np.int64],
+            npt.NDArray[np.int64],
+        ],
+        g_sorted: npt.NDArray[np.int64],
+        ts: npt.NDArray[np.float64],
+        gid: npt.NDArray[np.int64],
+        svc_req: npt.NDArray[np.float64],
+        cstart: npt.NDArray[np.float64],
+        ttl: float,
+        seq0: int,
+        n: int,
+        nb: int,
+        n_words: int,
+        ob_end: npt.NDArray[np.float64],
+        ob_seq: npt.NDArray[np.int64],
+        ob_node: npt.NDArray[np.int64],
+        ob_code: npt.NDArray[np.int64],
+        oi_from: npt.NDArray[np.float64],
+        oi_xa: npt.NDArray[np.float64],
+        oi_order: npt.NDArray[np.int64],
+        oi_node: npt.NDArray[np.int64],
+        oi_code: npt.NDArray[np.int64],
+        cold_arr: npt.NDArray[np.bool_],
+        end_new: npt.NDArray[np.float64],
+        reuse_src_arr: npt.NDArray[np.int64],
+        reused_arr: npt.NDArray[np.bool_],
+    ) -> None:
+        """Exact heap-and-deque replay of the *complex* pools -- the
+        ones the lockstep scan could not carry because three sandboxes
+        were live at once.  Pools are independent, so each replays only
+        its own requests in arrival order.  A pool flagged mid-scan
+        (``flag_rank >= 0``) resumes from its frozen two-slot state --
+        the scan's earlier decisions stand; a pool complex from the
+        start (more than two carried rows) replays from rank 0 off the
+        carried arrays."""
+        busy_g: dict[int, list[tuple[float, int, int]]] = {}
+        idle_g: dict[int, deque[tuple[float, int, int, float]]] = {}
+        parts: list[npt.NDArray[np.int64]] = []
+        cat_a = np.nonzero(complex_d & (flag_rank_d < 0))[0]
+        cat_b = np.nonzero(flag_rank_d >= 0)[0]
+        if cat_a.size:
+            gids_a = set(g_sorted[d_start[cat_a]].tolist())
+            for p in cat_a.tolist():
+                parts.append(order[d_start[p]:d_start[p] + d_len[p]])
+            if nb:
+                for r, (e, q, g) in enumerate(zip(
+                    ob_end.tolist(), ob_seq.tolist(),
+                    (ob_node * n_words + ob_code).tolist(),
+                )):
+                    if g in gids_a:
+                        busy_g.setdefault(g, []).append((e, q, n + r))
+                for h in busy_g.values():
+                    heapq.heapify(h)
+            if oi_from.size:
+                # idle rows are stored sorted by (pool, idled-at,
+                # append sequence) == stack append order: plain appends
+                # rebuild each deque exactly
+                for r, (f0, o_ord, g, xa) in enumerate(zip(
+                    oi_from.tolist(), oi_order.tolist(),
+                    (oi_node * n_words + oi_code).tolist(),
+                    oi_xa.tolist(),
+                )):
+                    if g not in gids_a:
+                        continue
+                    dq0 = idle_g.get(g)
+                    if dq0 is None:
+                        dq0 = idle_g[g] = deque()
+                    dq0.append((f0, o_ord, n + nb + r, xa))
+        if cat_b.size:
+            # frozen pools hold at most two sandboxes; seeding them
+            # busy is exact even if idle or expired -- the loop's lazy
+            # transfer and pruning replay the same (time, tie, expiry)
+            e1, q1, s1 = slot1
+            e2, q2, s2 = slot2
+            gbs = g_sorted[d_start[cat_b]].tolist()
+            for p, g, ea, qa, sa, eb, qb, sb, fr in zip(
+                cat_b.tolist(), gbs,
+                e1[cat_b].tolist(), q1[cat_b].tolist(),
+                s1[cat_b].tolist(),
+                e2[cat_b].tolist(), q2[cat_b].tolist(),
+                s2[cat_b].tolist(), flag_rank_d[cat_b].tolist(),
+            ):
+                seed = [(e, q, s) for e, q, s in
+                        ((ea, qa, sa), (eb, qb, sb)) if s >= 0]
+                if seed:
+                    seed.sort()
+                    busy_g[g] = seed
+                parts.append(
+                    order[d_start[p] + fr:d_start[p] + d_len[p]]
+                )
+        k_sub = np.sort(np.concatenate(parts))
+        cold_arr[k_sub] = False
+        heappush, heappop = heapq.heappush, heapq.heappop
+        for k, t, g, sv, cs in zip(
+            k_sub.tolist(), ts[k_sub].tolist(), gid[k_sub].tolist(),
+            svc_req[k_sub].tolist(), cstart[k_sub].tolist(),
+        ):
+            bh = busy_g.get(g)
+            if bh and bh[0][0] <= t:
+                dq = idle_g.get(g)
+                if dq is None:
+                    dq = idle_g[g] = deque()
+                # completions transfer to the idle stack in heap order
+                while bh and bh[0][0] <= t:
+                    e, q, src = heappop(bh)
+                    dq.append((e, q, src, e + ttl))
+            dq = idle_g.get(g)
+            warm = False
+            if dq:
+                # expiries strictly precede this arrival's processing
+                while dq and dq[0][3] <= t:
+                    dq.popleft()
+                if dq:
+                    src = dq.pop()[2]  # LIFO: most recently idled
+                    reused_arr[src] = True
+                    reuse_src_arr[k] = src
+                    warm = True
+            if warm:
+                e = t + sv
+            else:
+                cold_arr[k] = True
+                e = cs + sv
+            end_new[k] = e
+            if bh is None:
+                bh = busy_g[g] = []
+            heappush(bh, (e, seq0 + k, k))
 
     def _invoke_loop(
         self,
@@ -689,8 +1623,8 @@ class FaaSCluster:
             invoke(t, w)
 
     def _materialize_tail(self) -> None:
-        """Turn a bulk slab's outstanding completions into ordinary heap
-        events so scalar traffic can interleave with them exactly."""
+        """Turn a bulk carry into ordinary heap events and node state so
+        scalar traffic can interleave with it exactly."""
         tail = self._tail
         if tail is None:
             return
@@ -699,7 +1633,7 @@ class FaaSCluster:
         words = tail.words
         for j in range(int(tail.ends.size)):
             sandbox = _Sandbox(
-                sandbox_id=int(tail.sids[j]),
+                sandbox_id=j,
                 workload_id=words[int(tail.codes[j])],
                 memory_mb=float(tail.mem_mb[j]),
             )
@@ -713,16 +1647,49 @@ class FaaSCluster:
                     (node, sandbox),
                 ),
             )
+        if not tail.idle_from.size:
+            return
+        # Warm idle sandboxes: rebuild each node's per-workload stacks
+        # in the reference engine's dict-key creation order (lru_idle
+        # tie-breaks on it), each stack in append order, and requeue the
+        # pending expiries under their original sequence numbers.  The
+        # generation handshake (sandbox at 1, event carrying 1) makes
+        # any later reuse or eviction stale the queued expiry, exactly
+        # like the scalar bookkeeping.
+        mo = np.lexsort((
+            tail.idle_order, tail.idle_from,
+            tail.idle_key_tie, tail.idle_key_time, tail.idle_node,
+        ))
+        for j in mo.tolist():
+            node = self.nodes[int(tail.idle_node[j])]
+            wid = words[int(tail.idle_codes[j])]
+            sandbox = _Sandbox(
+                sandbox_id=-1 - j,
+                workload_id=wid,
+                memory_mb=float(tail.idle_mem[j]),
+                idle_since=float(tail.idle_from[j]),
+                expire_generation=1,
+            )
+            node.push_idle(sandbox)
+            heapq.heappush(
+                heap,
+                (
+                    float(tail.idle_xa[j]),
+                    int(tail.idle_seq[j]),
+                    "expire",
+                    (node, sandbox, 1),
+                ),
+            )
 
     def _finalize_tail(self) -> None:
-        """Drain-time shortcut: apply every outstanding bulk completion
-        in one pass (busy to zero, the precomputed exactly-ordered
-        memory residue, clock to the last completion)."""
+        """Drain-time shortcut: apply everything the carry still owes in
+        one pass (busy to zero, the precomputed exactly-ordered memory
+        residue, clock to the last completion or expiry)."""
         tail = self._tail
         if tail is None:
             return
         self._tail = None
-        self._clock = max(self._clock, float(tail.ends.max()))
+        self._clock = max(self._clock, tail.drain_clock)
         for b, node in enumerate(self.nodes):
             node.busy_count = 0
             node.used_memory_mb = float(tail.final_used[b])
@@ -891,7 +1858,7 @@ class FaaSCluster:
         node.busy_count -= 1
         sandbox.idle_since = now
         sandbox.expire_generation += 1
-        node.idle.setdefault(sandbox.workload_id, []).append(sandbox)
+        node.push_idle(sandbox)
         ttl = self.keepalive.ttl_s(sandbox.workload_id)
         if ttl <= 0:
             node.remove_idle(sandbox)
@@ -940,3 +1907,41 @@ class FaaSCluster:
             if not self._try_start(node, arrival_s, workload_id):
                 return
             node.pending.pop(0)
+
+
+# ----------------------------------------------------------------------
+# streaming helpers
+# ----------------------------------------------------------------------
+def iter_trace_slabs(
+    timestamps_s: npt.ArrayLike,
+    workload_ids: Sequence[str],
+    *,
+    chunk_rows: int = 65_536,
+) -> Iterator[tuple[npt.NDArray[np.float64], Sequence[str]]]:
+    """Slice one materialised trace into bounded slabs for
+    :meth:`FaaSCluster.invoke_chunked`.
+
+    Timestamp slabs are zero-copy views; workload-id slabs are list
+    slices.  Mostly useful for tests and for replaying traces that are
+    already in memory -- a generator reading a trace file directly (one
+    slab per read) plugs into ``invoke_chunked`` the same way without
+    ever materialising the whole trace.
+    """
+    if chunk_rows <= 0:
+        raise ValueError("chunk_rows must be positive")
+    ts = np.asarray(timestamps_s, dtype=np.float64)
+    if ts.ndim != 1:
+        raise ValueError("timestamps_s must be one-dimensional")
+    n = int(ts.size)
+    if n != len(workload_ids):
+        raise ValueError(
+            f"got {n} timestamps but {len(workload_ids)} workload ids"
+        )
+    wids = (
+        workload_ids
+        if isinstance(workload_ids, list)
+        else list(workload_ids)
+    )
+    for lo in range(0, n, chunk_rows):
+        hi = min(lo + chunk_rows, n)
+        yield ts[lo:hi], wids[lo:hi]

@@ -15,6 +15,7 @@ from repro.platform import (
     OutageWindow,
     PlatformTracer,
     WorkloadProfile,
+    iter_trace_slabs,
     lifecycle_summary,
     summarize,
 )
@@ -166,6 +167,44 @@ class TestFaultyBackend:
         fb = FaultyBackend(cluster, FaultProfile())
         assert fb.records is cluster.records
         assert fb.clock_s == 0.0
+
+    def test_gauntlet_draws_identically_scalar_bulk_chunked(self):
+        """The fault gauntlet consumes the same RNG stream no matter how
+        requests are submitted, so injected counts, spike rewrites, and
+        the simulator records are byte-identical across modes."""
+        trace = make_trace(n=400, horizon=120.0, seed=3)
+        profile = FaultProfile(latency_spike_rate=0.3,
+                               latency_spike_ms=250.0, seed=11)
+
+        def run(mode):
+            fb = FaultyBackend(make_cluster(), profile)
+            ts, wids = trace.timestamps_s, list(trace.workload_ids)
+            if mode == "scalar":
+                for t, w in zip(ts.tolist(), wids):
+                    fb.invoke(t, w)
+            elif mode == "bulk":
+                fb.invoke_many(ts, wids)
+            else:
+                fb.invoke_chunked(iter_trace_slabs(ts, wids, chunk_rows=7))
+            return (fb._rng.bit_generator.state, dict(fb.injected),
+                    fb.drain())
+
+        state_s, injected_s, records_s = run("scalar")
+        for mode in ("bulk", "chunked"):
+            state, injected, records = run(mode)
+            assert state == state_s, mode
+            assert injected == injected_s, mode
+            assert records == records_s, mode
+        assert injected_s["spike"] > 0
+
+    def test_chunked_cannot_bypass_gauntlet(self):
+        """invoke_chunked must inject even though the inner cluster also
+        defines invoke_chunked (no __getattr__ forwarding)."""
+        fb = FaultyBackend(make_cluster(), FaultProfile(error_rate=1.0))
+        with pytest.raises(InvocationFault):
+            fb.invoke_chunked(iter_trace_slabs(
+                np.array([0.0]), ["w"], chunk_rows=1))
+        assert fb.injected["error"] == 1
 
 
 class TestSimulatorCrashHook:

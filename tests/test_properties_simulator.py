@@ -27,6 +27,7 @@ from repro.platform import (
     PlatformTracer,
     RandomScheduler,
     WorkloadProfile,
+    iter_trace_slabs,
 )
 
 try:
@@ -143,11 +144,101 @@ def check_pick_many_stream_equality(seed, n, crash):
     nodes = list(range(4))  # pick_many only reads len(nodes)
     batched = RandomScheduler(seed=seed)
     sequential = RandomScheduler(seed=seed)
-    many = batched.pick_many(nodes, n)
-    ones = [sequential.pick(nodes, f"w{i}") for i in range(n)]
+    wids = [f"w{i}" for i in range(n)]
+    many = batched.pick_many(nodes, wids)
+    ones = [sequential.pick(nodes, w) for w in wids]
     assert many.tolist() == ones
     # and the generators are left in the same state: further draws agree
     assert batched.pick(nodes, "x") == sequential.pick(nodes, "x")
+
+
+def check_warm_pool_bounded_by_ttl_window(seed, n, crash):
+    """Warm-pool size never exceeds the completions of the trailing TTL
+    window: every idle sandbox went idle within the last ``ttl`` seconds
+    (anything older must have expired or been reused), so at any probe
+    instant ``idle_count <= |{records: clock - ttl < end <= clock}|``."""
+    del crash
+    ttl = 0.75
+    ts, wids = make_load(seed, n)
+    cluster = FaaSCluster(
+        make_profiles(),
+        n_nodes=2,
+        node_memory_mb=4096.0,
+        keepalive=FixedKeepAlive(ttl),
+        scheduler=RandomScheduler(seed=seed),
+    )
+    for t, w in zip(ts.tolist(), wids):
+        cluster.invoke(t, w)
+        now = cluster.clock_s
+        idle = sum(node.idle_count for node in cluster.nodes)
+        admitted = sum(
+            1 for r in cluster.records if now - ttl < r.end_s <= now
+        )
+        assert idle <= admitted
+    cluster.drain()
+    assert sum(node.idle_count for node in cluster.nodes) == 0
+
+
+def check_jitter_stream_equality(seed, n, crash):
+    """Bulk submission consumes the jitter stream exactly like scalar
+    submission: identical records *and* identical RNG end state."""
+    del crash
+    ts, wids = make_load(seed, n)
+    kwargs = dict(
+        n_nodes=2,
+        node_memory_mb=16384.0,
+        keepalive=FixedKeepAlive(2.0),
+        service_time_cv=0.7,
+    )
+    scalar = FaaSCluster(
+        make_profiles(), scheduler=RandomScheduler(seed=seed),
+        seed=seed, **kwargs,
+    )
+    for t, w in zip(ts.tolist(), wids):
+        scalar.invoke(t, w)
+    bulk = FaaSCluster(
+        make_profiles(), scheduler=RandomScheduler(seed=seed),
+        seed=seed, **kwargs,
+    )
+    bulk.invoke_many(ts, wids)
+    assert bulk._rng.bit_generator.state == scalar._rng.bit_generator.state
+    assert bulk.drain() == scalar.drain()
+
+
+def check_chunk_size_invariance(seed, n, crash):
+    """Chunked submission is invariant to the chunk size: 1, 7, 4096,
+    and all-in-one all produce byte-identical runs."""
+    del crash
+    ts, wids = make_load(seed, n)
+
+    def run(chunk_rows):
+        cluster = FaaSCluster(
+            make_profiles(),
+            n_nodes=2,
+            node_memory_mb=16384.0,
+            keepalive=FixedKeepAlive(1.0),
+            scheduler=RandomScheduler(seed=seed),
+            service_time_cv=0.4,
+            seed=seed,
+        )
+        if chunk_rows is None:
+            cluster.invoke_many(ts, wids)
+        else:
+            cluster.invoke_chunked(
+                iter_trace_slabs(ts, wids, chunk_rows=chunk_rows)
+            )
+        return (
+            cluster.drain(),
+            cluster.clock_s,
+            [
+                (nd.used_memory_mb, nd.busy_count, nd.idle_count)
+                for nd in cluster.nodes
+            ],
+        )
+
+    baseline = run(None)
+    for chunk_rows in (1, 7, 4096):
+        assert run(chunk_rows) == baseline, f"chunk_rows={chunk_rows}"
 
 
 CHECKS = [
@@ -155,6 +246,9 @@ CHECKS = [
     check_memory_capacity,
     check_conservation,
     check_pick_many_stream_equality,
+    check_warm_pool_bounded_by_ttl_window,
+    check_jitter_stream_equality,
+    check_chunk_size_invariance,
 ]
 
 
@@ -195,6 +289,21 @@ if HAVE_HYPOTHESIS:
     @given(seed=st.integers(0, 2**31 - 1), n=st.integers(0, 200))
     def test_hypothesis_pick_many_stream_equality(seed, n):
         check_pick_many_stream_equality(seed, n, False)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), n=st.integers(1, 250))
+    def test_hypothesis_warm_pool_bounded_by_ttl_window(seed, n):
+        check_warm_pool_bounded_by_ttl_window(seed, n, False)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), n=st.integers(1, 250))
+    def test_hypothesis_jitter_stream_equality(seed, n):
+        check_jitter_stream_equality(seed, n, False)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), n=st.integers(1, 250))
+    def test_hypothesis_chunk_size_invariance(seed, n):
+        check_chunk_size_invariance(seed, n, False)
 
 
 # ---------------------------------------------------------------------------

@@ -27,6 +27,7 @@ from repro.platform import (
     RandomScheduler,
     ReactiveAutoscaler,
     WorkloadProfile,
+    iter_trace_slabs,
     summarize,
     summarize_columns,
 )
@@ -68,10 +69,31 @@ def make_load(seed, n=300, horizon_s=20.0, n_workloads=6):
     return ts, wids
 
 
-def run_engine(cls, ts, wids, make_kwargs, *, batch=False):
+def submit(cluster, ts, wids, mode):
+    """Feed one load through a cluster in the given submission mode."""
+    if mode == "scalar":
+        for t, w in zip(ts.tolist(), wids):
+            cluster.invoke(t, w)
+    elif mode == "bulk":
+        cluster.invoke_many(ts, wids)
+    elif mode == "mixed":
+        half = len(wids) // 2
+        cluster.invoke_many(ts[:half], wids[:half])
+        for t, w in zip(ts[half:].tolist(), wids[half:]):
+            cluster.invoke(t, w)
+    elif mode.startswith("chunked"):
+        chunk = int(mode.split("-")[1])
+        cluster.invoke_chunked(iter_trace_slabs(ts, wids, chunk_rows=chunk))
+    else:
+        raise ValueError(mode)
+
+
+def run_engine(cls, ts, wids, make_kwargs, *, batch=False, mode=None):
     """One full run on a freshly-built cluster; returns its observables."""
     cluster = cls(make_profiles(), **make_kwargs())
-    if batch:
+    if mode is not None:
+        submit(cluster, ts, wids, mode)
+    elif batch:
         cluster.invoke_many(ts, wids)
     else:
         for t, w in zip(ts.tolist(), wids):
@@ -90,9 +112,10 @@ def run_engine(cls, ts, wids, make_kwargs, *, batch=False):
     }
 
 
-def assert_equivalent(ts, wids, make_kwargs, *, batch=False):
+def assert_equivalent(ts, wids, make_kwargs, *, batch=False, mode=None):
     ref = run_engine(ObjectFaaSCluster, ts, wids, make_kwargs)
-    vec = run_engine(FaaSCluster, ts, wids, make_kwargs, batch=batch)
+    vec = run_engine(FaaSCluster, ts, wids, make_kwargs,
+                     batch=batch, mode=mode)
     assert vec["records"] == ref["records"]
     assert vec["clock"] == ref["clock"]
     assert vec["dropped"] == ref["dropped"]
@@ -352,6 +375,193 @@ def test_invoke_many_input_validation():
         cluster.invoke_many(np.zeros(3), ["w0"] * 2)
     cluster.invoke_many(np.empty(0), [])  # no-op, not an error
     assert cluster.drain() == []
+
+
+# ---------------------------------------------------------------------------
+# the widened bulk envelope: keep-alive x jitter x submission x scheduler
+# ---------------------------------------------------------------------------
+#: Schedulers that keep a multi-node slab on the fast path (the rest are
+#: exercised single-node by the matrix below).
+BULK_SCHEDULERS = {
+    "random": lambda: RandomScheduler(seed=7),
+    "hash": lambda: HashAffinityScheduler(spill_threshold=64),
+    "least-loaded": LeastLoadedScheduler,
+}
+
+BULK_MODES = ("bulk", "mixed", "chunked-7", "chunked-64")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("ka", ["none", "fixed-short", "fixed-long"])
+@pytest.mark.parametrize("cv", [0.0, 0.6], ids=["nojit", "jitter"])
+@pytest.mark.parametrize("mode", BULK_MODES)
+@pytest.mark.parametrize("sched", sorted(BULK_SCHEDULERS))
+def test_bulk_envelope_matrix(seed, ka, cv, mode, sched):
+    """Byte-identity across the full widened envelope, with proof that
+    every cell actually engages the vectorised path."""
+    keepalive = {
+        "none": NoKeepAlive,
+        "fixed-short": lambda: FixedKeepAlive(0.8),
+        "fixed-long": lambda: FixedKeepAlive(30.0),
+    }[ka]
+    ts, wids = make_load(seed)
+    make_kwargs = lambda: dict(  # noqa: E731
+        n_nodes=1 if sched == "least-loaded" else 3,
+        node_memory_mb=16384.0,
+        keepalive=keepalive(),
+        scheduler=BULK_SCHEDULERS[sched](),
+        service_time_cv=cv,
+        seed=seed,
+    )
+    # prove the vectorised path engages for every slab of this cell
+    probe = FaaSCluster(make_profiles(), **make_kwargs())
+    submit(probe, ts, wids, "bulk" if mode == "mixed" else mode)
+    assert probe._tail is not None and not probe._heap, (
+        "bulk path did not engage; this cell would only re-test the "
+        "scalar loop"
+    )
+    assert_equivalent(ts, wids, make_kwargs, mode=mode)
+
+
+@pytest.mark.parametrize("mode", BULK_MODES)
+def test_zero_ttl_fixed_keepalive_is_bulk_teardown(mode):
+    """FixedKeepAlive(0) must behave exactly like NoKeepAlive -- and
+    still take the fast path (it routes to the teardown commit)."""
+    ts, wids = make_load(5)
+    make_kwargs = lambda: dict(  # noqa: E731
+        n_nodes=3,
+        node_memory_mb=16384.0,
+        keepalive=FixedKeepAlive(0.0),
+        scheduler=RandomScheduler(seed=7),
+    )
+    probe = FaaSCluster(make_profiles(), **make_kwargs())
+    probe.invoke_many(ts, wids)
+    assert probe._tail is not None and not probe._heap
+    assert probe._tail.ttl == 0.0 and probe._tail.idle_from.size == 0
+    assert_equivalent(ts, wids, make_kwargs, mode=mode)
+
+
+def test_keepalive_tail_interleaves_with_scalar_traffic():
+    """Scalar traffic after a keep-alive slab must see the carried warm
+    sandboxes (reuse, LRU eviction order, pending expiries) exactly as
+    the reference engine does."""
+    ts, wids = make_load(4, n=400)
+    half = 200
+    profiles = make_profiles()
+
+    def build(cls):
+        return cls(
+            profiles, n_nodes=2, node_memory_mb=16384.0,
+            keepalive=FixedKeepAlive(5.0), scheduler=RandomScheduler(seed=5),
+            service_time_cv=0.4, seed=9,
+        )
+
+    ref, vec = build(ObjectFaaSCluster), build(FaaSCluster)
+    for t, w in zip(ts[:half].tolist(), wids[:half]):
+        ref.invoke(t, w)
+    vec.invoke_many(ts[:half], wids[:half])
+    assert vec._tail is not None and vec._tail.idle_from.size > 0, (
+        "slab must leave warm sandboxes behind for this test to bite"
+    )
+    for t, w in zip(ts[half:].tolist(), wids[half:]):
+        ref.invoke(t, w)
+        vec.invoke(t, w)
+    assert vec.drain() == ref.drain()
+    assert vec.clock_s == ref.clock_s
+    assert [
+        (n.used_memory_mb, n.busy_count, n.idle_count) for n in vec.nodes
+    ] == [
+        (n.used_memory_mb, n.busy_count, n.idle_count) for n in ref.nodes
+    ]
+
+
+# ---------------------------------------------------------------------------
+# chunk-boundary regressions
+# ---------------------------------------------------------------------------
+def _boundary_profiles():
+    # memory 125 MiB makes the default cold model exactly 0.25 s, so
+    # every timestamp below is an exact binary float and "expiry lands
+    # exactly on an arrival" is a true float equality, not an approx
+    return {"w0": WorkloadProfile("w0", runtime_ms=125.0, memory_mb=125.0)}
+
+
+def _run_boundary(cls, ts, wids, slab_edges=None, ttl=0.65):
+    cluster = cls(
+        _boundary_profiles(), n_nodes=1, node_memory_mb=8192.0,
+        keepalive=FixedKeepAlive(ttl),
+    )
+    if slab_edges is None:
+        for t, w in zip(ts.tolist(), wids):
+            cluster.invoke(t, w)
+    else:
+        lo = 0
+        for hi in list(slab_edges) + [len(wids)]:
+            cluster.invoke_many(ts[lo:hi], wids[lo:hi])
+            lo = hi
+    records = cluster.drain()
+    node = cluster.nodes[0]
+    return records, cluster.clock_s, (
+        node.used_memory_mb, node.busy_count, node.idle_count
+    )
+
+
+def test_chunk_edge_straddled_by_tail_completion():
+    """A completion (and its later expiry) from chunk 1 lands *between*
+    chunk 2's arrivals; the carry must fold it into chunk 2's event
+    calendar at exactly the right position."""
+    # arrival 0.0: start 0.25 (cold), end 0.375, expiry 1.025
+    ts = np.array([0.0, 0.5, 0.625, 1.5])
+    wids = ["w0"] * 4
+    ref = _run_boundary(ObjectFaaSCluster, ts, wids)
+    for edges in ([1], [2], [3], [1, 2], [1, 3], [1, 2, 3]):
+        assert _run_boundary(FaaSCluster, ts, wids, edges) == ref, edges
+
+
+def test_expiry_exactly_on_slab_last_arrival():
+    """An expiry whose time equals a slab's last arrival must fire
+    *before* that arrival (heap pops events <= t), forcing a cold start
+    -- in every chunking."""
+    # arrival 0.0: end 0.375, expiry at 0.375 + 0.65 = 1.025 == arrival 3
+    ts = np.array([0.0, 1.025, 2.0])
+    wids = ["w0"] * 3
+    ref_records, ref_clock, ref_node = _run_boundary(
+        ObjectFaaSCluster, ts, wids
+    )
+    # the arrival at the expiry instant must indeed have gone cold
+    assert [r.cold for r in ref_records] == [True, True, False]
+    for edges in ([1], [2], [1, 2]):
+        got = _run_boundary(FaaSCluster, ts, wids, edges)
+        assert got == (ref_records, ref_clock, ref_node), edges
+
+
+def test_completion_exactly_on_slab_last_arrival_is_warm():
+    """The mirror case: a completion landing exactly on the slab's last
+    arrival is processed first, so that arrival reuses the sandbox."""
+    # arrival 0.0: end at 0.375 == second arrival -> warm reuse
+    ts = np.array([0.0, 0.375, 0.5])
+    wids = ["w0"] * 3
+    ref_records, ref_clock, ref_node = _run_boundary(
+        ObjectFaaSCluster, ts, wids
+    )
+    assert [r.cold for r in ref_records] == [True, False, False]
+    for edges in ([1], [2], [1, 2]):
+        got = _run_boundary(FaaSCluster, ts, wids, edges)
+        assert got == (ref_records, ref_clock, ref_node), edges
+
+
+def test_iter_trace_slabs_validation_and_coverage():
+    ts = np.arange(10, dtype=np.float64)
+    wids = [f"w{i}" for i in range(10)]
+    slabs = list(iter_trace_slabs(ts, wids, chunk_rows=4))
+    assert [len(w) for _, w in slabs] == [4, 4, 2]
+    assert np.concatenate([t for t, _ in slabs]).tolist() == ts.tolist()
+    assert [w for _, ws in slabs for w in ws] == wids
+    with pytest.raises(ValueError, match="positive"):
+        list(iter_trace_slabs(ts, wids, chunk_rows=0))
+    with pytest.raises(ValueError, match="workload ids"):
+        list(iter_trace_slabs(ts, wids[:5]))
+    with pytest.raises(ValueError, match="one-dimensional"):
+        list(iter_trace_slabs(np.zeros((2, 5)), wids))
 
 
 # ---------------------------------------------------------------------------

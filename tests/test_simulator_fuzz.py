@@ -73,6 +73,31 @@ REGRESSION_CONFIGS = [
     _cfg(seed=8, n_requests=300, horizon_s=30.0, keepalive="histogram",
          crash_rate=0.1, service_time_cv=0.8, autoscale=True,
          track_memory=True, queue_timeout_s=5.0),
+    # ISSUE 8 envelope: bulk keep-alive replay with a short TTL so warm
+    # reuses and expiries interleave inside one slab -- exercises the
+    # merged sequence assignment and per-pool creation-key replay
+    _cfg(seed=9, n_requests=400, horizon_s=8.0, keepalive="fixed",
+         keepalive_ttl=0.2, node_memory_mb=8192.0, batch="bulk"),
+    # jittered service times on the bulk path: one lognormal array draw
+    # must be stream-equal to the scalar loop's per-request draws, and
+    # the rewind on infeasible slabs must restore the jitter RNG too
+    _cfg(seed=10, n_requests=300, service_time_cv=0.8, keepalive="fixed",
+         keepalive_ttl=1.0, node_memory_mb=2048.0, batch="bulk"),
+    # tiny chunks: every slab boundary forces a _BulkTail carry, so idle
+    # stacks and outstanding completions cross chunk edges constantly
+    _cfg(seed=11, n_requests=350, horizon_s=6.0, keepalive="fixed",
+         keepalive_ttl=0.5, service_time_cv=0.6,
+         node_memory_mb=8192.0, batch="chunked", chunk_rows=1),
+    # chunked + hash-affinity spill: the busy-cap trajectory check must
+    # agree with the scalar spill decisions across slab boundaries
+    _cfg(seed=12, n_requests=400, horizon_s=4.0, scheduler="hash",
+         keepalive="fixed", keepalive_ttl=1.0, node_memory_mb=8192.0,
+         batch="chunked", chunk_rows=7),
+    # zero-TTL FixedKeepAlive must route to the teardown commit, not the
+    # keep-alive replay, under chunked submission
+    _cfg(seed=13, n_requests=200, keepalive="fixed", keepalive_ttl=0.0,
+         service_time_cv=0.4, node_memory_mb=4096.0,
+         batch="chunked", chunk_rows=64),
 ]
 
 
