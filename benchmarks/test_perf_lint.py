@@ -1,0 +1,41 @@
+"""Performance of the incremental lint driver.
+
+The warm-path contract: an unchanged tree re-analyzes zero files and the
+run costs at least 5x less than a cold whole-program analysis -- file
+hashing plus cached import closures must reconstruct every key without
+parsing a single source file.
+"""
+
+import time
+from pathlib import Path
+
+from repro.cache import ContentCache
+from repro.lint.incremental import lint_paths_incremental
+
+SRC_ROOT = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def test_perf_incremental_warm_at_least_5x_cold(tmp_path, benchmark):
+    cache = ContentCache(tmp_path / "lint-cache")
+
+    t0 = time.perf_counter()
+    cold, cold_stats = lint_paths_incremental([SRC_ROOT], cache)
+    cold_s = time.perf_counter() - t0
+    assert cold_stats.reused == 0
+    assert cold.ok, "self-run must be clean before timing means anything"
+
+    warm, warm_stats = benchmark(
+        lambda: lint_paths_incremental([SRC_ROOT], cache)
+    )
+    assert warm_stats.reanalyzed == []
+    assert warm_stats.reused == warm_stats.files_total == cold_stats.files_total
+    assert warm.findings == cold.findings
+
+    warm_s = benchmark.stats["mean"]
+    speedup = cold_s / warm_s
+    benchmark.extra_info["cold_s"] = cold_s
+    benchmark.extra_info["warm_speedup"] = speedup
+    assert speedup >= 5.0, (
+        f"warm incremental lint only {speedup:.1f}x faster than cold "
+        f"({warm_s:.3f}s vs {cold_s:.3f}s)"
+    )

@@ -43,6 +43,7 @@ __all__ = [
     "code_version",
     "fingerprint",
     "resolve_cache",
+    "tool_fingerprint",
 ]
 
 #: Bump when a cached stage's output semantics change (new RNG layout,
@@ -124,6 +125,18 @@ def fingerprint(*parts: object) -> str:
     h = hashlib.sha256()
     _update(h, parts)
     return h.hexdigest()
+
+
+def tool_fingerprint(tool: str, *parts: object) -> str:
+    """Fingerprint for non-pipeline tooling artifacts (lint results,
+    analysis caches, ...) sharing the pipeline's content store.
+
+    Namespaced under ``tool`` and :func:`code_version` so tooling
+    entries can never collide with pipeline artifacts, and a package
+    release or schema bump invalidates them wholesale -- the same
+    self-invalidation contract pipeline keys get.
+    """
+    return fingerprint("tool", tool, code_version(), *parts)
 
 
 class ContentCache:

@@ -4,6 +4,9 @@ Usage::
 
     repro-lint src/repro                  # lint a tree, console report
     repro-lint --format json src/repro    # machine-readable report
+    repro-lint --format sarif --output lint.sarif src/repro
+    repro-lint --incremental --cache-dir .lint-cache src/repro
+    repro-lint --check-pragmas src/repro  # also flag dead pragmas
     repro-lint --select det001,cache001 src/repro
     repro-lint --list-rules
 
@@ -16,9 +19,11 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
+from repro.cache import CACHE_DIR_ENV, resolve_cache
 from repro.lint.engine import all_rules, lint_paths
-from repro.lint.reporters import render_console, render_json
+from repro.lint.reporters import render_console, render_json, render_sarif
 
 __all__ = ["main"]
 
@@ -27,7 +32,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
-            "AST-based determinism & cache-safety analyzer for the "
+            "Whole-program determinism & cache-safety analyzer for the "
             "FaaSRail reproduction pipeline"
         ),
     )
@@ -36,12 +41,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src/repro)",
     )
     parser.add_argument(
-        "--format", choices=("console", "json"), default="console",
+        "--format", choices=("console", "json", "sarif"), default="console",
         help="report format (default: console)",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--select", default=None, metavar="RULES",
         help="comma-separated rule IDs or slugs to run (default: all)",
+    )
+    parser.add_argument(
+        "--check-pragmas", action="store_true",
+        help=("also report `# repro: allow-*` pragmas that suppress "
+              "nothing (requires all rules; incompatible with --select)"),
+    )
+    parser.add_argument(
+        "--incremental", action="store_true",
+        help=("reuse cached per-file results keyed on content + import "
+              "closure; needs --cache-dir or $" + CACHE_DIR_ENV),
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-cache directory for --incremental",
     )
     parser.add_argument(
         "--show-suppressed", action="store_true",
@@ -62,9 +85,35 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{rule.rule_id}  {rule.slug:20s} {rule.description}")
         return 0
 
+    if args.check_pragmas and args.select:
+        print(
+            "repro-lint: error: --check-pragmas needs every rule's "
+            "findings to know a pragma is dead; drop --select",
+            file=sys.stderr,
+        )
+        return 2
+
     select = args.select.split(",") if args.select else None
+    stats = None
     try:
-        result = lint_paths(args.paths, select=select)
+        if args.incremental:
+            cache = resolve_cache(args.cache_dir)
+            if cache is None:
+                print(
+                    "repro-lint: error: --incremental needs --cache-dir "
+                    f"or ${CACHE_DIR_ENV}",
+                    file=sys.stderr,
+                )
+                return 2
+            from repro.lint.incremental import lint_paths_incremental
+
+            result, stats = lint_paths_incremental(
+                args.paths, cache, select=select,
+                check_pragmas=args.check_pragmas,
+            )
+        else:
+            result = lint_paths(args.paths, select=select,
+                                check_pragmas=args.check_pragmas)
     except ValueError as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return 2
@@ -73,9 +122,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
 
     if args.format == "json":
-        print(render_json(result))
+        report = render_json(result)
+    elif args.format == "sarif":
+        report = render_sarif(result, root=Path.cwd())
     else:
-        print(render_console(result, show_suppressed=args.show_suppressed))
+        report = render_console(result, show_suppressed=args.show_suppressed)
+        if stats is not None:
+            report += (
+                f"\nincremental: {len(stats.reanalyzed)} re-analyzed, "
+                f"{stats.reused} reused of {stats.files_total} file(s)"
+            )
+
+    if args.output:
+        Path(args.output).write_text(report + "\n")
+    else:
+        print(report)
     return 0 if result.ok else 1
 
 

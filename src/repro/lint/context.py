@@ -11,10 +11,19 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.lint.findings import Finding
 
-__all__ = ["FileContext", "SEEDED_MODULE_PREFIXES", "dotted_name"]
+if TYPE_CHECKING:
+    from repro.lint.callgraph import ProjectContext
+
+__all__ = [
+    "DETERMINISTIC_MODULE_PREFIXES",
+    "FileContext",
+    "SEEDED_MODULE_PREFIXES",
+    "dotted_name",
+]
 
 #: Module prefixes whose code runs inside seeded, order-sensitive
 #: pipeline stages.  DET003 (unordered iteration) applies only here;
@@ -26,6 +35,27 @@ SEEDED_MODULE_PREFIXES = (
     "repro.stats",
     "repro.loadgen.generator",
     "repro.loadgen.arrivals",
+)
+
+#: Module prefixes whose outputs must be pure functions of
+#: ``(inputs, seed)`` -- the *sinks* of the interprocedural taint rule
+#: (DET005).  Superset of the seeded stages: the simulator engines and
+#: their policies, the content cache, the shard planner, and the worker
+#: shards of the load service all promise byte-identical reruns, so a
+#: wall-clock value reaching them through a helper is a contract
+#: violation even when the helper itself carries a legitimate pragma.
+DETERMINISTIC_MODULE_PREFIXES = SEEDED_MODULE_PREFIXES + (
+    "repro.platform.simulator",
+    "repro.platform.simulator_vec",
+    "repro.platform.simcore",
+    "repro.platform.schedulers",
+    "repro.platform.keepalive",
+    "repro.platform.autoscaler",
+    "repro.platform.faults",
+    "repro.platform.diffsim",
+    "repro.cache",
+    "repro.parallel",
+    "repro.loadgen.service",
 )
 
 
@@ -61,6 +91,9 @@ class FileContext:
     module_aliases: dict[str, str] = field(default_factory=dict)
     #: ``from time import perf_counter as pc`` -> {"pc": "time.perf_counter"}
     name_aliases: dict[str, str] = field(default_factory=dict)
+    #: Whole-program view; set by the engine after all files are parsed
+    #: (``None`` only while a context is being constructed).
+    project: ProjectContext | None = field(default=None, repr=False)
 
     @classmethod
     def parse(cls, path: Path, source: str | None = None) -> FileContext:
@@ -93,6 +126,10 @@ class FileContext:
     @property
     def in_seeded_package(self) -> bool:
         return self.module.startswith(SEEDED_MODULE_PREFIXES)
+
+    @property
+    def in_deterministic_scope(self) -> bool:
+        return self.module.startswith(DETERMINISTIC_MODULE_PREFIXES)
 
     # ------------------------------------------------------------------
     # name resolution

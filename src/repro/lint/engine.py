@@ -2,10 +2,15 @@
 
 A rule is a class with a ``rule_id`` (e.g. ``DET001``), a ``slug``
 (e.g. ``wall-clock``), and a ``check(ctx)`` generator yielding
-:class:`~repro.lint.findings.Finding` records.  The driver parses each
-file once, runs every selected rule over the shared
-:class:`~repro.lint.context.FileContext`, then marks findings that a
-``# repro: allow-<rule>`` pragma covers as suppressed.
+:class:`~repro.lint.findings.Finding` records.  The driver parses every
+file first, assembles the whole-program
+:class:`~repro.lint.callgraph.ProjectContext` (symbol table + call
+graph) over the parsed set, then runs every selected rule over each
+shared :class:`~repro.lint.context.FileContext` -- so per-file rules and
+interprocedural rules (DET005, CONC001/2, PAR001) share one driver and
+one pragma layer.  Findings covered by a ``# repro: allow-<rule>``
+pragma are marked suppressed; with ``check_pragmas`` the driver also
+reports pragma comments that suppressed nothing (rule ``PRAGMA001``).
 
 Rules register themselves via ``Rule.__init_subclass__``, so importing a
 rule module is all it takes to make its rules available.
@@ -19,16 +24,24 @@ from pathlib import Path
 
 from repro.lint.context import FileContext
 from repro.lint.findings import Finding
-from repro.lint.pragmas import pragma_lines
+from repro.lint.pragmas import pragma_records
 
 __all__ = [
     "LintResult",
+    "PRAGMA_RULE_ID",
     "Rule",
     "all_rules",
     "lint_file",
     "lint_paths",
     "lint_source",
 ]
+
+#: Pseudo-rule ID under which dead pragmas are reported.  Not a
+#: :class:`Rule` subclass: dead-pragma detection is a property of the
+#: suppression layer, not of any single AST pattern, and it must observe
+#: *every* rule's findings to know a pragma is dead.
+PRAGMA_RULE_ID = "PRAGMA001"
+PRAGMA_SLUG = "dead-pragma"
 
 
 class Rule:
@@ -70,6 +83,7 @@ def _load_rule_modules() -> None:
         rules_cache,
         rules_determinism,
         rules_generic,
+        rules_interproc,
         rules_telemetry,
     )
 
@@ -130,52 +144,113 @@ class LintResult:
         self.files_checked += other.files_checked
 
 
-def _apply_pragmas(findings: list[Finding], source: str) -> list[Finding]:
-    allowed = pragma_lines(source)
-    if not allowed:
-        return sorted(findings)
+def _apply_pragmas(
+    findings: list[Finding], source: str, path: Path,
+) -> tuple[list[Finding], list[Finding]]:
+    """Suppress pragma-covered findings; also return a dead-pragma
+    finding for every pragma comment that suppressed nothing."""
+    records = pragma_records(source)
+    if not records:
+        return sorted(findings), []
+    coverage: dict[int, list[int]] = {}
+    for idx, pragma in enumerate(records):
+        for line in pragma.covered:
+            coverage.setdefault(line, []).append(idx)
+    used = [False] * len(records)
     out = []
     for f in findings:
-        tokens: set[str] = set()
+        hit = False
         for line in range(f.line, max(f.line, f.end_line) + 1):
-            tokens |= allowed.get(line, set())
-        if f.rule.lower() in tokens or f.slug in tokens:
-            f = f.suppress()
-        out.append(f)
-    return sorted(out)
+            for idx in coverage.get(line, ()):
+                pragma = records[idx]
+                if f.rule.lower() in pragma.tokens or f.slug in pragma.tokens:
+                    used[idx] = True
+                    hit = True
+        out.append(f.suppress() if hit else f)
+    dead = [
+        Finding(
+            path=str(path), line=pragma.line, col=pragma.col,
+            rule=PRAGMA_RULE_ID, slug=PRAGMA_SLUG,
+            message=(f"pragma `{pragma.text}` suppresses no finding; "
+                     "remove it"),
+        )
+        for idx, pragma in enumerate(records) if not used[idx]
+    ]
+    return sorted(out), dead
 
 
-def lint_source(
-    source: str,
-    path: Path | str = "<string>",
-    rules: Sequence[Rule] | None = None,
-) -> LintResult:
-    """Lint one in-memory source blob (the test suite's entry point)."""
-    path = Path(path)
-    result = LintResult(files_checked=1)
+def _parse_context(
+    path: Path, source: str, result: LintResult,
+) -> FileContext | None:
     try:
-        ctx = FileContext.parse(path, source)
+        return FileContext.parse(path, source)
     except SyntaxError as exc:
         result.parse_errors.append(Finding(
             path=str(path), line=exc.lineno or 0, col=exc.offset or 0,
             rule="PARSE", slug="syntax-error",
             message=f"could not parse: {exc.msg}",
         ))
-        return result
-    if rules is None:
-        rules = all_rules()
+        return None
+
+
+def _lint_context(
+    ctx: FileContext,
+    rules: Sequence[Rule],
+    check_pragmas: bool = False,
+) -> LintResult:
+    """Run ``rules`` over one parsed context (``ctx.project`` must
+    already be set by :func:`~repro.lint.callgraph.build_project`)."""
+    result = LintResult(files_checked=1)
     findings: list[Finding] = []
     for rule in rules:
         findings.extend(rule.check(ctx))
     # Dedup by (path, line, col, rule): nested constructs can make a rule
     # visit the same call site twice.
     findings = list(dict.fromkeys(findings))
-    result.findings = _apply_pragmas(findings, source)
+    applied, dead = _apply_pragmas(findings, ctx.source, ctx.path)
+    result.findings = applied
+    if check_pragmas:
+        result.findings.extend(dead)
+        result.findings.sort()
     return result
 
 
-def lint_file(path: Path, rules: Sequence[Rule] | None = None) -> LintResult:
-    return lint_source(path.read_text(), path, rules)
+def lint_source(
+    source: str,
+    path: Path | str = "<string>",
+    rules: Sequence[Rule] | None = None,
+    check_pragmas: bool = False,
+) -> LintResult:
+    """Lint one in-memory source blob (the test suite's entry point).
+
+    Builds a degenerate single-file project, so intra-module
+    interprocedural findings (a taint laundered through a local helper)
+    are visible even without the rest of the tree.  ``check_pragmas``
+    is only meaningful when every rule runs: a pragma for an unselected
+    rule would be falsely reported dead.
+    """
+    from repro.lint.callgraph import build_project
+
+    path = Path(path)
+    result = LintResult()
+    ctx = _parse_context(path, source, result)
+    if ctx is None:
+        result.files_checked = 1
+        return result
+    build_project([ctx])
+    if rules is None:
+        rules = all_rules()
+    result.extend(_lint_context(ctx, rules, check_pragmas=check_pragmas))
+    return result
+
+
+def lint_file(
+    path: Path,
+    rules: Sequence[Rule] | None = None,
+    check_pragmas: bool = False,
+) -> LintResult:
+    return lint_source(path.read_text(), path, rules,
+                       check_pragmas=check_pragmas)
 
 
 def _python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
@@ -193,11 +268,28 @@ def _python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
 def lint_paths(
     paths: Iterable[Path | str],
     select: Iterable[str] | None = None,
+    check_pragmas: bool = False,
 ) -> LintResult:
-    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    """Lint every ``.py`` file under ``paths`` (files or directories).
+
+    All files are parsed before any rule runs, so the interprocedural
+    rules see the whole program: a taint source in one module flags its
+    consumer in another, and ``Process(target=...)`` registrations in
+    the service scope the fork-safety rules project-wide.
+    """
+    from repro.lint.callgraph import build_project
+
     rules = all_rules(select)
     total = LintResult()
+    contexts: list[FileContext] = []
     for path in _python_files(paths):
-        total.extend(lint_file(path, rules))
+        ctx = _parse_context(path, path.read_text(), total)
+        if ctx is None:
+            total.files_checked += 1
+        else:
+            contexts.append(ctx)
+    build_project(contexts)
+    for ctx in contexts:
+        total.extend(_lint_context(ctx, rules, check_pragmas=check_pragmas))
     total.findings.sort()
     return total

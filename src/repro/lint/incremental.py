@@ -1,0 +1,246 @@
+"""Incremental lint driver: warm runs re-analyze only what changed.
+
+Per-file findings are memoised in the pipeline's content-addressed
+store (:class:`repro.cache.ContentCache`) under a key that captures
+everything the whole-program analysis of that file can observe:
+
+- the lint package's own sources and the rule selection (any rule edit
+  invalidates everything);
+- the file's content hash;
+- the ``(module, content-hash)`` pairs of its project-internal import
+  closure (an edit to anything it imports, transitively, invalidates
+  it);
+- an *anchor digest* covering the inputs of the reverse-dependency
+  rules: the scalar/bulk parity harness files (PAR001 reads them) and
+  every linted file that spawns processes (CONC001's worker-entry set
+  is defined by ``Process(target=...)`` call sites anywhere in the
+  project).
+
+The key is pure content -- no paths, no mtimes -- so it inherits the
+content cache's guarantees: a warm run over an unchanged tree parses
+*nothing* (file hashing plus cached import lists reconstruct the
+closure), and editing one file invalidates exactly that file plus its
+import-closure dependents.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.cache import ContentCache, tool_fingerprint
+from repro.lint.context import FileContext
+from repro.lint.engine import (
+    LintResult,
+    _lint_context,
+    _parse_context,
+    _python_files,
+    all_rules,
+)
+
+__all__ = ["IncrementalStats", "lint_paths_incremental"]
+
+#: Byte marker scoping the anchor digest: any linted file that may
+#: register worker entry points feeds CONC001's project-wide scope.
+_PROCESS_MARKER = b"Process("
+
+
+@dataclass
+class IncrementalStats:
+    """What a warm run actually did, for reporting and perf assertions."""
+
+    files_total: int = 0
+    #: Files whose key missed the cache and were re-analyzed this run.
+    reanalyzed: list[Path] = field(default_factory=list)
+    #: Files served entirely from cache.
+    reused: int = 0
+
+
+def _file_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _rules_signature(
+    select: Iterable[str] | None, check_pragmas: bool
+) -> tuple[object, ...]:
+    """The analyzer's own identity: lint-package sources + selection.
+
+    Hashing the package sources (rather than a manually-bumped version)
+    means any rule edit -- including to this module -- invalidates every
+    cached result, the failure mode a stale-analysis cache must never
+    have.
+    """
+    pkg = Path(__file__).parent
+    sources = tuple(
+        (f.name, _file_hash(f.read_bytes()))
+        for f in sorted(pkg.glob("*.py"))
+    )
+    selection = (tuple(sorted(select)) if select is not None else None)
+    return (sources, selection, check_pragmas)
+
+
+def _imported_modules(source: str, path: Path) -> list[str]:
+    """Dotted module names ``source`` imports (both ``import a.b`` and
+    ``from a.b import c``, where ``c`` may itself be a module)."""
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError:
+        return []
+    out: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                out.add(alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            out.add(node.module)
+            for alias in node.names:
+                if alias.name != "*":
+                    out.add(f"{node.module}.{alias.name}")
+    return sorted(out)
+
+
+def _closure(
+    module: str, edges: dict[str, list[str]]
+) -> tuple[str, ...]:
+    """Transitive project-internal import closure of ``module``
+    (inclusive), as a sorted tuple."""
+    seen = {module}
+    stack = [module]
+    while stack:
+        for dep in edges.get(stack.pop(), ()):
+            if dep not in seen:
+                seen.add(dep)
+                stack.append(dep)
+    return tuple(sorted(seen))
+
+
+def _project_root(paths: Sequence[Path]) -> Path | None:
+    from repro.lint.callgraph import project_root_of
+
+    for path in paths:
+        root = project_root_of(path)
+        if root is not None:
+            return root
+    return None
+
+
+def lint_paths_incremental(
+    paths: Iterable[Path | str],
+    cache: ContentCache,
+    select: Iterable[str] | None = None,
+    check_pragmas: bool = False,
+) -> tuple[LintResult, IncrementalStats]:
+    """:func:`~repro.lint.engine.lint_paths` with content-keyed reuse.
+
+    Returns the merged :class:`LintResult` (identical to what a cold
+    :func:`lint_paths` over the same tree produces) plus the reuse
+    stats.  When every file hits, no source is parsed at all; when any
+    file misses, the whole tree is parsed once (the project context
+    needs every symbol) but rules re-run only over the missed files.
+    """
+    select_list = list(select) if select is not None else None
+    files = list(_python_files(paths))
+    raw: dict[Path, bytes] = {p: p.read_bytes() for p in files}
+    hashes: dict[Path, str] = {p: _file_hash(b) for p, b in raw.items()}
+
+    # --- import lists, cached per content hash (warm runs skip parsing)
+    modules_by_path: dict[Path, str] = {}
+    imports_by_path: dict[Path, list[str]] = {}
+    for path in files:
+        imports_key = tool_fingerprint("lint-imports", hashes[path])
+        try:
+            module, imported = cache.get(imports_key)
+        except KeyError:
+            source = raw[path].decode("utf-8", errors="replace")
+            module = _module_name_of(path)
+            imported = _imported_modules(source, path)
+            cache.put(imports_key, (module, imported))
+        modules_by_path[path] = module
+        imports_by_path[path] = imported
+
+    hash_by_module = {modules_by_path[p]: hashes[p] for p in files}
+    edges = {
+        modules_by_path[p]: [
+            m for m in imports_by_path[p] if m in hash_by_module
+        ]
+        for p in files
+    }
+
+    # --- anchor digest: reverse-dependency inputs shared by every key
+    anchor_parts: list[object] = [
+        hashes[p] for p in files if _PROCESS_MARKER in raw[p]
+    ]
+    root = _project_root(files)
+    if root is not None:
+        from repro.lint.callgraph import ProjectContext
+
+        for rel in ProjectContext.HARNESS_RELPATHS:
+            try:
+                anchor_parts.append(_file_hash((root / rel).read_bytes()))
+            except OSError:
+                anchor_parts.append(f"missing:{rel}")
+    anchor = tuple(anchor_parts)
+
+    rules_sig = _rules_signature(select_list, check_pragmas)
+    keys: dict[Path, str] = {}
+    for path in files:
+        module = modules_by_path[path]
+        closure_pairs = tuple(
+            (m, hash_by_module[m]) for m in _closure(module, edges)
+        )
+        keys[path] = tool_fingerprint(
+            "lint-findings", rules_sig, hashes[path], closure_pairs, anchor,
+        )
+
+    # --- serve hits; re-analyze misses against a full project build
+    stats = IncrementalStats(files_total=len(files))
+    fragments: dict[Path, LintResult] = {}
+    misses: list[Path] = []
+    for path in files:
+        try:
+            fragments[path] = cache.get(keys[path])
+            stats.reused += 1
+        except KeyError:
+            misses.append(path)
+    stats.reanalyzed = misses
+
+    if misses:
+        from repro.lint.callgraph import build_project
+
+        rules = all_rules(select_list)
+        contexts: dict[Path, FileContext] = {}
+        parse_failures: dict[Path, LintResult] = {}
+        for path in files:
+            holder = LintResult(files_checked=1)
+            ctx = _parse_context(
+                path, raw[path].decode("utf-8", errors="replace"), holder,
+            )
+            if ctx is None:
+                parse_failures[path] = holder
+            else:
+                contexts[path] = ctx
+        build_project(list(contexts.values()))
+        for path in misses:
+            if path in parse_failures:
+                fragment = parse_failures[path]
+            else:
+                fragment = _lint_context(
+                    contexts[path], rules, check_pragmas=check_pragmas,
+                )
+            cache.put(keys[path], fragment)
+            fragments[path] = fragment
+
+    total = LintResult()
+    for path in files:
+        total.extend(fragments[path])
+    total.findings.sort()
+    return total, stats
+
+
+def _module_name_of(path: Path) -> str:
+    from repro.lint.context import _module_name
+
+    return _module_name(path)

@@ -9,11 +9,17 @@ comma-separated::
     x = noisy_line()
 
 A pragma covers findings on its own physical line and, when it stands
-alone as a comment, the first code line below it (any further comment or
-blank lines in between are skipped) -- so a pragma can sit atop an
-explanatory comment block above the ``def`` or call it annotates.
-Pragmas are extracted with :mod:`tokenize`, so a ``# repro:`` inside a
-string literal is never mistaken for one.
+alone as a comment, everything down to (and including) the first code
+line below it: intervening comment and blank lines are skipped, and
+decorator lines -- including multi-line decorator calls -- are covered
+and passed through, so a pragma block above ``@retry(...)`` +
+``def f():`` reaches the ``def`` it annotates.  Pragmas are extracted
+with :mod:`tokenize`, so a ``# repro:`` inside a string literal is never
+mistaken for one.
+
+:func:`pragma_records` keeps each pragma comment as a distinct record so
+the engine can report pragmas that suppressed nothing (dead pragmas,
+``repro-lint --check-pragmas``).
 """
 
 from __future__ import annotations
@@ -21,8 +27,9 @@ from __future__ import annotations
 import io
 import re
 import tokenize
+from dataclasses import dataclass
 
-__all__ = ["PRAGMA_RE", "pragma_lines"]
+__all__ = ["PRAGMA_RE", "Pragma", "pragma_lines", "pragma_records"]
 
 #: Matches the pragma comment body; group 1 holds the allow-list.
 PRAGMA_RE = re.compile(
@@ -37,35 +44,96 @@ def _tokens(comment: str) -> set[str]:
     return {m.group(1).lower() for m in _ALLOW_RE.finditer(comment)}
 
 
-def pragma_lines(source: str) -> dict[int, set[str]]:
-    """Map 1-based line number -> lower-cased allowed rule tokens.
+@dataclass(frozen=True)
+class Pragma:
+    """One ``# repro: allow-*`` comment and the lines it covers."""
+
+    #: 1-based line of the pragma comment itself.
+    line: int
+    #: 0-based column of the comment token.
+    col: int
+    #: Lower-cased rule IDs / slugs the pragma allows.
+    tokens: frozenset[str]
+    #: Every 1-based line the pragma's suppression reaches.
+    covered: frozenset[int]
+    #: The comment text, for reporting.
+    text: str
+
+
+def _bracket_delta(line: str) -> int:
+    """Net open-bracket count of a physical line (naive: good enough for
+    decorator argument lists, which rarely embed bracket literals in
+    strings)."""
+    return (
+        line.count("(") + line.count("[") + line.count("{")
+        - line.count(")") - line.count("]") - line.count("}")
+    )
+
+
+def _standalone_coverage(lines: list[str], start: int) -> set[int]:
+    """Lines covered by a standalone pragma at 1-based line ``start``:
+    down through comments, blanks, and whole decorators to the first
+    real code line (inclusive)."""
+    covered = {start}
+    nxt = start + 1
+    depth = 0
+    while nxt <= len(lines):
+        raw = lines[nxt - 1]
+        stripped = raw.strip()
+        covered.add(nxt)
+        if depth > 0:
+            # inside a multi-line decorator call
+            depth = max(0, depth + _bracket_delta(raw))
+            nxt += 1
+            continue
+        if not stripped or stripped.startswith("#"):
+            nxt += 1
+            continue
+        if stripped.startswith("@"):
+            depth = max(0, _bracket_delta(raw))
+            nxt += 1
+            continue
+        break  # first code line: covered, stop
+    return covered
+
+
+def pragma_records(source: str) -> list[Pragma]:
+    """Every pragma comment in ``source``, with its coverage resolved.
 
     Standalone pragma comments extend their coverage down through any
-    directly following comment or blank lines to the first code line;
-    trailing pragmas cover only their own line.
+    directly following comment, blank, or decorator lines to the first
+    code line; trailing pragmas cover only their own line.
     """
-    allowed: dict[int, set[str]] = {}
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, SyntaxError, ValueError):
-        return allowed
+        return []
     lines = source.splitlines()
+    records: list[Pragma] = []
     for tok in tokens:
         if tok.type != tokenize.COMMENT:
             continue
         match = PRAGMA_RE.search(tok.string)
         if match is None:
             continue
-        names = _tokens(match.group(1))
         line = tok.start[0]
-        allowed.setdefault(line, set()).update(names)
         standalone = tok.line[: tok.start[1]].strip() == ""
-        if standalone:
-            nxt = line + 1
-            while nxt <= len(lines):
-                stripped = lines[nxt - 1].strip()
-                allowed.setdefault(nxt, set()).update(names)
-                if stripped and not stripped.startswith("#"):
-                    break
-                nxt += 1
+        covered = (_standalone_coverage(lines, line) if standalone
+                   else frozenset({line}))
+        records.append(Pragma(
+            line=line,
+            col=tok.start[1],
+            tokens=frozenset(_tokens(match.group(1))),
+            covered=frozenset(covered),
+            text=tok.string.strip(),
+        ))
+    return records
+
+
+def pragma_lines(source: str) -> dict[int, set[str]]:
+    """Map 1-based line number -> lower-cased allowed rule tokens."""
+    allowed: dict[int, set[str]] = {}
+    for pragma in pragma_records(source):
+        for line in pragma.covered:
+            allowed.setdefault(line, set()).update(pragma.tokens)
     return allowed

@@ -1,15 +1,30 @@
-"""Console and JSON renderings of a lint result."""
+"""Console, JSON, and SARIF renderings of a lint result."""
 
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 from repro.lint.engine import LintResult
+from repro.lint.findings import Finding
 
-__all__ = ["JSON_SCHEMA_VERSION", "render_console", "render_json"]
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "SARIF_VERSION",
+    "render_console",
+    "render_json",
+    "render_sarif",
+]
 
 #: Bump on any backwards-incompatible change to the JSON layout.
 JSON_SCHEMA_VERSION = 1
+
+#: SARIF spec version emitted by :func:`render_sarif`.
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_console(result: LintResult, *, show_suppressed: bool = False) -> str:
@@ -50,3 +65,102 @@ def render_json(result: LintResult) -> str:
         "summary": result.summary(),
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_uri(path: str, root: Path | None) -> str:
+    """Repo-relative forward-slash URI (what code scanning anchors on)."""
+    p = Path(path)
+    if root is not None:
+        try:
+            p = p.resolve().relative_to(root.resolve())
+        except ValueError:
+            pass
+    return p.as_posix()
+
+
+def _sarif_result(f: Finding, root: Path | None) -> dict[str, object]:
+    out: dict[str, object] = {
+        "ruleId": f.rule,
+        "level": "error",
+        "message": {"text": f"[{f.slug}] {f.message}"},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": _sarif_uri(f.path, root)},
+                "region": {
+                    "startLine": max(f.line, 1),
+                    "startColumn": f.col + 1,
+                    "endLine": max(f.end_line or f.line, 1),
+                },
+            },
+        }],
+    }
+    if f.suppressed:
+        out["suppressions"] = [{
+            "kind": "inSource",
+            "justification": "# repro: allow pragma",
+        }]
+    return out
+
+
+def render_sarif(
+    result: LintResult,
+    *,
+    root: Path | str | None = None,
+    tool_version: str | None = None,
+) -> str:
+    """SARIF 2.1.0 log for GitHub code scanning.
+
+    Suppressed findings are carried with an ``inSource`` suppression
+    (code scanning shows them as dismissed rather than dropping them);
+    parse errors surface as ordinary error results under ``PARSE``.
+    ``root`` relativises paths so annotations land on checkout-relative
+    files regardless of where the linter ran.
+    """
+    from repro.lint.engine import all_rules
+
+    if tool_version is None:
+        from repro._version import __version__ as tool_version
+    root_path = Path(root) if root is not None else None
+    rule_meta = [
+        {
+            "id": rule.rule_id,
+            "name": rule.slug,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in all_rules()
+    ]
+    rule_meta.append({
+        "id": "PRAGMA001",
+        "name": "dead-pragma",
+        "shortDescription": {
+            "text": "pragma comment that suppresses no finding",
+        },
+        "defaultConfiguration": {"level": "error"},
+    })
+    rule_meta.append({
+        "id": "PARSE",
+        "name": "syntax-error",
+        "shortDescription": {"text": "file could not be parsed"},
+        "defaultConfiguration": {"level": "error"},
+    })
+    results = [
+        _sarif_result(f, root_path)
+        for f in (*result.parse_errors, *result.findings)
+    ]
+    log = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "version": tool_version,
+                    "rules": rule_meta,
+                },
+            },
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

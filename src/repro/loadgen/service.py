@@ -367,7 +367,7 @@ def _maybe_trigger_crash(crash: CrashPoint | None, index: int,
         os.kill(os.getpid(), signal.SIGKILL)
     # "hang": stop making progress (and heartbeating) long enough that
     # the supervisor's heartbeat timeout must fire and kill us.
-    time.sleep(3600.0)  # pragma: no cover  # repro: allow-wall-clock
+    time.sleep(3600.0)  # pragma: no cover
 
 
 def _sleep_until(target_wall_s: float, heartbeat, max_slice_s: float,
@@ -389,6 +389,7 @@ def _sleep_until(target_wall_s: float, heartbeat, max_slice_s: float,
 
 
 def _run_shard(shard: int, work: _ShardWork, heartbeat=None,
+               clock: Callable[[], float] = time.time,
                ) -> dict[str, Any]:
     """Dispatch one shard's requests; returns its outcome ledger slice.
 
@@ -397,6 +398,10 @@ def _run_shard(shard: int, work: _ShardWork, heartbeat=None,
     ``(seed, index, attempt)``-keyed backoff) but schedules sends
     open-loop from the shared service epoch and additionally records
     dispatch lag and applies the overload admission bound.
+
+    ``clock`` is the wall-clock source for lag accounting and overload
+    shedding; injecting a virtual clock makes the admission path
+    deterministic under test.
     """
     lo, hi = work.bounds[shard]
     n_shard = hi - lo
@@ -459,8 +464,7 @@ def _run_shard(shard: int, work: _ShardWork, heartbeat=None,
         if pace:
             scheduled_wall = epoch + ts / speed
             _sleep_until(scheduled_wall, heartbeat, hb_slice)
-            # repro: allow-wall-clock (dispatch lag is a wall quantity)
-            lag = time.time() - scheduled_wall
+            lag = clock() - scheduled_wall
             if lag > 0:
                 lag_ms[j] = lag * 1e3
                 if max_lag_s is not None and lag > max_lag_s:

@@ -204,7 +204,6 @@ class _StubHandler(BaseHTTPRequestHandler):
         if length:
             self.rfile.read(length)
         if stub.delay_s > 0:
-            # repro: allow-wall-clock (simulated backend service time)
             time.sleep(stub.delay_s)
         if stub.fail_every and n % stub.fail_every == 0:
             self.send_response(503)

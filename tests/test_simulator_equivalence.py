@@ -674,3 +674,127 @@ def test_eviction_cancels_queued_expiry(cls):
     assert node.busy_count == 0
     assert node.used_memory_mb == 0.0
     assert node.idle_count == 0
+
+
+# ----------------------------------------------------------------------
+# scalar/bulk parity for the backend decorators (PAR001 registrations)
+# ----------------------------------------------------------------------
+class _RecordingInner:
+    """Minimal inner backend: records the exact call stream it receives."""
+
+    def __init__(self):
+        self.calls = []
+
+    def invoke(self, timestamp_s, workload_id):
+        self.calls.append((float(timestamp_s), str(workload_id)))
+
+    def drain(self):
+        return []
+
+
+def _faulty_load(n=80, seed=5):
+    rng = np.random.default_rng(seed)
+    ts = np.sort(rng.uniform(0.0, 30.0, n))
+    wids = [f"w{int(i)}" for i in rng.integers(0, 4, n)]
+    return ts, wids
+
+
+@pytest.mark.parametrize("mode", ["scalar", "bulk", "chunked"])
+def test_faulty_backend_bulk_matches_scalar_draw_stream(mode):
+    """FaultyBackend parity: scalar, bulk, and chunked submission must
+    consume the identical fault-draw stream -- same injected counts,
+    same inner call sequence, same terminal RNG state."""
+    from repro.platform import FaultProfile, FaultyBackend
+
+    profile = FaultProfile(seed=11, latency_spike_rate=0.3,
+                           latency_spike_ms=250.0)
+    ts, wids = _faulty_load()
+
+    def run(submission):
+        inner = _RecordingInner()
+        fb = FaultyBackend(inner, profile)
+        if submission == "scalar":
+            for t, w in zip(ts.tolist(), wids):
+                fb.invoke(t, w)
+        elif submission == "bulk":
+            fb.invoke_many(ts, wids)
+        else:
+            third = len(wids) // 3
+            fb.invoke_chunked([
+                (ts[:third], wids[:third]),
+                (ts[third:], wids[third:]),
+            ])
+        return inner.calls, dict(fb.injected), fb._rng.bit_generator.state
+
+    ref_calls, ref_injected, ref_state = run("scalar")
+    got_calls, got_injected, got_state = run(mode)
+    assert got_calls == ref_calls
+    assert got_injected == ref_injected
+    assert got_injected["spike"] > 0  # the gauntlet actually drew faults
+    assert got_state == ref_state
+
+
+def test_faulty_backend_bulk_raises_at_the_same_request():
+    """An injected error aborts bulk submission at exactly the request
+    where the scalar loop would have raised, with the same fault type."""
+    from repro.platform import FaultProfile, FaultyBackend
+    from repro.platform.faults import InvocationFault
+
+    profile = FaultProfile(seed=3, error_rate=0.05)
+    ts, wids = _faulty_load()
+
+    scalar_inner = _RecordingInner()
+    fb = FaultyBackend(scalar_inner, profile)
+    scalar_exc = None
+    for t, w in zip(ts.tolist(), wids):
+        try:
+            fb.invoke(t, w)
+        except InvocationFault as exc:
+            scalar_exc = exc
+            break
+    assert scalar_exc is not None
+
+    bulk_inner = _RecordingInner()
+    fb = FaultyBackend(bulk_inner, profile)
+    with pytest.raises(InvocationFault) as excinfo:
+        fb.invoke_many(ts, wids)
+    assert str(excinfo.value) == str(scalar_exc)
+    assert bulk_inner.calls == scalar_inner.calls
+
+
+@pytest.mark.parametrize("mode", ["bulk", "chunked"])
+def test_live_backend_bulk_matches_scalar(mode):
+    """LiveBackend parity: bulk/chunked submission must produce the same
+    record stream as the scalar loop in every deterministic field
+    (``end_s`` is wall-clock elapsed and is excluded)."""
+    from repro.platform import LiveBackend
+    from repro.workloads import Workload, WorkloadPool
+
+    def make_backend():
+        pool = WorkloadPool([
+            Workload("pyaes:t", "pyaes", {"length": 32, "rounds": 1},
+                     1.0, 28.0),
+            Workload("matmul:t", "matmul", {"n": 8, "reps": 1}, 1.0, 32.0),
+        ])
+        return LiveBackend(pool, seed=13, max_cached_payloads=1)
+
+    ts = np.array([0.0, 0.5, 1.0, 1.5, 2.0, 2.5])
+    wids = ["pyaes:t", "matmul:t", "pyaes:t", "pyaes:t", "matmul:t",
+            "matmul:t"]
+
+    ref = make_backend()
+    for t, w in zip(ts.tolist(), wids):
+        ref.invoke(t, w)
+
+    got = make_backend()
+    if mode == "bulk":
+        got.invoke_many(ts, wids)
+    else:
+        got.invoke_chunked([(ts[:2], wids[:2]), (ts[2:], wids[2:])])
+
+    def key(records):
+        return [(r.workload_id, r.node, r.arrival_s, r.start_s, r.cold,
+                 r.ok) for r in records]
+
+    assert key(got.drain()) == key(ref.drain())
+    assert got.evictions == ref.evictions
