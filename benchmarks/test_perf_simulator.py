@@ -28,7 +28,9 @@ import tracemalloc
 import numpy as np
 
 from repro.platform import (
+    CpuModel,
     FaaSCluster,
+    FifoCpu,
     FixedKeepAlive,
     NoKeepAlive,
     ObjectFaaSCluster,
@@ -44,6 +46,7 @@ DAY_S = 86_400.0
 OBJECT_SLICE = 50_000  # the object engine gets a slice, not the day
 MIN_SPEEDUP = 20.0
 MIN_KEEPALIVE_SPEEDUP = 15.0
+MIN_CPU_SPEEDUP = 10.0
 PEAK_CEILING_MIB = 450.0
 STREAM_ROWS = 10 * N_INVOCATIONS
 STREAM_CHUNK_ROWS = 65_536
@@ -109,6 +112,37 @@ def _run_vec(ts, wids):
 
 def _run_object(ts, wids):
     cluster = _make_cluster(ObjectFaaSCluster)
+    invoke = cluster.invoke
+    for t, w in zip(ts.tolist(), wids):
+        invoke(t, w)
+    return summarize(cluster.drain())
+
+
+def _make_cpu_cluster(cls):
+    # the contention envelope: zero TTL keeps the slab bulk-eligible,
+    # and single-core nodes make overlapping arrivals contend, so the
+    # run-queue replay does non-trivial work on the day's load
+    return cls(
+        _profiles(),
+        n_nodes=8,
+        node_memory_mb=float(1 << 20),
+        keepalive=NoKeepAlive(),
+        scheduler=RandomScheduler(seed=9),
+        cpu=CpuModel(cores=1, quantum_s=0.020, policy=FifoCpu()),
+    )
+
+
+def _run_cpu_vec(ts, wids):
+    cluster = _make_cpu_cluster(FaaSCluster)
+    cluster.invoke_many(ts, wids)
+    cols = cluster.drain_columns()
+    summary = summarize_columns(cols)
+    summary["preemptions_total"] = int(np.sum(cols.preemptions))
+    return summary
+
+
+def _run_cpu_object(ts, wids):
+    cluster = _make_cpu_cluster(ObjectFaaSCluster)
     invoke = cluster.invoke
     for t, w in zip(ts.tolist(), wids):
         invoke(t, w)
@@ -204,6 +238,35 @@ def test_perf_simulator_keepalive_jitter_throughput_floor():
     assert speedup >= MIN_KEEPALIVE_SPEEDUP, (
         f"keep-alive+jitter bulk path only {speedup:.1f}x the object "
         f"engine (floor {MIN_KEEPALIVE_SPEEDUP}x)"
+    )
+
+
+def test_perf_simulator_cpu_model_throughput_floor():
+    """ISSUE 10 headline: with the CPU-contention model enabled the
+    zero-TTL slab still takes the bulk teardown route -- the per-node
+    run-queue replay is the only sequential piece -- and must hold
+    >= 10x the object engine on the identical configuration."""
+    ts, wids = _day_load()
+    vec_s, vec_summary = _best_of(lambda: _run_cpu_vec(ts, wids), trials=3)
+    obj_s, obj_summary = _best_of(
+        lambda: _run_cpu_object(ts[:OBJECT_SLICE], wids[:OBJECT_SLICE]),
+        trials=2,
+    )
+    vec_rate = N_INVOCATIONS / vec_s
+    obj_rate = OBJECT_SLICE / obj_s
+    speedup = vec_rate / obj_rate
+    print(
+        f"\ncpu-model vectorised: {vec_rate:,.0f} rec/s; "
+        f"object: {obj_rate:,.0f} rec/s; speedup {speedup:.1f}x"
+    )
+    assert vec_summary["n_invocations"] == N_INVOCATIONS
+    assert obj_summary["n_invocations"] == OBJECT_SLICE
+    # contention must actually engage, else the floor measures an idle
+    # run-queue and proves nothing about the replay's cost
+    assert vec_summary["preemptions_total"] > 0
+    assert speedup >= MIN_CPU_SPEEDUP, (
+        f"cpu-model bulk path only {speedup:.1f}x the object engine "
+        f"(floor {MIN_CPU_SPEEDUP}x)"
     )
 
 

@@ -658,6 +658,83 @@ def _cmd_calibrate(args) -> int:
     return 0
 
 
+def _cmd_simulate(args) -> int:
+    import json
+
+    from repro.platform.shootout import (
+        CPU_POLICY_NAMES,
+        KEEPALIVE_NAMES,
+        SCHEDULER_NAMES,
+        ShootoutCell,
+        ShootoutConfig,
+        run_cell,
+        run_shootout,
+    )
+
+    def _names(raw: str, universe: tuple[str, ...],
+               what: str) -> tuple[str, ...]:
+        chosen = tuple(s.strip() for s in raw.split(",") if s.strip())
+        if not chosen:
+            raise SystemExit(f"--{what} needs at least one name")
+        for name in chosen:
+            if name not in universe:
+                raise SystemExit(
+                    f"unknown {what[:-1]} {name!r} "
+                    f"(choose from {', '.join(universe)})"
+                )
+        return chosen
+
+    schedulers = _names(args.schedulers, SCHEDULER_NAMES, "schedulers")
+    keepalives = _names(args.keepalives, KEEPALIVE_NAMES, "keepalives")
+    cpu_policies = _names(args.cpu_policies, CPU_POLICY_NAMES,
+                          "cpu-policies")
+    config = ShootoutConfig(
+        seed=args.seed,
+        n_requests=args.requests,
+        n_workloads=args.workloads,
+        horizon_s=args.horizon,
+        n_nodes=args.nodes,
+        node_memory_mb=args.node_memory,
+        cores=args.cores,
+        quantum_s=args.quantum,
+        keepalive_ttl_s=args.keepalive_ttl,
+        schedulers=schedulers,
+        keepalives=keepalives,
+        cpu_policies=cpu_policies,
+    )
+    registry = None
+    if args.telemetry is not None:
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+    with _scoped_telemetry(registry):
+        if args.shootout:
+            result = run_shootout(
+                config,
+                cache=_resolve_cache(args),
+                jobs=args.jobs,
+                out_dir=args.out,
+            )
+            print(f"shootout: {len(result.rows)} cells "
+                  f"({result.computed} computed, {result.cached} cached)")
+            print(f"wrote {Path(args.out) / 'shootout.csv'}")
+        else:
+            if (len(schedulers), len(keepalives),
+                    len(cpu_policies)) != (1, 1, 1):
+                raise SystemExit(
+                    "without --shootout, pick exactly one scheduler, "
+                    "keepalive, and cpu policy (or pass --shootout to "
+                    "sweep the grid)"
+                )
+            row = run_cell(config, ShootoutCell(
+                schedulers[0], keepalives[0], cpu_policies[0],
+            ))
+            print(json.dumps(row, indent=2, sort_keys=True))
+    if registry is not None:
+        _finish_telemetry(args, registry)
+    return 0
+
+
 def _add_telemetry_flags(p) -> None:
     p.add_argument("--telemetry", default=None, metavar="PATH",
                    help="collect run telemetry and write the end-of-run "
@@ -863,6 +940,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--family", default="all")
     p.add_argument("--repeats", type=int, default=3)
     p.set_defaults(func=_cmd_calibrate)
+
+    p = sub.add_parser(
+        "simulate",
+        help="contention scenario lab: run one simulator cell, or "
+             "--shootout the full policy grid",
+    )
+    p.add_argument("--shootout", action="store_true",
+                   help="sweep every (scheduler x keepalive x "
+                        "cpu-policy) cell and write per-cell tables")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--requests", type=int, default=2000,
+                   help="synthetic requests per cell")
+    p.add_argument("--workloads", type=int, default=12,
+                   help="distinct workloads in the synthetic load")
+    p.add_argument("--horizon", type=float, default=60.0,
+                   help="arrival horizon in seconds")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--node-memory", type=float, default=4096.0)
+    p.add_argument("--cores", type=int, default=4,
+                   help="CPU cores per node (contention model)")
+    p.add_argument("--quantum", type=float, default=0.020,
+                   help="scheduling timeslice in seconds")
+    p.add_argument("--keepalive-ttl", type=float, default=5.0,
+                   help="TTL for the fixed policy / fallback default "
+                        "for the adaptive ones")
+    p.add_argument("--schedulers",
+                   default=",".join(
+                       ("least-loaded", "random", "power-of-two",
+                        "locality", "hash")),
+                   help="comma-separated scheduler names to sweep")
+    p.add_argument("--keepalives",
+                   default="none,fixed,histogram,hybrid",
+                   help="comma-separated keep-alive names to sweep")
+    p.add_argument("--cpu-policies", default="fifo,fair,stf",
+                   help="comma-separated CPU policy names to sweep")
+    p.add_argument("--out", default="benchmarks/results",
+                   metavar="DIR",
+                   help="directory for the per-cell result tables")
+    _add_parallel_cache_flags(p)
+    _add_telemetry_flags(p)
+    p.set_defaults(func=_cmd_simulate)
 
     return parser
 

@@ -6,6 +6,13 @@ three-line affair (see ``examples/coldstart_study.py``).
 """
 
 from repro.platform.autoscaler import ReactiveAutoscaler
+from repro.platform.cpu import (
+    CpuModel,
+    CpuPolicy,
+    FairShareCpu,
+    FifoCpu,
+    ShortestFirstCpu,
+)
 from repro.platform.faults import (
     CrashHook,
     FaultError,
@@ -20,6 +27,7 @@ from repro.platform.faults import (
 from repro.platform.keepalive import (
     FixedKeepAlive,
     HistogramKeepAlive,
+    HybridHistogramKeepAlive,
     NoKeepAlive,
 )
 from repro.platform.http_backend import (
@@ -33,6 +41,7 @@ from repro.platform.live import LiveBackend
 from repro.platform.metrics import (
     InvocationRecord,
     breaker_uptime,
+    cpu_utilization,
     dispatch_lag_summary,
     memory_utilization,
     outcome_summary,
@@ -48,6 +57,12 @@ from repro.platform.schedulers import (
     LocalityAwareScheduler,
     PowerOfTwoScheduler,
     RandomScheduler,
+)
+from repro.platform.shootout import (
+    ShootoutCell,
+    ShootoutConfig,
+    ShootoutResult,
+    run_shootout,
 )
 from repro.platform.tracing import (
     PlatformEvent,
@@ -66,11 +81,15 @@ from repro.platform.simulator import (
 from repro.platform.simulator_vec import iter_trace_slabs
 
 __all__ = [
+    "CpuModel",
+    "CpuPolicy",
     "CrashHook",
     "FaaSCluster",
+    "FairShareCpu",
     "FaultError",
     "FaultProfile",
     "FaultyBackend",
+    "FifoCpu",
     "FixedKeepAlive",
     "HTTPBackend",
     "HTTPConnectionError",
@@ -78,6 +97,7 @@ __all__ = [
     "HTTPTimeoutError",
     "HashAffinityScheduler",
     "HistogramKeepAlive",
+    "HybridHistogramKeepAlive",
     "InvocationFault",
     "InvocationRecord",
     "LeastLoadedScheduler",
@@ -96,10 +116,15 @@ __all__ = [
     "ReactiveAutoscaler",
     "RecordColumns",
     "SandboxCrashFault",
+    "ShootoutCell",
+    "ShootoutConfig",
+    "ShootoutResult",
+    "ShortestFirstCpu",
     "StubServer",
     "TelemetryTracer",
     "WorkloadProfile",
     "breaker_uptime",
+    "cpu_utilization",
     "default_cold_start_s",
     "dispatch_lag_summary",
     "iter_trace_slabs",
@@ -110,6 +135,7 @@ __all__ = [
     "profiles_from_spec",
     "record_outcome_metrics",
     "retry_histogram",
+    "run_shootout",
     "summarize",
     "summarize_columns",
 ]

@@ -1,0 +1,219 @@
+"""Deterministic CPU-contention model for the cluster simulators.
+
+The simulators' original resource model is memory-only (plus the crude
+``cores_per_node`` oversubscription knob); this module adds a proper
+CPU model -- per-node core counts, a timeslice quantum, preemption
+counts, and run-queue-aware service-time dilation -- shared by both
+engines so contention-sensitive studies (tail latency under CPU
+pressure, scheduling-policy shootouts) are possible without giving up
+the byte-identity contract.
+
+Semantics (identical in both engines, applied at admission time like
+every other service-time modifier):
+
+- each node owns ``cores`` cores; an invocation admitted while the
+  node's run queue (its busy sandboxes, including the new one) fits on
+  the cores runs undilated;
+- under oversubscription the active :class:`CpuPolicy` decides how much
+  wall-clock the invocation's CPU demand stretches to and how many
+  times it is preempted (timeslice expiries), as a pure function of the
+  admission-time run-queue state -- the dilation is fixed at admission,
+  mirroring the engines' long-standing "no re-scheduling mid-flight"
+  contract for ``cores_per_node``;
+- every policy is **work conserving** (``concurrent <= cores`` never
+  dilates) and never shrinks service time; the property suite
+  (``tests/test_properties_cpu.py``) pins both invariants.
+
+Policies are frozen dataclasses so shootout cells embedding them can be
+content-fingerprinted (:func:`repro.cache.fingerprint` hashes public
+dataclass fields).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+__all__ = [
+    "CpuModel",
+    "CpuPolicy",
+    "FairShareCpu",
+    "FifoCpu",
+    "ShortestFirstCpu",
+]
+
+
+@runtime_checkable
+class CpuPolicy(Protocol):
+    """What the engines require of a CPU scheduling policy.
+
+    Both hooks must be *pure*: the engines call them from the scalar
+    event loop and from the bulk fast path's per-node replay, and
+    byte-identity across engines holds only if the same arguments
+    always produce the same floats.
+    """
+
+    def weight(self, workload_id: str) -> float:
+        """Scheduling weight of one workload (fair-share accounting)."""
+        ...
+
+    def contend(
+        self,
+        service_s: float,
+        *,
+        cores: int,
+        quantum_s: float,
+        concurrent: int,
+        weight: float,
+        total_weight: float,
+    ) -> tuple[float, int]:
+        """Dilate one invocation's service time under contention.
+
+        ``concurrent`` counts the node's busy sandboxes including this
+        invocation; ``weight`` is this workload's scheduling weight and
+        ``total_weight`` the node's running weight total including it.
+        Returns ``(dilated_service_s, preemptions)`` with
+        ``dilated_service_s >= service_s`` and ``preemptions >= 0``.
+        """
+        ...
+
+
+@dataclass(frozen=True)
+class FifoCpu:
+    """FIFO run queue with round-robin timeslicing.
+
+    Every runnable sandbox gets one ``quantum`` per round.  With
+    ``excess = concurrent - cores`` sandboxes beyond the cores, each of
+    the invocation's timeslices waits one round of the excess queue
+    (``excess * quantum`` of foreign work spread over ``cores`` cores)
+    before it runs again, so an invocation needing ``slices`` quanta of
+    CPU stretches by ``slices * excess * quantum / cores`` and is
+    preempted at every slice boundary but the last.
+    """
+
+    def weight(self, workload_id: str) -> float:
+        del workload_id
+        return 1.0
+
+    def contend(
+        self,
+        service_s: float,
+        *,
+        cores: int,
+        quantum_s: float,
+        concurrent: int,
+        weight: float,
+        total_weight: float,
+    ) -> tuple[float, int]:
+        del weight, total_weight
+        excess = concurrent - cores
+        if excess <= 0:
+            return service_s, 0
+        slices = math.ceil(service_s / quantum_s)
+        dilated = service_s + (slices * excess) * (quantum_s / cores)
+        return dilated, slices - 1
+
+
+@dataclass(frozen=True)
+class FairShareCpu:
+    """CFS-like weighted fair sharing.
+
+    Under oversubscription each runnable sandbox receives CPU in
+    proportion to its weight: this invocation's share of one core is
+    ``cores * weight / total_weight`` (clamped to a full core), so its
+    service time stretches by the inverse share.  Higher weight can
+    never dilate more (the monotonicity invariant the property suite
+    pins).  Preemptions count the timeslice boundaries the stretched
+    execution crosses.
+    """
+
+    default_weight: float = 1.0
+    weights: dict[str, float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.default_weight <= 0:
+            raise ValueError("default_weight must be positive")
+        if self.weights is not None:
+            for wid, w in self.weights.items():
+                if w <= 0:
+                    raise ValueError(
+                        f"weight for {wid!r} must be positive"
+                    )
+
+    def weight(self, workload_id: str) -> float:
+        if self.weights is None:
+            return self.default_weight
+        return self.weights.get(workload_id, self.default_weight)
+
+    def contend(
+        self,
+        service_s: float,
+        *,
+        cores: int,
+        quantum_s: float,
+        concurrent: int,
+        weight: float,
+        total_weight: float,
+    ) -> tuple[float, int]:
+        if concurrent <= cores:  # work conservation: a free core exists
+            return service_s, 0
+        share = cores * weight / total_weight
+        if share >= 1.0:
+            return service_s, 0
+        dilated = service_s / share
+        return dilated, math.ceil(dilated / quantum_s) - 1
+
+
+@dataclass(frozen=True)
+class ShortestFirstCpu:
+    """Shortest-task-first, in the spirit of ``scx_serverless``.
+
+    Tasks that fit in a single quantum run to completion in their first
+    slice even under load (the short-circuit serverless schedulers
+    exploit: most FaaS invocations are sub-quantum).  Longer tasks are
+    demoted behind the short ones and see the full round-robin
+    oversubscription factor ``concurrent / cores``, preempted at every
+    quantum boundary of their own CPU demand.
+    """
+
+    def weight(self, workload_id: str) -> float:
+        del workload_id
+        return 1.0
+
+    def contend(
+        self,
+        service_s: float,
+        *,
+        cores: int,
+        quantum_s: float,
+        concurrent: int,
+        weight: float,
+        total_weight: float,
+    ) -> tuple[float, int]:
+        del weight, total_weight
+        if concurrent <= cores or service_s <= quantum_s:
+            return service_s, 0
+        dilated = service_s * (concurrent / cores)
+        return dilated, math.ceil(service_s / quantum_s) - 1
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """Per-node CPU topology + scheduling policy.
+
+    Passed to either engine as the ``cpu=`` knob (mutually exclusive
+    with the legacy ``cores_per_node`` slowdown).  ``quantum_s`` is the
+    scheduler timeslice used for preemption accounting; 20 ms mirrors
+    a typical CFS target latency share.
+    """
+
+    cores: int
+    quantum_s: float = 0.020
+    policy: CpuPolicy = field(default_factory=FifoCpu)
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if self.quantum_s <= 0:
+            raise ValueError("quantum_s must be positive")

@@ -26,10 +26,17 @@ from typing import Any
 import numpy as np
 
 from repro.platform.autoscaler import ReactiveAutoscaler
+from repro.platform.cpu import (
+    CpuModel,
+    FairShareCpu,
+    FifoCpu,
+    ShortestFirstCpu,
+)
 from repro.platform.faults import CrashHook
 from repro.platform.keepalive import (
     FixedKeepAlive,
     HistogramKeepAlive,
+    HybridHistogramKeepAlive,
     NoKeepAlive,
 )
 from repro.platform.schedulers import (
@@ -55,11 +62,12 @@ __all__ = [
     "shrink",
 ]
 
-KEEPALIVES = ("none", "fixed", "histogram")
+KEEPALIVES = ("none", "fixed", "histogram", "hybrid")
 SCHEDULERS = (
     "least-loaded", "random", "power-of-two", "locality", "hash",
 )
 BATCH_MODES = ("scalar", "bulk", "mixed", "chunked")
+CPU_POLICIES = ("fifo", "fair", "stf")
 
 #: Workload memory sizes the generator draws from (MiB).
 _MEMORY_CHOICES = (128.0, 256.0, 384.0, 512.0)
@@ -90,6 +98,12 @@ class FuzzConfig:
     keepalive_ttl: float = 1.0
     #: Slab size for ``batch="chunked"``; 0 defers to a small default.
     chunk_rows: int = 0
+    #: CPU cores per node for the contention model; 0 disables it.
+    cores: int = 0
+    #: Scheduling timeslice for the CPU model (``cores > 0`` only).
+    quantum: float = 0.02
+    #: CPU scheduling policy name (``cores > 0`` only).
+    cpu_policy: str = "fifo"
 
     def __post_init__(self) -> None:
         if self.keepalive not in KEEPALIVES:
@@ -102,6 +116,12 @@ class FuzzConfig:
             raise ValueError("keepalive_ttl must be non-negative")
         if self.chunk_rows < 0:
             raise ValueError("chunk_rows must be non-negative")
+        if self.cores < 0:
+            raise ValueError("cores must be non-negative")
+        if self.quantum <= 0:
+            raise ValueError("quantum must be positive")
+        if self.cpu_policy not in CPU_POLICIES:
+            raise ValueError(f"unknown cpu policy {self.cpu_policy!r}")
 
 
 def random_config(rng: np.random.Generator) -> FuzzConfig:
@@ -131,6 +151,11 @@ def random_config(rng: np.random.Generator) -> FuzzConfig:
         # "fixed" policy), so it gets explicit weight
         keepalive_ttl=float(rng.choice([0.0, 0.2, 1.0, 5.0])),
         chunk_rows=int(rng.choice([1, 7, 64])),
+        # 0 keeps the contention model off for half the tuples so the
+        # uncontended paths stay covered too
+        cores=int(rng.choice([0, 0, 1, 2, 4])),
+        quantum=float(rng.choice([0.005, 0.02, 0.1])),
+        cpu_policy=str(rng.choice(CPU_POLICIES)),
     )
 
 
@@ -173,6 +198,10 @@ def _build_kwargs(cfg: FuzzConfig, tracer: PlatformTracer | None
         "histogram": lambda: HistogramKeepAlive(
             default_ttl_s=1.0, min_ttl_s=0.1, window=32, min_observations=4
         ),
+        "hybrid": lambda: HybridHistogramKeepAlive(
+            bin_width_s=0.25, n_bins=16, default_ttl_s=1.0,
+            min_observations=4,
+        ),
     }[cfg.keepalive]()
     scheduler = {
         "least-loaded": LeastLoadedScheduler,
@@ -192,6 +221,19 @@ def _build_kwargs(cfg: FuzzConfig, tracer: PlatformTracer | None
         seed=cfg.seed,
         tracer=tracer,
     )
+    if cfg.cores > 0:
+        policy = {
+            "fifo": FifoCpu,
+            # deterministic unequal weights so the weighted-fair fold is
+            # actually exercised, not just the equal-weight degenerate
+            "fair": lambda: FairShareCpu(weights={
+                f"w{i}": float(1 + i % 3) for i in range(cfg.n_workloads)
+            }),
+            "stf": ShortestFirstCpu,
+        }[cfg.cpu_policy]()
+        kwargs["cpu"] = CpuModel(
+            cores=cfg.cores, quantum_s=cfg.quantum, policy=policy
+        )
     if cfg.crash_rate > 0.0:
         kwargs["fault_hook"] = CrashHook(cfg.crash_rate, seed=cfg.seed)
     if cfg.autoscale:
@@ -247,7 +289,8 @@ def run_once(cls: type, cfg: FuzzConfig) -> dict[str, Any]:
         "memory_samples": tuple(cluster.memory_samples),
         "n_nodes": len(cluster.nodes),
         "node_state": tuple(
-            (n.node_id, n.used_memory_mb, n.busy_count, n.idle_count)
+            (n.node_id, n.used_memory_mb, n.busy_count, n.idle_count,
+             n.cpu_weight)
             for n in cluster.nodes
         ),
         "trace": tuple(tracer.events) if tracer is not None else (),
@@ -302,6 +345,11 @@ def _candidates(cfg: FuzzConfig) -> list[FuzzConfig]:
         alt(n_nodes=1)
     if cfg.keepalive == "fixed":
         alt(keepalive_ttl=1.0)  # alt() drops the no-op candidate
+    if cfg.cores > 0:
+        alt(cores=0)
+    # offered even at cores=0: a non-default policy name on a disabled
+    # model is pure noise in the printed reproducer
+    alt(cpu_policy="fifo")
     if cfg.batch == "chunked":
         # a chunk-boundary bug often survives with bigger chunks, and a
         # non-chunked mode is simpler still

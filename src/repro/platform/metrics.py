@@ -13,6 +13,7 @@ if TYPE_CHECKING:
 __all__ = [
     "InvocationRecord",
     "breaker_uptime",
+    "cpu_utilization",
     "dispatch_lag_summary",
     "memory_utilization",
     "outcome_summary",
@@ -31,6 +32,10 @@ class InvocationRecord:
     ``ok`` is False when the invocation ran but failed -- a workload
     exception in the live executor, or an injected sandbox crash in the
     simulator; its latency then covers the time until the failure.
+    ``preemptions`` counts the timeslice expiries the invocation
+    suffered under the CPU-contention model
+    (:class:`~repro.platform.cpu.CpuModel`); 0 whenever no CPU model is
+    configured or the node had core headroom.
     """
 
     workload_id: str
@@ -40,6 +45,7 @@ class InvocationRecord:
     end_s: float
     cold: bool
     ok: bool = True
+    preemptions: int = 0
 
     def __post_init__(self) -> None:
         if not self.arrival_s <= self.start_s <= self.end_s:
@@ -257,6 +263,55 @@ def record_outcome_metrics(registry, result, *, breaker=None,
                 "each state",
                 labels={"state": state},
             ).set(uptime[state])
+
+
+def cpu_utilization(
+    records,
+    *,
+    cores: int,
+    n_nodes: int,
+) -> dict:
+    """Time-averaged CPU utilisation from a run's invocation records.
+
+    ``records`` is either a :class:`RecordColumns` or a
+    ``list[InvocationRecord]`` -- both yield the same float64 arrays,
+    so the result is identical across engines.  Busy core-time is the
+    total *wall-clock* occupancy (start to end, dilation included);
+    capacity is ``cores * n_nodes`` over the run's makespan (first
+    arrival to last completion).  Under oversubscription the ratio
+    exceeds 1.0 -- invocations hold run-queue slots beyond the physical
+    cores -- so read it as demand pressure, not physical core busy
+    time.  ``preemptions_per_invocation`` summarises how often the CPU
+    model preempted work (0 when no model was configured).
+    """
+    if cores <= 0 or n_nodes <= 0:
+        raise ValueError("cores and n_nodes must be positive")
+    if isinstance(records, list):
+        if not records:
+            raise ValueError("no records")
+        start = np.array([r.start_s for r in records], np.float64)
+        end = np.array([r.end_s for r in records], np.float64)
+        arrival = np.array([r.arrival_s for r in records], np.float64)
+        preempt = np.array(
+            [getattr(r, "preemptions", 0) for r in records], np.int64
+        )
+    else:
+        if not len(records):
+            raise ValueError("no records")
+        start = np.asarray(records.start_s, np.float64)
+        end = np.asarray(records.end_s, np.float64)
+        arrival = np.asarray(records.arrival_s, np.float64)
+        preempt = np.asarray(records.preemptions, np.int64)
+    busy_core_s = float(np.sum(end - start))
+    makespan_s = float(end.max() - arrival.min())
+    capacity_s = cores * n_nodes * makespan_s
+    return {
+        "busy_core_s": busy_core_s,
+        "makespan_s": makespan_s,
+        "utilization": busy_core_s / capacity_s if capacity_s > 0 else 0.0,
+        "preemptions_total": int(preempt.sum()),
+        "preemptions_per_invocation": float(preempt.mean()),
+    }
 
 
 def memory_utilization(

@@ -66,12 +66,20 @@ class Node:
     the stacks; the array engine stores integer rows into its sandbox
     arrays.  External policies only rely on the mapping's keys and the
     per-node counters, which are identical either way.
+
+    ``cpu_weight`` is the running total of the scheduling weights of the
+    node's busy sandboxes under a CPU-contention model
+    (:class:`~repro.platform.cpu.CpuModel`): incremented at admission,
+    decremented at completion/crash, folded in the engines' shared event
+    order so the IEEE accumulation is bit-identical across engines.  It
+    stays 0.0 when no CPU model is configured.
     """
 
     node_id: int
     memory_capacity_mb: float
     used_memory_mb: float = 0.0
     busy_count: int = 0
+    cpu_weight: float = 0.0
     idle: dict[str, list[Any]] = field(default_factory=dict)
     pending: list[tuple[float, str]] = field(default_factory=list)
 

@@ -75,6 +75,7 @@ class ObjectFaaSCluster:
         cold_start_model=default_cold_start_s,
         service_time_cv: float = 0.0,
         cores_per_node: int | None = None,
+        cpu=None,
         track_memory: bool = False,
         queue_timeout_s: float | None = None,
         autoscaler=None,
@@ -93,6 +94,13 @@ class ObjectFaaSCluster:
             sandboxes are busy on its node runs slowed by the
             oversubscription factor -- a first-order CPU-contention model
             (the slowdown is fixed at start; no re-scheduling mid-flight).
+        cpu:
+            Optional :class:`~repro.platform.cpu.CpuModel`: per-node
+            core counts, a timeslice quantum, and a pluggable scheduling
+            policy.  Under oversubscription the policy dilates service
+            time and counts preemptions (recorded per invocation);
+            dilation is fixed at admission, like ``cores_per_node``,
+            with which it is mutually exclusive.
         track_memory:
             Record ``(time, node, used_memory_mb)`` samples at every
             sandbox admission/reclaim, exposed as ``memory_samples``.
@@ -127,6 +135,11 @@ class ObjectFaaSCluster:
             raise ValueError("service_time_cv must be non-negative")
         if cores_per_node is not None and cores_per_node <= 0:
             raise ValueError("cores_per_node must be positive")
+        if cpu is not None and cores_per_node is not None:
+            raise ValueError(
+                "cpu and cores_per_node are mutually exclusive; the "
+                "CpuModel replaces the first-order slowdown"
+            )
         if queue_timeout_s is not None and queue_timeout_s <= 0:
             raise ValueError("queue_timeout_s must be positive")
         biggest = max(p.memory_mb for p in profiles.values())
@@ -150,6 +163,7 @@ class ObjectFaaSCluster:
         self._next_node_id = n_nodes
         self.service_time_cv = service_time_cv
         self.cores_per_node = cores_per_node
+        self.cpu = cpu
         self.track_memory = track_memory
         self.memory_samples: list[tuple[float, int, float]] = []
         self._rng = np.random.default_rng(seed)
@@ -311,7 +325,24 @@ class ObjectFaaSCluster:
         if self._lognorm is not None:
             sigma, mu = self._lognorm
             service_s *= float(self._rng.lognormal(mu, sigma))
-        if self.cores_per_node is not None:
+        preemptions = 0
+        if self.cpu is not None:
+            # run-queue-aware dilation, fixed at admission time
+            w = self.cpu.policy.weight(workload_id)
+            dilated, preemptions = self.cpu.policy.contend(
+                service_s,
+                cores=self.cpu.cores,
+                quantum_s=self.cpu.quantum_s,
+                concurrent=node.busy_count + 1,
+                weight=w,
+                total_weight=node.cpu_weight + w,
+            )
+            if dilated > service_s:
+                self._trace("invocation_contended", node.node_id,
+                            workload_id)
+            service_s = dilated
+            node.cpu_weight += w
+        elif self.cores_per_node is not None:
             # oversubscription slowdown, fixed at admission time
             concurrent = node.busy_count + 1
             if concurrent > self.cores_per_node:
@@ -335,6 +366,7 @@ class ObjectFaaSCluster:
                 end_s=end,
                 cold=cold,
                 ok=ok,
+                preemptions=preemptions,
             )
         )
         # Events carry the Node object itself: under autoscaling the
@@ -345,6 +377,8 @@ class ObjectFaaSCluster:
     def _on_completion(self, now: float, node: Node,
                        sandbox: _Sandbox) -> None:
         node.busy_count -= 1
+        if self.cpu is not None:
+            node.cpu_weight -= self.cpu.policy.weight(sandbox.workload_id)
         sandbox.idle_since = now
         sandbox.expire_generation += 1
         node.push_idle(sandbox)
@@ -361,6 +395,8 @@ class ObjectFaaSCluster:
         """The sandbox died mid-invocation: destroy it outright."""
         del now
         node.busy_count -= 1
+        if self.cpu is not None:
+            node.cpu_weight -= self.cpu.policy.weight(sandbox.workload_id)
         sandbox.expire_generation += 1
         node.used_memory_mb -= sandbox.memory_mb
         self._trace("sandbox_crashed", node.node_id, sandbox.workload_id)

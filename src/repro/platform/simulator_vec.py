@@ -47,6 +47,7 @@ See docs/SIMULATOR.md for how to add a policy without breaking this.
 from __future__ import annotations
 
 import heapq
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from collections.abc import Callable, Iterable, Iterator, Sequence
@@ -55,6 +56,12 @@ from typing import Any, Protocol, cast
 import numpy as np
 import numpy.typing as npt
 
+from repro.platform.cpu import (
+    CpuModel,
+    FairShareCpu,
+    FifoCpu,
+    ShortestFirstCpu,
+)
 from repro.platform.keepalive import FixedKeepAlive, NoKeepAlive
 from repro.platform.metrics import InvocationRecord
 from repro.platform.schedulers import (
@@ -144,6 +151,9 @@ _PURE_SINGLE_NODE_SCHEDULERS = (
     HashAffinityScheduler,
 )
 
+#: Empty-heap sentinel for the CPU replay's cached heap minimum.
+_INF = float("inf")
+
 
 # ----------------------------------------------------------------------
 # columnar record storage
@@ -167,6 +177,7 @@ class RecordColumns:
     end_s: npt.NDArray[np.float64]
     cold: npt.NDArray[np.bool_]
     ok: npt.NDArray[np.bool_]
+    preemptions: npt.NDArray[np.int32]
 
     def __len__(self) -> int:
         return int(self.arrival_s.size)
@@ -199,8 +210,9 @@ class RecordColumns:
                 end_s=e,
                 cold=co,
                 ok=o,
+                preemptions=p,
             )
-            for c, nd, a, s, e, co, o in zip(
+            for c, nd, a, s, e, co, o, p in zip(
                 self.workload_codes.tolist(),
                 self.node.tolist(),
                 self.arrival_s.tolist(),
@@ -208,6 +220,7 @@ class RecordColumns:
                 self.end_s.tolist(),
                 self.cold.tolist(),
                 self.ok.tolist(),
+                self.preemptions.tolist(),
             )
         ]
 
@@ -217,7 +230,7 @@ class _RecordStore:
 
     __slots__ = (
         "n", "code", "node", "arrival", "start", "end", "cold", "ok",
-        "vocab", "words",
+        "preempt", "vocab", "words",
     )
 
     def __init__(self) -> None:
@@ -230,6 +243,7 @@ class _RecordStore:
         self.end = np.empty(cap, np.float64)
         self.cold = np.empty(cap, np.bool_)
         self.ok = np.empty(cap, np.bool_)
+        self.preempt = np.empty(cap, np.int32)
         self.vocab: dict[str, int] = {}
         self.words: list[str] = []
 
@@ -247,7 +261,8 @@ class _RecordStore:
             return
         while cap < need:
             cap *= 2
-        for name in ("code", "node", "arrival", "start", "end", "cold", "ok"):
+        for name in ("code", "node", "arrival", "start", "end", "cold",
+                     "ok", "preempt"):
             old = getattr(self, name)
             grown = np.empty(cap, old.dtype)
             grown[: self.n] = old[: self.n]
@@ -262,6 +277,7 @@ class _RecordStore:
         end_s: float,
         cold: bool,
         ok: bool,
+        preempt: int = 0,
     ) -> None:
         i = self.n
         if i == self.code.size:
@@ -273,6 +289,7 @@ class _RecordStore:
         self.end[i] = end_s
         self.cold[i] = cold
         self.ok[i] = ok
+        self.preempt[i] = preempt
         self.n = i + 1
 
     def extend(
@@ -285,6 +302,7 @@ class _RecordStore:
         *,
         cold: bool | npt.NDArray[np.bool_],
         ok: bool,
+        preempt: npt.NDArray[np.int32] | None = None,
     ) -> None:
         n0 = self.n
         n1 = n0 + int(codes.size)
@@ -296,6 +314,7 @@ class _RecordStore:
         self.end[n0:n1] = end_s
         self.cold[n0:n1] = cold
         self.ok[n0:n1] = ok
+        self.preempt[n0:n1] = 0 if preempt is None else preempt
         self.n = n1
 
     def columns(self) -> RecordColumns:
@@ -309,6 +328,7 @@ class _RecordStore:
             end_s=self.end[:n].copy(),
             cold=self.cold[:n].copy(),
             ok=self.ok[:n].copy(),
+            preemptions=self.preempt[:n].copy(),
         )
 
 
@@ -419,6 +439,12 @@ class _BulkTail:
         default_factory=lambda: _F0
     )
     idle_key_tie: npt.NDArray[np.int64] = field(default_factory=lambda: _I0)
+    #: Per-node ``cpu_weight`` after all outstanding completions fire
+    #: (CPU-model runs only; empty otherwise).  Like ``final_used``, it
+    #: is folded in the reference engine's exact IEEE order.
+    final_weight: npt.NDArray[np.float64] = field(
+        default_factory=lambda: _F0
+    )
 
 
 # ----------------------------------------------------------------------
@@ -448,6 +474,7 @@ class FaaSCluster:
         ] = default_cold_start_s,
         service_time_cv: float = 0.0,
         cores_per_node: int | None = None,
+        cpu: CpuModel | None = None,
         track_memory: bool = False,
         queue_timeout_s: float | None = None,
         autoscaler: Autoscaler | None = None,
@@ -465,6 +492,11 @@ class FaaSCluster:
             raise ValueError("service_time_cv must be non-negative")
         if cores_per_node is not None and cores_per_node <= 0:
             raise ValueError("cores_per_node must be positive")
+        if cpu is not None and cores_per_node is not None:
+            raise ValueError(
+                "cpu and cores_per_node are mutually exclusive; the "
+                "CpuModel replaces the first-order slowdown"
+            )
         if queue_timeout_s is not None and queue_timeout_s <= 0:
             raise ValueError("queue_timeout_s must be positive")
         biggest = max(p.memory_mb for p in profiles.values())
@@ -490,6 +522,7 @@ class FaaSCluster:
         self._next_node_id = n_nodes
         self.service_time_cv = service_time_cv
         self.cores_per_node = cores_per_node
+        self.cpu = cpu
         self.track_memory = track_memory
         self.memory_samples: list[tuple[float, int, float]] = []
         self._rng = np.random.default_rng(seed)
@@ -604,7 +637,7 @@ class FaaSCluster:
             words = store.words
             code, node = store.code, store.node
             arrival, start, end = store.arrival, store.start, store.end
-            cold, ok = store.cold, store.ok
+            cold, ok, preempt = store.cold, store.ok, store.preempt
             for i in range(len(out), n):
                 out.append(
                     InvocationRecord(
@@ -615,6 +648,7 @@ class FaaSCluster:
                         end_s=float(end[i]),
                         cold=bool(cold[i]),
                         ok=bool(ok[i]),
+                        preemptions=int(preempt[i]),
                     )
                 )
         return out
@@ -655,7 +689,13 @@ class FaaSCluster:
         outstanding bulk carry with the same TTL is fine, it is part of
         the vectorised state.  Service-time jitter is allowed: the slab
         pre-draws one lognormal array stream-equal to the scalar
-        per-request draws and rewinds the RNG on fallback.
+        per-request draws and rewinds the RNG on fallback.  A
+        :class:`~repro.platform.cpu.CpuModel` is allowed with zero TTL
+        only: the teardown commit replays each node's run queue
+        sequentially (the dilation feedback loop has no closed form),
+        but warm reuse under contention couples pools through busy
+        counts, which the keep-alive commit's independent pool replay
+        cannot see.
         """
         ttl = self._bulk_ttl()
         if ttl is None:
@@ -667,6 +707,8 @@ class FaaSCluster:
         ):
             return False
         if self.cores_per_node is not None or self.track_memory:
+            return False
+        if self.cpu is not None and ttl > 0:
             return False
         if self.cold_start_model is not default_cold_start_s:
             return False
@@ -801,20 +843,34 @@ class FaaSCluster:
         completion, no expiry events exist -- so the whole slab is one
         event calendar per node (+mem at arrival, -mem at completion,
         completions carried from earlier chunks included), cumsum-folded
-        in the reference engine's exact order."""
+        in the reference engine's exact order.  Under a CPU model the
+        completion times first come out of a sequential per-node
+        run-queue replay (dilation feeds back into later dilations);
+        everything downstream of the ends stays vectorised."""
         n = int(ts.size)
         n_nodes = len(self.nodes)
         last_t = float(ts[-1])
         seq0 = self._seq_n
         req_mem = mem[codes]
         start = ts + coldcost[codes]
-        end = start + svc_req
         if old is not None:
             c_end, c_seq = old.ends, old.seqs
             c_node, c_mem, c_codes = old.node_idx, old.mem_mb, old.codes
         else:
             c_end, c_mem = _F0, _F0
             c_seq, c_node, c_codes = _I0, _I0, _I0
+        preempt: npt.NDArray[np.int32] | None = None
+        new_weight: npt.NDArray[np.float64] | None = None
+        final_weight: npt.NDArray[np.float64] | None = None
+        if self.cpu is not None:
+            end, preempt, new_weight, final_weight = (
+                self._cpu_teardown_replay(
+                    ts, codes, node_idx, svc_req, start, last_t, seq0,
+                    c_end, c_seq, c_node, c_codes, words,
+                )
+            )
+        else:
+            end = start + svc_req
 
         # Sorting by (node, time, completion-before-arrival, heap seq)
         # reproduces the reference engine's event order exactly: events
@@ -877,11 +933,13 @@ class FaaSCluster:
         self._clock = last_t
         self._store.extend(
             self._store_codes()[codes], self._node_ids()[node_idx],
-            ts, start, end, cold=True, ok=True,
+            ts, start, end, cold=True, ok=True, preempt=preempt,
         )
         for b, node in enumerate(self.nodes):
             node.busy_count = int(busy_after[b])
             node.used_memory_mb = float(new_used[b])
+            if new_weight is not None:
+                node.cpu_weight = float(new_weight[b])
         out_new = end > last_t
         out_old = c_end > last_t
         t_ends = np.concatenate((end[out_new], c_end[out_old]))
@@ -900,10 +958,213 @@ class FaaSCluster:
                     (req_mem[out_new], c_mem[out_old])
                 ),
                 codes=np.concatenate((codes[out_new], c_codes[out_old])),
+                final_weight=(
+                    final_weight if final_weight is not None else _F0
+                ),
             )
         else:
+            # no carry survives: every completion fired in-slab, so the
+            # committed new_weight already equals the final fold
             self._tail = None
         return True
+
+    def _cpu_teardown_replay(
+        self,
+        ts: npt.NDArray[np.float64],
+        codes: npt.NDArray[np.int64],
+        node_idx: npt.NDArray[np.int64],
+        svc_req: npt.NDArray[np.float64],
+        start: npt.NDArray[np.float64],
+        last_t: float,
+        seq0: int,
+        c_end: npt.NDArray[np.float64],
+        c_seq: npt.NDArray[np.int64],
+        c_node: npt.NDArray[np.int64],
+        c_codes: npt.NDArray[np.int64],
+        words: list[str],
+    ) -> tuple[
+        npt.NDArray[np.float64],
+        npt.NDArray[np.int32],
+        npt.NDArray[np.float64],
+        npt.NDArray[np.float64],
+    ]:
+        """Sequential per-node run-queue replay for a zero-TTL slab
+        under a CPU model.
+
+        Completion times feed back into later dilations (each end
+        changes the busy count the next arrival sees), so no closed
+        form exists; instead each node replays its own arrivals against
+        a ``(end, seq, weight)`` heap -- the exact per-node subsequence
+        of the reference engine's global event order, so busy counts,
+        weight folds, and tie-breaking are bit-identical.  Nodes only
+        couple through memory, which the caller still checks
+        vectorised.  Returns ``(end, preemptions, post-slab weight,
+        final weight)``; the weight folds replicate the scalar
+        ``+=``/``-=`` chains in IEEE order.
+
+        The built-in policies are inlined (dispatched on exact type, so
+        a subclass overriding ``contend`` still takes the generic call)
+        -- each inlined expression keeps the operand order of its
+        :mod:`repro.platform.cpu` counterpart, which is what makes the
+        floats bit-identical; unknown policies pay one ``contend`` call
+        per arrival.
+        """
+        cpu = self.cpu
+        assert cpu is not None
+        policy = cpu.policy
+        contend = policy.contend
+        cores = cpu.cores
+        quantum = cpu.quantum_s
+        n = int(ts.size)
+        n_nodes = len(self.nodes)
+        new_weight = np.empty(n_nodes, np.float64)
+        final_weight = np.empty(n_nodes, np.float64)
+        order = _group_stable(node_idx)
+        counts = np.bincount(node_idx, minlength=n_nodes)
+        bounds = np.zeros(n_nodes + 1, np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        bounds_l = bounds.tolist()
+        # gather once so each node's inner loop walks flat lists in
+        # lockstep instead of double-indirecting through the permutation
+        ts_g = ts[order].tolist()
+        svc_g = svc_req[order].tolist()
+        start_g = start[order].tolist()
+        end_g = [0.0] * n
+        pre_g = [0] * n
+        heappush, heappop = heapq.heappush, heapq.heappop
+        ceil = math.ceil
+        kind = type(policy)
+        q_over_c = quantum / cores
+        if kind is FifoCpu or kind is ShortestFirstCpu:
+            # both weigh every workload at exactly 1.0, so the scalar
+            # ``+=``/``-=`` chains only ever step an integer-valued
+            # float by 1.0 -- exact IEEE ops whose result is the net
+            # count, reproducible without touching a float per event.
+            # Batch pops only decrement that count, so the pop order
+            # among tied ends is unobservable and the heap shrinks to
+            # bare end floats -- no ``(end, seq)`` tie-break needed.
+            carried2: list[list[float]] = [[] for _ in range(n_nodes)]
+            for ce, cb in zip(c_end.tolist(), c_node.tolist()):
+                carried2[cb].append(ce)
+            is_fifo = kind is FifoCpu
+            # ceil(service / quantum) vectorised up front: np.ceil on
+            # the same float64 quotient returns the same integer value
+            # math.ceil would, so the per-event formula keeps its bits
+            sl_g = np.ceil(
+                svc_req[order] / quantum
+            ).astype(np.int64).tolist()
+            for b, node in enumerate(self.nodes):
+                heap2 = carried2[b]
+                nc0 = len(heap2)
+                heapq.heapify(heap2)
+                lo, hi = bounds_l[b], bounds_l[b + 1]
+                rows2 = zip(ts_g[lo:hi], svc_g[lo:hi], start_g[lo:hi],
+                            sl_g[lo:hi], range(lo, hi))
+                depth = nc0
+                # cache the heap minimum in a local float so the hot
+                # exit test is one compare, not a subscript
+                nxt = heap2[0] if heap2 else _INF
+                if is_fifo:
+                    for t, s, st, sl, i in rows2:
+                        while nxt <= t:
+                            heappop(heap2)
+                            depth -= 1
+                            nxt = heap2[0] if heap2 else _INF
+                        excess = depth + 1 - cores
+                        if excess <= 0:
+                            e = st + s
+                        else:
+                            e = st + (s + (sl * excess) * q_over_c)
+                            pre_g[i] = sl - 1
+                        end_g[i] = e
+                        depth += 1
+                        heappush(heap2, e)
+                        nxt = heap2[0]
+                else:
+                    for t, s, st, sl, i in rows2:
+                        while nxt <= t:
+                            heappop(heap2)
+                            depth -= 1
+                            nxt = heap2[0] if heap2 else _INF
+                        concurrent = depth + 1
+                        if concurrent <= cores or s <= quantum:
+                            e = st + s
+                        else:
+                            e = st + s * (concurrent / cores)
+                            pre_g[i] = sl - 1
+                        end_g[i] = e
+                        depth += 1
+                        heappush(heap2, e)
+                        nxt = heap2[0]
+                while heap2 and heap2[0] <= last_t:
+                    heappop(heap2)
+                w0 = node.cpu_weight
+                new_weight[b] = w0 + (len(heap2) - nc0)
+                final_weight[b] = w0 - nc0
+        else:
+            wt = [policy.weight(w) for w in words]
+            w_g = np.asarray(wt, np.float64)[codes[order]].tolist()
+            seq_g = (seq0 + order).tolist()
+            carried: list[list[tuple[float, int, float]]] = [
+                [] for _ in range(n_nodes)
+            ]
+            for ce, cq, cb, cc in zip(
+                c_end.tolist(), c_seq.tolist(), c_node.tolist(),
+                c_codes.tolist(),
+            ):
+                carried[cb].append((ce, cq, wt[cc]))
+            for b, node in enumerate(self.nodes):
+                heap = carried[b]
+                heapq.heapify(heap)
+                wtot = node.cpu_weight
+                lo, hi = bounds_l[b], bounds_l[b + 1]
+                rows = zip(ts_g[lo:hi], w_g[lo:hi], svc_g[lo:hi],
+                           start_g[lo:hi], seq_g[lo:hi], range(lo, hi))
+                if kind is FairShareCpu:
+                    for t, w, s, st, q, i in rows:
+                        while heap and heap[0][0] <= t:
+                            wtot -= heappop(heap)[2]
+                        if len(heap) + 1 <= cores:
+                            e = st + s
+                        else:
+                            share = cores * w / (wtot + w)
+                            if share >= 1.0:
+                                e = st + s
+                            else:
+                                d = s / share
+                                e = st + d
+                                pre_g[i] = ceil(d / quantum) - 1
+                        end_g[i] = e
+                        wtot += w
+                        heappush(heap, (e, q, w))
+                else:
+                    for t, w, s, st, q, i in rows:
+                        while heap and heap[0][0] <= t:
+                            wtot -= heappop(heap)[2]
+                        dilated, pre = contend(
+                            s,
+                            cores=cores,
+                            quantum_s=quantum,
+                            concurrent=len(heap) + 1,
+                            weight=w,
+                            total_weight=wtot + w,
+                        )
+                        e = st + dilated
+                        end_g[i] = e
+                        pre_g[i] = pre
+                        wtot += w
+                        heappush(heap, (e, q, w))
+                while heap and heap[0][0] <= last_t:
+                    wtot -= heappop(heap)[2]
+                new_weight[b] = wtot
+                while heap:
+                    wtot -= heappop(heap)[2]
+                final_weight[b] = wtot
+        end = np.empty(n, np.float64)
+        preempt = np.empty(n, np.int32)
+        end[order] = end_g
+        preempt[order] = pre_g
+        return end, preempt, new_weight, final_weight
 
     def _bulk_commit_keepalive(
         self,
@@ -1693,6 +1954,8 @@ class FaaSCluster:
         for b, node in enumerate(self.nodes):
             node.busy_count = 0
             node.used_memory_mb = float(tail.final_used[b])
+            if tail.final_weight.size:
+                node.cpu_weight = float(tail.final_weight[b])
 
     # ------------------------------------------------------------------
     # drain internals
@@ -1829,7 +2092,24 @@ class FaaSCluster:
         if self._lognorm is not None:
             sigma, mu = self._lognorm
             service_s *= float(self._rng.lognormal(mu, sigma))
-        if self.cores_per_node is not None:
+        preemptions = 0
+        if self.cpu is not None:
+            # run-queue-aware dilation, fixed at admission time
+            w = self.cpu.policy.weight(workload_id)
+            dilated, preemptions = self.cpu.policy.contend(
+                service_s,
+                cores=self.cpu.cores,
+                quantum_s=self.cpu.quantum_s,
+                concurrent=node.busy_count + 1,
+                weight=w,
+                total_weight=node.cpu_weight + w,
+            )
+            if dilated > service_s:
+                self._trace("invocation_contended", node.node_id,
+                            workload_id)
+            service_s = dilated
+            node.cpu_weight += w
+        elif self.cores_per_node is not None:
             # oversubscription slowdown, fixed at admission time
             concurrent = node.busy_count + 1
             if concurrent > self.cores_per_node:
@@ -1847,6 +2127,7 @@ class FaaSCluster:
         self._store.append(
             self._store.code_for(workload_id),
             node.node_id, arrival_s, start, end, cold, ok,
+            preempt=preemptions,
         )
         # Events carry the Node object itself: under autoscaling the
         # nodes list mutates, so positional ids are not stable handles.
@@ -1856,6 +2137,8 @@ class FaaSCluster:
     def _on_completion(self, now: float, node: Node,
                        sandbox: _Sandbox) -> None:
         node.busy_count -= 1
+        if self.cpu is not None:
+            node.cpu_weight -= self.cpu.policy.weight(sandbox.workload_id)
         sandbox.idle_since = now
         sandbox.expire_generation += 1
         node.push_idle(sandbox)
@@ -1872,6 +2155,8 @@ class FaaSCluster:
         """The sandbox died mid-invocation: destroy it outright."""
         del now
         node.busy_count -= 1
+        if self.cpu is not None:
+            node.cpu_weight -= self.cpu.policy.weight(sandbox.workload_id)
         sandbox.expire_generation += 1
         node.used_memory_mb -= sandbox.memory_mb
         self._trace("sandbox_crashed", node.node_id, sandbox.workload_id)

@@ -24,13 +24,16 @@ __all__ = [
 #: Event kinds, in lifecycle order.  The ``fault_injected`` /
 #: ``sandbox_crashed`` kinds come from the fault-injection layer
 #: (:mod:`repro.platform.faults`); the ``breaker_*`` kinds from the
-#: replay engine's circuit breaker (node -1: not tied to a node).
+#: replay engine's circuit breaker (node -1: not tied to a node);
+#: ``invocation_contended`` fires when a CPU-contention model
+#: (:mod:`repro.platform.cpu`) dilated an invocation's service time.
 EVENT_KINDS = (
     "sandbox_created",
     "sandbox_reused",
     "sandbox_expired",
     "sandbox_evicted",
     "sandbox_crashed",
+    "invocation_contended",
     "request_queued",
     "request_dropped",
     "fault_injected",

@@ -13,11 +13,15 @@ import numpy as np
 import pytest
 
 from repro.platform import (
+    CpuModel,
     CrashHook,
     FaaSCluster,
+    FairShareCpu,
+    FifoCpu,
     FixedKeepAlive,
     HashAffinityScheduler,
     HistogramKeepAlive,
+    HybridHistogramKeepAlive,
     LeastLoadedScheduler,
     LocalityAwareScheduler,
     NoKeepAlive,
@@ -26,6 +30,7 @@ from repro.platform import (
     PowerOfTwoScheduler,
     RandomScheduler,
     ReactiveAutoscaler,
+    ShortestFirstCpu,
     WorkloadProfile,
     iter_trace_slabs,
     summarize,
@@ -106,7 +111,8 @@ def run_engine(cls, ts, wids, make_kwargs, *, batch=False, mode=None):
         "memory_samples": cluster.memory_samples,
         "n_nodes": len(cluster.nodes),
         "node_state": [
-            (n.node_id, n.used_memory_mb, n.busy_count, n.idle_count)
+            (n.node_id, n.used_memory_mb, n.busy_count, n.idle_count,
+             n.cpu_weight)
             for n in cluster.nodes
         ],
     }
@@ -798,3 +804,220 @@ def test_live_backend_bulk_matches_scalar(mode):
 
     assert key(got.drain()) == key(ref.drain())
     assert got.evictions == ref.evictions
+
+
+# ---------------------------------------------------------------------------
+# CPU-contention model (ISSUE 10): cpu-policy x keep-alive (incl. hybrid
+# histogram) x scheduler x submission mode, all byte-identical
+# ---------------------------------------------------------------------------
+CPU_POLICIES = {
+    "fifo": FifoCpu,
+    "fair": lambda: FairShareCpu(
+        weights={f"w{i}": float(1 + i % 3) for i in range(6)}
+    ),
+    "stf": ShortestFirstCpu,
+}
+
+CPU_KEEPALIVES = dict(
+    KEEPALIVES,
+    hybrid=lambda: HybridHistogramKeepAlive(
+        bin_width_s=0.25, n_bins=16, default_ttl_s=1.5, min_observations=4
+    ),
+)
+
+CPU_MODES = ["scalar", "bulk", "chunked-19"]
+
+
+def make_cpu_kwargs(pol, ka, sched, *, cores=2, quantum=0.02, **extra):
+    def build():
+        kwargs = dict(
+            n_nodes=3,
+            node_memory_mb=2048.0,
+            keepalive=CPU_KEEPALIVES[ka](),
+            scheduler=SCHEDULERS[sched](),
+            cpu=CpuModel(cores=cores, quantum_s=quantum,
+                         policy=CPU_POLICIES[pol]()),
+        )
+        kwargs.update(extra)
+        return kwargs
+
+    return build
+
+
+@pytest.mark.parametrize("mode", CPU_MODES)
+@pytest.mark.parametrize("sched", sorted(SCHEDULERS))
+@pytest.mark.parametrize("ka", sorted(CPU_KEEPALIVES))
+@pytest.mark.parametrize("pol", sorted(CPU_POLICIES))
+def test_cpu_equivalence_matrix(pol, ka, sched, mode):
+    """The full contention matrix: every CPU policy under every
+    keep-alive (the hybrid histogram included) and scheduler, fed
+    scalar, bulk, and chunked, against the object-engine oracle."""
+    ts, wids = make_load(3, n=200, horizon_s=8.0)
+    ref, _ = assert_equivalent(
+        ts, wids, make_cpu_kwargs(pol, ka, sched), mode=mode,
+    )
+    # the load is dense enough that contention genuinely occurred
+    assert sum(r.preemptions for r in ref["records"]) > 0
+
+
+@pytest.mark.parametrize("mode", CPU_MODES)
+@pytest.mark.parametrize("pol", sorted(CPU_POLICIES))
+def test_cpu_zero_core_headroom(pol, mode):
+    """Zero headroom: a single one-core node hit by equal-timestamp
+    bursts, so every overlapping request contends.  The engines must
+    agree bit-for-bit on the dilated completion cascade."""
+    rng = np.random.default_rng(17)
+    ts = np.sort(np.round(rng.uniform(0.0, 4.0, 120), 1))  # dense ties
+    wids = [f"w{int(i)}" for i in rng.integers(0, 6, 120)]
+    ref, _ = assert_equivalent(
+        ts, wids,
+        make_cpu_kwargs(pol, "none", "least-loaded",
+                        cores=1, n_nodes=1, node_memory_mb=8192.0),
+        mode=mode,
+    )
+    by_end = sorted(r.end_s for r in ref["records"])
+    assert by_end == [r for r in by_end]  # drained completely
+    assert sum(r.preemptions for r in ref["records"]) > 0
+
+
+@pytest.mark.parametrize("mode", CPU_MODES)
+def test_cpu_service_jitter_stream_parity(mode):
+    """Service-time jitter draws one RNG stream; under the CPU model the
+    bulk path must consume it in exactly the scalar order."""
+    ts, wids = make_load(5, n=150, horizon_s=6.0)
+    assert_equivalent(
+        ts, wids,
+        make_cpu_kwargs("fifo", "none", "least-loaded",
+                        service_time_cv=0.6, seed=23),
+        mode=mode,
+    )
+
+
+@pytest.mark.parametrize("mode", ["scalar", "bulk", "chunked-2"])
+def test_cpu_preemption_at_keepalive_expiry_reclaims_once(mode):
+    """ISSUE 10 satellite: a request preempted mid-timeslice while an
+    idle sandbox on the same node hits keep-alive expiry at the very
+    same instant.  The expiry must reclaim memory exactly once, never
+    touch the CPU weight (the sandbox was idle, not busy), and the
+    arrival landing exactly on the expiry timestamp must go cold --
+    identically on both engines, every submission path.
+
+    Hand-built timeline (cold cost = 0.150 + 0.0008 * mem):
+      t=0.00  w0 (mem 256, cold 0.3548) -> runs 0.3548..0.4548, idles,
+              expiry queued at 0.9548
+      t=0.50  w1 (runtime 600ms)        -> cold, alone: no dilation
+      t=0.60  w2 (runtime 400ms)        -> concurrent=2 > cores=1:
+              dilated, preempted mid-timeslice, still in flight at the
+              expiry instant
+      t=0.9548  w0 again, exactly at the queued expiry: the expiry event
+              pops first (memory reclaimed once), so this arrival is
+              cold and contends with both in-flight requests
+    """
+    profiles = {
+        "w0": WorkloadProfile("w0", runtime_ms=100.0, memory_mb=256.0),
+        "w1": WorkloadProfile("w1", runtime_ms=600.0, memory_mb=128.0),
+        "w2": WorkloadProfile("w2", runtime_ms=400.0, memory_mb=128.0),
+    }
+    ts = np.array([0.0, 0.5, 0.6, 0.9548])
+    wids = ["w0", "w1", "w2", "w0"]
+
+    def build(cls):
+        return cls(
+            profiles,
+            n_nodes=1,
+            node_memory_mb=4096.0,
+            keepalive=FixedKeepAlive(0.5),
+            cpu=CpuModel(cores=1, quantum_s=0.02, policy=FifoCpu()),
+            track_memory=True,
+        )
+
+    ref = build(ObjectFaaSCluster)
+    for t, w in zip(ts.tolist(), wids):
+        ref.invoke(t, w)
+    ref_records = ref.drain()
+
+    vec = build(FaaSCluster)
+    submit(vec, ts, wids, mode)
+    vec_records = vec.drain()
+
+    assert vec_records == ref_records
+    assert vec.memory_samples == ref.memory_samples
+    assert vec.clock_s == ref.clock_s
+    assert [(n.used_memory_mb, n.busy_count, n.cpu_weight)
+            for n in vec.nodes] == \
+        [(n.used_memory_mb, n.busy_count, n.cpu_weight)
+         for n in ref.nodes]
+
+    # the scenario really happened as designed
+    assert ref_records[2].workload_id == "w2"
+    assert ref_records[2].preemptions > 0          # preempted mid-slice
+    assert ref_records[3].workload_id == "w0"
+    assert ref_records[3].cold                     # expiry fired first
+    assert ref_records[3].preemptions > 0          # and it contended
+    # exactly-once reclaim: every sample is a plausible running total
+    # (a double reclaim would drive the w0 slot negative)
+    assert min(s[2] for s in ref.memory_samples) >= 0.0
+    reclaim_at_expiry = [
+        s for s in ref.memory_samples if s[0] == pytest.approx(0.9548)
+    ]
+    assert len(reclaim_at_expiry) > 0
+
+
+@pytest.mark.parametrize("cls", [ObjectFaaSCluster, FaaSCluster])
+def test_cpu_weight_returns_to_zero_after_drain(cls):
+    """Work conservation at the ledger level: once everything drains,
+    every node's run-queue weight folds back to exactly 0.0."""
+    ts, wids = make_load(9, n=180, horizon_s=6.0)
+    cluster = cls(
+        make_profiles(),
+        n_nodes=2,
+        node_memory_mb=2048.0,
+        keepalive=FixedKeepAlive(0.3),
+        cpu=CpuModel(cores=2, quantum_s=0.02, policy=FairShareCpu(
+            weights={f"w{i}": float(1 + i % 3) for i in range(6)}
+        )),
+    )
+    for t, w in zip(ts.tolist(), wids):
+        cluster.invoke(t, w)
+    cluster.drain()
+    for node in cluster.nodes:
+        assert node.cpu_weight == 0.0
+        assert node.busy_count == 0
+
+
+def test_cpu_and_cores_per_node_are_mutually_exclusive():
+    for cls in (ObjectFaaSCluster, FaaSCluster):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            cls(
+                make_profiles(),
+                n_nodes=1,
+                node_memory_mb=1024.0,
+                keepalive=NoKeepAlive(),
+                cores_per_node=2,
+                cpu=CpuModel(cores=2, policy=FifoCpu()),
+            )
+
+
+def test_cpu_contended_trace_event_matches_engines():
+    """The ``invocation_contended`` lifecycle event fires identically on
+    both engines (tracers force the scalar path on the array engine)."""
+    ts, wids = make_load(2, n=120, horizon_s=4.0)
+
+    def run(cls):
+        tracer = PlatformTracer()
+        cluster = cls(
+            make_profiles(),
+            n_nodes=2,
+            node_memory_mb=2048.0,
+            keepalive=NoKeepAlive(),
+            cpu=CpuModel(cores=1, quantum_s=0.02, policy=FifoCpu()),
+            tracer=tracer,
+        )
+        for t, w in zip(ts.tolist(), wids):
+            cluster.invoke(t, w)
+        cluster.drain()
+        return tracer.events
+
+    ref, vec = run(ObjectFaaSCluster), run(FaaSCluster)
+    assert vec == ref
+    assert any(e.kind == "invocation_contended" for e in ref)

@@ -98,6 +98,36 @@ REGRESSION_CONFIGS = [
     _cfg(seed=13, n_requests=200, keepalive="fixed", keepalive_ttl=0.0,
          service_time_cv=0.4, node_memory_mb=4096.0,
          batch="chunked", chunk_rows=64),
+    # ISSUE 10 CPU axes: contended zero-TTL slab takes the bulk
+    # teardown route, whose per-node run-queue replay must reproduce
+    # the scalar dilation cascade (including (end, seq) tie-breaks)
+    _cfg(seed=14, n_requests=300, horizon_s=4.0, keepalive="none",
+         node_memory_mb=4096.0, batch="bulk", cores=1, quantum=0.02),
+    # CPU model + positive TTL: bulk ineligible by design, so
+    # invoke_many must fall back to the scalar path and still match
+    _cfg(seed=15, n_requests=250, horizon_s=4.0, keepalive="fixed",
+         keepalive_ttl=0.5, node_memory_mb=4096.0, batch="bulk",
+         cores=2, quantum=0.005),
+    # weighted fair share with unequal per-workload weights: the
+    # node's running weight total folds in event order on both engines
+    _cfg(seed=16, n_requests=300, horizon_s=4.0, n_workloads=6,
+         keepalive="hybrid", node_memory_mb=4096.0, batch="mixed",
+         cores=2, cpu_policy="fair"),
+    # shortest-task-first under tiny chunks: every slab edge carries a
+    # contended tail whose final weight restores at drain
+    _cfg(seed=17, n_requests=300, horizon_s=3.0, keepalive="none",
+         node_memory_mb=8192.0, batch="chunked", chunk_rows=1,
+         cores=1, cpu_policy="stf", quantum=0.1),
+    # contention + jitter + crashes: the crash path must release CPU
+    # weight exactly once, and the jitter stream must stay aligned
+    _cfg(seed=18, n_requests=300, horizon_s=6.0, keepalive="fixed",
+         keepalive_ttl=0.3, crash_rate=0.2, service_time_cv=0.6,
+         node_memory_mb=2048.0, cores=2, cpu_policy="fifo"),
+    # hybrid-histogram keep-alive learning mid-run on the scalar path,
+    # with traces compared event for event
+    _cfg(seed=19, n_requests=350, horizon_s=10.0, keepalive="hybrid",
+         track_memory=True, node_memory_mb=1024.0, batch="scalar",
+         cores=4, cpu_policy="fair"),
 ]
 
 
@@ -175,6 +205,27 @@ def test_config_validation():
         _cfg(scheduler="bogus")
     with pytest.raises(ValueError, match="batch"):
         _cfg(batch="bogus")
+    with pytest.raises(ValueError, match="cpu policy"):
+        _cfg(cpu_policy="bogus")
+    with pytest.raises(ValueError, match="cores"):
+        _cfg(cores=-1)
+    with pytest.raises(ValueError, match="quantum"):
+        _cfg(quantum=0.0)
+
+
+def test_shrinker_strips_cpu_axes():
+    """A failure that does not depend on the CPU model shrinks to
+    cores=0 / cpu_policy='fifo', keeping reproducers minimal."""
+
+    def still_fails(cfg):
+        return cfg.n_requests >= 10
+
+    small = shrink(
+        _cfg(n_requests=64, cores=4, cpu_policy="stf", quantum=0.1),
+        still_fails,
+    )
+    assert small.cores == 0
+    assert small.cpu_policy == "fifo"
 
 
 def test_cli_reports_ok(capsys):
